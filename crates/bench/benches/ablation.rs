@@ -1,0 +1,71 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the α
+//! trade-off knob, the effective-bandwidth model of Algorithm 1, and the
+//! green controller's arbitrage rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoplace_bench::{run_proposed_with, Scale};
+use geoplace_core::ProposedConfig;
+use geoplace_dcsim::engine::{Scenario, Simulator};
+use geoplace_core::ProposedPolicy;
+use geoplace_energy::green::GreenController;
+use geoplace_network::latency::EffectiveBandwidthModel;
+use geoplace_network::{BerDistribution, LatencyModel, Topology};
+use geoplace_types::units::Megabytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut config = Scale::Bench.config(42);
+    config.horizon_slots = 4;
+    let mut group = c.benchmark_group("alpha_knob");
+    group.sample_size(10);
+    for alpha in [0.0f64, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                run_proposed_with(&config, ProposedConfig { alpha, ..ProposedConfig::default() })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bandwidth_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effective_bandwidth_model");
+    for (name, model) in [
+        ("paper_linear", EffectiveBandwidthModel::PaperLinear),
+        ("frame_retransmission", EffectiveBandwidthModel::FrameRetransmission),
+    ] {
+        let latency = LatencyModel::new(
+            Topology::paper_default().expect("paper"),
+            BerDistribution::paper_default(),
+        )
+        .with_bandwidth_model(model);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &latency, |b, latency| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| latency.global_data_latency(Megabytes(100_000.0), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_green_arbitrage(c: &mut Criterion) {
+    let mut config = Scale::Bench.config(42);
+    config.horizon_slots = 4;
+    let mut group = c.benchmark_group("green_arbitrage");
+    group.sample_size(10);
+    for (name, disable) in [("on", false), ("off", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &disable, |b, &disable| {
+            b.iter(|| {
+                let scenario = Scenario::build(&config).expect("valid");
+                let mut policy = ProposedPolicy::new(ProposedConfig::default());
+                Simulator::new(scenario)
+                    .with_green_controller(GreenController { disable_arbitrage: disable })
+                    .run(&mut policy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, bench_alpha, bench_bandwidth_models, bench_green_arbitrage);
+criterion_main!(ablations);

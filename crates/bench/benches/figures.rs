@@ -1,0 +1,44 @@
+//! Criterion benches that regenerate each figure at mini scale and time a
+//! full policy run — `cargo bench` therefore re-derives every figure's
+//! data (printed once per bench) while measuring simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoplace_bench::{figures, run_all, run_policy, PolicyKind, Scale};
+use std::sync::OnceLock;
+
+/// One shared mini-scale run per bench binary: printing the figures is a
+/// side effect of the first access; the benches then time fresh runs.
+fn shared_reports() -> &'static Vec<geoplace_dcsim::metrics::SimulationReport> {
+    static REPORTS: OnceLock<Vec<geoplace_dcsim::metrics::SimulationReport>> = OnceLock::new();
+    REPORTS.get_or_init(|| {
+        let config = Scale::Bench.config(42);
+        let reports = run_all(&config);
+        println!("\n===== figures at bench scale (one day, ~70 VMs) =====");
+        print!("{}", figures::all_figures(&reports));
+        print!("{}", figures::migration_summary(&reports));
+        println!("======================================================\n");
+        reports
+    })
+}
+
+fn bench_policy_runs(c: &mut Criterion) {
+    let _ = shared_reports();
+    let mut config = Scale::Bench.config(42);
+    config.horizon_slots = 6;
+    let mut group = c.benchmark_group("six_slot_simulation");
+    group.sample_size(10);
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| run_policy(&config, kind))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_rendering(c: &mut Criterion) {
+    let reports = shared_reports();
+    c.bench_function("render_all_figures", |b| b.iter(|| figures::all_figures(reports)));
+}
+
+criterion_group!(figure_benches, bench_policy_runs, bench_figure_rendering);
+criterion_main!(figure_benches);

@@ -1,0 +1,177 @@
+//! Criterion micro-benchmarks of the algorithm kernels — the paper claims
+//! the two-phase heuristic has "low computational overhead that can be
+//! applied in real-time"; these benches quantify each phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoplace_core::{
+    allocate, compute_caps, kmeans, revise_migrations, CapsConfig, ForceLayout,
+    ForceLayoutConfig, KMeansConfig, LocalAllocConfig, VmPlacementInput,
+};
+use geoplace_dcsim::config::ScenarioConfig;
+use geoplace_dcsim::engine::Scenario;
+use geoplace_network::{BerDistribution, LatencyModel, Topology, TrafficMatrix};
+use geoplace_types::time::TimeSlot;
+use geoplace_types::units::{Gigabytes, Joules, Megabytes, Seconds};
+use geoplace_types::DcId;
+use geoplace_workload::cpucorr::CpuCorrelationMatrix;
+use geoplace_workload::fleet::{FleetConfig, VmFleet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fleet_of(n_groups: u32) -> VmFleet {
+    let mut config = FleetConfig::default();
+    config.arrivals.initial_groups = n_groups;
+    config.arrivals.group_size_range = (2, 4);
+    config.arrivals.seed = 77;
+    VmFleet::new(config).expect("valid fleet")
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_correlation");
+    for groups in [20u32, 60] {
+        let fleet = fleet_of(groups);
+        let windows = fleet.windows(TimeSlot(0));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(windows.len()),
+            &windows,
+            |b, w| b.iter(|| CpuCorrelationMatrix::compute(w)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_force_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_layout");
+    for groups in [20u32, 60] {
+        let fleet = fleet_of(groups);
+        let windows = fleet.windows(TimeSlot(0));
+        let cpu = CpuCorrelationMatrix::compute(&windows);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(windows.len()),
+            &windows,
+            |b, w| {
+                b.iter(|| {
+                    let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+                    layout.update(w.ids(), &cpu, fleet.data_correlation())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let fleet = fleet_of(60);
+    let windows = fleet.windows(TimeSlot(0));
+    let cpu = CpuCorrelationMatrix::compute(&windows);
+    let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+    let points = layout.update(windows.ids(), &cpu, fleet.data_correlation());
+    let loads: Vec<Joules> = (0..points.len()).map(|i| Joules(1.0 + i as f64)).collect();
+    let caps = vec![Joules(1e5); 3];
+    c.bench_function("kmeans_capacity_capped", |b| {
+        b.iter(|| kmeans(&points, &loads, &caps, None, KMeansConfig::default()))
+    });
+}
+
+fn bench_local_allocation(c: &mut Criterion) {
+    // End-to-end slot decisions exercise allocate() with realistic
+    // windows; bench it through a scenario snapshot.
+    let config = ScenarioConfig::scaled(3);
+    let scenario = Scenario::build(&config).expect("valid");
+    let windows = scenario.fleet.windows(TimeSlot(0));
+    let n = windows.len();
+    drop(scenario);
+    c.bench_function("local_allocate_via_fixture", move |b| {
+        let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
+            .map(|i| (i, (0..720).map(|t| ((t + i as usize) % 7) as f32 * 0.1).collect()))
+            .collect();
+        let fixture =
+            geoplace_core::testutil::SnapshotFixture::new(rows, vec![2; n]);
+        let snapshot = fixture.snapshot();
+        let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
+        let positions: Vec<usize> = (0..n).collect();
+        b.iter(|| allocate(&positions, &snapshot, &model, 200, LocalAllocConfig::default()))
+    });
+}
+
+fn bench_algorithm1_latency(c: &mut Criterion) {
+    let model =
+        LatencyModel::new(Topology::paper_default().expect("paper"), BerDistribution::paper_default());
+    let mut group = c.benchmark_group("algorithm1_global_latency");
+    for mb in [1_000.0, 100_000.0, 1_000_000.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(mb as u64), &mb, |b, &mb| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| model.global_data_latency(Megabytes(mb), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eq1_total_latency(c: &mut Criterion) {
+    let model =
+        LatencyModel::new(Topology::paper_default().expect("paper"), BerDistribution::paper_default());
+    let mut traffic = TrafficMatrix::new(3);
+    traffic.add(DcId(0), DcId(1), Megabytes(50_000.0));
+    traffic.add(DcId(2), DcId(1), Megabytes(25_000.0));
+    traffic.add(DcId(1), DcId(0), Megabytes(10_000.0));
+    c.bench_function("eq1_total_latency", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| model.total_latency(DcId(1), &traffic, &mut rng))
+    });
+}
+
+fn bench_migration_revision(c: &mut Criterion) {
+    let latency =
+        LatencyModel::new(Topology::paper_default().expect("paper"), BerDistribution::error_free());
+    let centroids = vec![
+        geoplace_core::Point { x: 0.0, y: 0.0 },
+        geoplace_core::Point { x: 10.0, y: 0.0 },
+        geoplace_core::Point { x: 0.0, y: 10.0 },
+    ];
+    let vms: Vec<VmPlacementInput> = (0..200u32)
+        .map(|i| VmPlacementInput {
+            vm: geoplace_types::VmId(i),
+            prev: Some(DcId((i % 3) as u16)),
+            target: DcId(((i + 1) % 3) as u16),
+            position: geoplace_core::Point { x: f64::from(i % 17), y: f64::from(i % 11) },
+            load: Joules(1e6),
+            size: Gigabytes(2.0),
+        })
+        .collect();
+    let caps = vec![Joules(1e9); 3];
+    c.bench_function("algorithm2_migration_revision", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            revise_migrations(&vms, &centroids, &caps, &latency, Seconds(72.0), &mut rng)
+        })
+    });
+}
+
+fn bench_caps(c: &mut Criterion) {
+    let config = ScenarioConfig::scaled(5);
+    let scenario = Scenario::build(&config).expect("valid");
+    // Build DcInfos via a one-slot simulated snapshot is heavy; fabricate
+    // through the fixture instead.
+    drop(scenario);
+    let fixture = geoplace_core::testutil::SnapshotFixture::new(
+        vec![(0, vec![0.5; 8])],
+        vec![2],
+    );
+    let snapshot = fixture.snapshot();
+    c.bench_function("capacity_caps", |b| {
+        b.iter(|| compute_caps(snapshot.dcs, CapsConfig::default()))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_correlation,
+    bench_force_layout,
+    bench_kmeans,
+    bench_local_allocation,
+    bench_algorithm1_latency,
+    bench_eq1_total_latency,
+    bench_migration_revision,
+    bench_caps
+);
+criterion_main!(kernels);

@@ -1,0 +1,41 @@
+//! Diagnostic: sweep the caps knobs (grid share weighting, free-energy
+//! emphasis) to locate the cost optimum of the Proposed policy.
+
+use geoplace_bench::{run_proposed_with, Scale};
+use geoplace_core::{CapsConfig, ProposedConfig};
+
+fn main() {
+    let config = Scale::from_args().config(42);
+    for (floor, free, grid) in [
+        (0.10, 1.5, 1.1),
+        (0.15, 2.0, 1.0),
+        (0.20, 2.5, 1.0),
+        (0.10, 3.0, 1.0),
+        (0.25, 2.0, 0.9),
+    ] {
+        let proposed = ProposedConfig {
+            caps: CapsConfig {
+                weight_floor: floor,
+                free_energy_scale: free,
+                grid_scale: grid,
+            },
+            ..ProposedConfig::default()
+        };
+        let report = run_proposed_with(&config, proposed);
+        let totals = report.totals();
+        let pv: f64 = report.hourly.iter().map(|h| h.pv_used_j).sum::<f64>() / 1e9;
+        let batt: f64 =
+            report.hourly.iter().map(|h| h.battery_discharge_j).sum::<f64>() / 1e9;
+        println!(
+            "floor {floor:.2} free {free:.1} grid {grid:.1} -> cost {:>7.2} energy {:>6.2} pv {pv:>5.2} batt {batt:>5.2} worst_rt {:>7.1} per-DC {:?}",
+            totals.cost_eur,
+            totals.energy_gj,
+            totals.worst_response_s,
+            report
+                .per_dc_energy_gj
+                .iter()
+                .map(|g| (g * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    }
+}

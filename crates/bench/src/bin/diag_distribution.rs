@@ -1,0 +1,27 @@
+//! Diagnostic: per-DC energy distribution and average grid price paid per
+//! policy (not a paper figure; used to understand cost composition).
+
+use geoplace_bench::{run_all, Scale};
+
+fn main() {
+    let config = Scale::from_args().config(42);
+    let names: Vec<String> = config.dcs.iter().map(|d| d.name.clone()).collect();
+    for report in run_all(&config) {
+        let totals = report.totals();
+        let grid_kwh = totals.grid_energy_gj * 1e9 / 3.6e6;
+        let avg_price = if grid_kwh > 0.0 { totals.cost_eur / grid_kwh } else { 0.0 };
+        let pv: f64 = report.hourly.iter().map(|h| h.pv_used_j).sum::<f64>() / 1e9;
+        let curtailed: f64 =
+            report.hourly.iter().map(|h| h.pv_curtailed_j).sum::<f64>() / 1e9;
+        let battery: f64 =
+            report.hourly.iter().map(|h| h.battery_discharge_j).sum::<f64>() / 1e9;
+        print!(
+            "{:<11} cost {:>7.1} grid {:>6.2}GJ avg {:>6.4}EUR/kWh pv {:>5.2} curt {:>5.2} batt {:>5.2} | per-DC GJ:",
+            report.policy, totals.cost_eur, totals.grid_energy_gj, avg_price, pv, curtailed, battery
+        );
+        for (name, gj) in names.iter().zip(report.per_dc_energy_gj.iter()) {
+            print!(" {name}={gj:.2}");
+        }
+        println!();
+    }
+}

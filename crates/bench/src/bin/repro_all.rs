@@ -1,0 +1,37 @@
+//! Runs all four policies once and reproduces every figure of the paper's
+//! evaluation (Figs. 1–6) plus migration diagnostics.
+//!
+//! Scales: default = 1/5-fleet full week; `--paper` = Table I; `--bench` =
+//! one-day mini run.
+
+use geoplace_bench::{figures, run_all, seed_from_args, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = scale.config(seed_from_args());
+    eprintln!(
+        "running 4 policies at {scale:?} scale: {} DCs, {} slots, ~{:.0} VMs…",
+        config.dcs.len(),
+        config.horizon_slots,
+        config.fleet.arrivals.expected_population()
+    );
+    let reports = run_all(&config);
+    print!("{}", figures::all_figures(&reports));
+    print!("{}", figures::migration_summary(&reports));
+    // `--csv` additionally writes the raw per-slot series and response
+    // samples into results/ for external plotting.
+    if std::env::args().any(|a| a == "--csv") {
+        std::fs::create_dir_all("results").expect("create results dir");
+        for report in &reports {
+            let stem = report.policy.to_lowercase().replace('-', "_");
+            std::fs::write(format!("results/{stem}_hourly.csv"), report.to_csv())
+                .expect("write hourly csv");
+            std::fs::write(
+                format!("results/{stem}_response.csv"),
+                report.response_samples_csv(),
+            )
+            .expect("write response csv");
+        }
+        eprintln!("CSV series written to results/");
+    }
+}

@@ -1,0 +1,32 @@
+//! Ablation A1: the α weighting factor of Eq. 5 — the energy/performance
+//! trade-off knob of the force layout.
+
+use geoplace_bench::table::render_table;
+use geoplace_bench::{run_proposed_with, Scale};
+use geoplace_core::ProposedConfig;
+
+fn main() {
+    let config = Scale::from_args().config(42);
+    let mut rows = Vec::new();
+    for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let report =
+            run_proposed_with(&config, ProposedConfig { alpha, ..ProposedConfig::default() });
+        let totals = report.totals();
+        rows.push(vec![
+            format!("{alpha:.2}"),
+            format!("{:.2}", totals.cost_eur),
+            format!("{:.2}", totals.energy_gj),
+            format!("{:.1}", totals.worst_response_s),
+            format!("{:.1}", totals.mean_response_s),
+            format!("{:.1}", totals.mean_active_servers),
+        ]);
+    }
+    println!("Ablation A1 — α sweep (Eq. 5: F = α·F_attract + (1−α)·F_repulse)");
+    print!(
+        "{}",
+        render_table(
+            &["alpha", "cost EUR", "energy GJ", "worst rt s", "mean rt s", "servers on"],
+            &rows
+        )
+    );
+}

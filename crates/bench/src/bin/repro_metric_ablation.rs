@@ -1,0 +1,34 @@
+//! Ablation A4: the repulsion statistic — the paper's worst-case
+//! peak-coincidence ratio vs. a Pearson-correlation variant (DESIGN.md §5).
+
+use geoplace_bench::table::render_table;
+use geoplace_bench::{run_proposed_with, seed_from_args, Scale};
+use geoplace_core::ProposedConfig;
+use geoplace_workload::cpucorr::CorrelationMetric;
+
+fn main() {
+    let config = Scale::from_args().config(seed_from_args());
+    let mut rows = Vec::new();
+    for (label, metric) in [
+        ("peak coincidence (paper)", CorrelationMetric::PeakCoincidence),
+        ("Pearson", CorrelationMetric::Pearson),
+    ] {
+        let report = run_proposed_with(
+            &config,
+            ProposedConfig { repulsion_metric: metric, ..ProposedConfig::default() },
+        );
+        let totals = report.totals();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", totals.cost_eur),
+            format!("{:.2}", totals.energy_gj),
+            format!("{:.1}", totals.worst_response_s),
+            format!("{:.1}", totals.mean_active_servers),
+        ]);
+    }
+    println!("Ablation A4 — repulsion statistic (Eq. 5's Corr_cpu)");
+    print!(
+        "{}",
+        render_table(&["metric", "cost EUR", "energy GJ", "worst rt s", "servers on"], &rows)
+    );
+}

@@ -1,0 +1,33 @@
+//! Ablation A2: the QoS level that sets Algorithm 2's hard migration
+//! latency budget (paper: 98 % → 72 s of the hour).
+
+use geoplace_bench::table::render_table;
+use geoplace_bench::{run_proposed_with, Scale};
+use geoplace_core::ProposedConfig;
+use geoplace_network::latency_constraint_for_qos;
+
+fn main() {
+    let mut rows = Vec::new();
+    for qos in [0.90, 0.95, 0.98, 0.99, 0.999] {
+        let mut config = Scale::from_args().config(42);
+        config.qos = qos;
+        let report = run_proposed_with(&config, ProposedConfig::default());
+        let totals = report.totals();
+        rows.push(vec![
+            format!("{:.1}%", qos * 100.0),
+            format!("{:.0} s", latency_constraint_for_qos(qos).0),
+            totals.migrations.to_string(),
+            totals.migration_overruns.to_string(),
+            format!("{:.2}", totals.cost_eur),
+            format!("{:.1}", totals.worst_response_s),
+        ]);
+    }
+    println!("Ablation A2 — QoS sweep (migration latency budget of Algorithm 2)");
+    print!(
+        "{}",
+        render_table(
+            &["QoS", "budget", "migrations", "overruns", "cost EUR", "worst rt s"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,27 @@
+//! Reproduction harness: scenario builders, policy runners and table
+//! rendering shared by the `repro_*` binaries and the Criterion benches.
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `repro_table1` | Table I — DC fleet and energy sources |
+//! | `repro_fig1` | Fig. 1 — normalized weekly operational cost |
+//! | `repro_fig2` | Fig. 2 — hourly/total DC energy |
+//! | `repro_fig3` | Fig. 3 — response-time PDF |
+//! | `repro_fig4` | Fig. 4 — totals summary |
+//! | `repro_fig5` | Fig. 5 — cost–performance trade-off |
+//! | `repro_fig6` | Fig. 6 — energy–performance trade-off |
+//! | `repro_all` | every figure in one run |
+//! | `repro_alpha_sweep` | ablation: Eq. 5's α knob |
+//! | `repro_qos_sweep` | ablation: Algorithm 2's QoS budget |
+//! | `repro_green_ablation` | ablation: green-controller arbitrage |
+//!
+//! All binaries accept `--paper` (Table I scale) and `--bench` (one-day
+//! mini scale); the default is the 1/5-fleet weekly "repro" scale.
+
+pub mod figures;
+pub mod scenario;
+pub mod table;
+
+pub use scenario::{run_all, run_policy, run_proposed_with, seed_from_args, PolicyKind, Scale};

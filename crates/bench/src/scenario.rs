@@ -1,0 +1,194 @@
+//! Shared scenario builders and policy runners for the reproduction
+//! harness.
+//!
+//! Every figure is regenerated at two scales:
+//!
+//! * **paper** — Table I verbatim (3,000 servers, ~1,200 concurrent VMs,
+//!   168 slots); minutes of runtime, used by the `repro_*` binaries with
+//!   `--paper`;
+//! * **repro** (default) — the same three sites at 1/5 fleet size and the
+//!   full one-week horizon (~400 VMs), which preserves every diurnal
+//!   price/PV/PUE interaction while finishing in tens of seconds;
+//! * **bench** — a one-day, ~100-VM configuration for Criterion.
+
+use geoplace_baselines::{EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy};
+use geoplace_core::{ProposedConfig, ProposedPolicy};
+use geoplace_dcsim::config::ScenarioConfig;
+use geoplace_dcsim::engine::{Scenario, Simulator};
+use geoplace_dcsim::metrics::SimulationReport;
+use geoplace_dcsim::policy::GlobalPolicy;
+
+/// Scale of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Table I verbatim; one week.
+    Paper,
+    /// 1/5 fleet; one week (default for the `repro_*` binaries).
+    Repro,
+    /// 1/10 fleet; one day (Criterion).
+    Bench,
+}
+
+/// Parses `--seed N` from the process arguments, defaulting to 42 —
+/// every `repro_*` binary accepts it so robustness across worlds is one
+/// flag away.
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+impl Scale {
+    /// Parses process arguments: `--paper` or `--bench` select the
+    /// respective scales; default is [`Scale::Repro`].
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else if args.iter().any(|a| a == "--bench") {
+            Scale::Bench
+        } else {
+            Scale::Repro
+        }
+    }
+
+    /// The scenario configuration at this scale.
+    pub fn config(self, seed: u64) -> ScenarioConfig {
+        match self {
+            Scale::Paper => ScenarioConfig::paper(seed),
+            Scale::Repro => {
+                let mut config = ScenarioConfig::paper(seed);
+                for dc in &mut config.dcs {
+                    dc.servers /= 5;
+                    dc.pv_kwp /= 5.0;
+                    dc.battery_kwh /= 5.0;
+                }
+                config.fleet.arrivals.groups_per_slot = 2.4;
+                config.fleet.arrivals.initial_groups = 118;
+                config
+            }
+            Scale::Bench => {
+                let mut config = ScenarioConfig::scaled(seed);
+                config.horizon_slots = 24;
+                config
+            }
+        }
+    }
+}
+
+/// The four compared policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's two-phase multi-objective placement.
+    Proposed,
+    /// Cost-aware baseline (ref [17]).
+    PriAware,
+    /// Energy-aware baseline (ref [5]).
+    EnerAware,
+    /// Network-aware baseline (ref [6]).
+    NetAware,
+}
+
+impl PolicyKind {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Proposed, PolicyKind::EnerAware, PolicyKind::PriAware, PolicyKind::NetAware];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Proposed => "Proposed",
+            PolicyKind::PriAware => "Pri-aware",
+            PolicyKind::EnerAware => "Ener-aware",
+            PolicyKind::NetAware => "Net-aware",
+        }
+    }
+}
+
+/// Runs one policy over a fresh scenario built from `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation — harness configurations
+/// are static and must be correct.
+pub fn run_policy(config: &ScenarioConfig, kind: PolicyKind) -> SimulationReport {
+    let scenario = Scenario::build(config).expect("harness scenario must be valid");
+    let simulator = Simulator::new(scenario);
+    match kind {
+        PolicyKind::Proposed => {
+            let mut policy = ProposedPolicy::new(ProposedConfig::default());
+            simulator.run(&mut policy)
+        }
+        PolicyKind::PriAware => simulator.run(&mut PriAwarePolicy::new()),
+        PolicyKind::EnerAware => simulator.run(&mut EnerAwarePolicy::new()),
+        PolicyKind::NetAware => simulator.run(&mut NetAwarePolicy::new()),
+    }
+}
+
+/// Runs one policy with a custom Proposed configuration (ablations).
+pub fn run_proposed_with(config: &ScenarioConfig, proposed: ProposedConfig) -> SimulationReport {
+    let scenario = Scenario::build(config).expect("harness scenario must be valid");
+    let mut policy = ProposedPolicy::new(proposed);
+    Simulator::new(scenario).run(&mut policy)
+}
+
+/// Runs all four policies on identical scenarios (same seed → same
+/// workload, weather, prices) and returns the reports in
+/// [`PolicyKind::ALL`] order.
+pub fn run_all(config: &ScenarioConfig) -> Vec<SimulationReport> {
+    PolicyKind::ALL.iter().map(|&kind| run_policy(config, kind)).collect()
+}
+
+/// Convenience: a boxed instance of each policy (used by generic tests).
+pub fn make_policy(kind: PolicyKind) -> Box<dyn GlobalPolicy> {
+    match kind {
+        PolicyKind::Proposed => Box::new(ProposedPolicy::new(ProposedConfig::default())),
+        PolicyKind::PriAware => Box::new(PriAwarePolicy::new()),
+        PolicyKind::EnerAware => Box::new(EnerAwarePolicy::new()),
+        PolicyKind::NetAware => Box::new(NetAwarePolicy::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_build_valid_configs() {
+        for scale in [Scale::Paper, Scale::Repro, Scale::Bench] {
+            assert!(scale.config(1).validate().is_ok(), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn repro_scale_shrinks_the_fleet() {
+        let paper = Scale::Paper.config(1);
+        let repro = Scale::Repro.config(1);
+        assert!(repro.dcs[0].servers < paper.dcs[0].servers);
+        assert!(
+            repro.fleet.arrivals.expected_population()
+                < paper.fleet.arrivals.expected_population()
+        );
+        assert_eq!(repro.horizon_slots, paper.horizon_slots, "keep the weekly horizon");
+    }
+
+    #[test]
+    fn policy_names_match_paper_legends() {
+        let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["Proposed", "Ener-aware", "Pri-aware", "Net-aware"]);
+    }
+
+    #[test]
+    fn run_policy_smoke() {
+        let mut config = Scale::Bench.config(3);
+        config.horizon_slots = 2;
+        for kind in PolicyKind::ALL {
+            let report = run_policy(&config, kind);
+            assert_eq!(report.policy, kind.name());
+            assert_eq!(report.hourly.len(), 2);
+        }
+    }
+}

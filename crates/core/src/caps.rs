@@ -1,0 +1,247 @@
+//! Per-DC capacity caps — step 2 of the global phase.
+//!
+//! The paper: "we first define a capacity cap (in Joules) per each DC
+//! (cluster) to minimize the operational cost, computed according to the
+//! available battery energy, renewable energy forecast, grid price and DCs
+//! power consumed during the last previous time slot; i.e., last-value
+//! predictor."
+//!
+//! Our concrete formula (the paper leaves it qualitative):
+//!
+//! ```text
+//! free_i   = (E_pv_day_i + E_battery_cycle_i) / 24        (per-slot free supply)
+//! residual = max(0, E_ref − Σ free)                        (must be bought)
+//! cap_i    = free_scale · free_i + w_i · residual · grid_scale
+//! w_i      = (1 − avg_rel_price_i)² + w_floor,  normalized over DCs
+//! E_ref    = Σ_dc last-slot total energy       (last-value predictor)
+//! ```
+//!
+//! Free energy is soaked first — placing load where the PV and battery
+//! are costs nothing — and only the residual demand is distributed by
+//! (day-averaged) grid-price cheapness. Caps are clamped to the DC's
+//! physical ability to burn energy in one slot (all servers flat out), so
+//! an over-generous cap can never exceed hardware.
+
+use geoplace_dcsim::snapshot::DcInfo;
+use geoplace_types::units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the cap computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapsConfig {
+    /// Multiplier on the grid share of the predicted fleet energy
+    /// (1.0 = distribute exactly the last-value prediction).
+    pub grid_scale: f64,
+    /// Weight floor so even the most expensive DC keeps a non-zero grid
+    /// budget (it may still hold latency-critical VMs).
+    pub weight_floor: f64,
+    /// Emphasis on free energy (PV forecast + spendable battery): free
+    /// joules attract more than their face value because they also save
+    /// the *dearest* grid hours.
+    pub free_energy_scale: f64,
+}
+
+impl Default for CapsConfig {
+    fn default() -> Self {
+        CapsConfig { grid_scale: 1.1, weight_floor: 0.1, free_energy_scale: 1.5 }
+    }
+}
+
+/// Computes the per-DC energy caps for the upcoming slot.
+///
+/// # Examples
+///
+/// ```no_run
+/// # // Exercised end-to-end in the ProposedPolicy tests; DcInfo is
+/// # // engine-produced and verbose to fabricate inline.
+/// # let dcs: Vec<geoplace_dcsim::snapshot::DcInfo> = vec![];
+/// let caps = geoplace_core::caps::compute_caps(
+///     &dcs,
+///     geoplace_core::caps::CapsConfig::default(),
+/// );
+/// ```
+pub fn compute_caps(dcs: &[DcInfo], config: CapsConfig) -> Vec<Joules> {
+    let reference: f64 = dcs.iter().map(|d| d.last_total_energy.0).sum();
+    // Free energy first: each DC's *sustainable hourly* free supply is
+    // one 24th of its coming day — the forecast daily PV plus one full
+    // battery cycle, which is exactly what the green controller can
+    // deliver over a day. Load that soaks this supply costs nothing.
+    let free_per_slot: Vec<f64> = dcs
+        .iter()
+        .map(|d| (d.pv_forecast_day.0 + d.battery_day.0) / 24.0)
+        .collect();
+    let total_free: f64 = free_per_slot.iter().sum();
+    // Only the *residual* demand must be bought from the grid; weight it
+    // by the day-averaged relative price, quadratically so the cheapest
+    // DC's advantage compounds. (Day-averaged, not instantaneous: a VM
+    // placed now lives for dozens of slots and the migration budget makes
+    // placements sticky — chasing the next hour's tariff locks the fleet
+    // into whichever DC happened to be cheapest at arrival time.)
+    let residual = (reference - total_free).max(0.0);
+    let raw_weights: Vec<f64> = dcs
+        .iter()
+        .map(|d| (1.0 - d.avg_relative_price).powi(2) + config.weight_floor)
+        .collect();
+    let weight_sum: f64 = raw_weights.iter().sum();
+    dcs.iter()
+        .zip(raw_weights.iter())
+        .zip(free_per_slot.iter())
+        .map(|((dc, &w), &free)| {
+            let share = if weight_sum > 0.0 { w / weight_sum } else { 0.0 };
+            let grid_budget = residual * share * config.grid_scale;
+            let physical = physical_slot_limit(dc);
+            Joules((free * config.free_energy_scale + grid_budget).min(physical.0))
+        })
+        .collect()
+}
+
+/// The most energy a DC can physically consume in one slot: every server
+/// at full power for the whole hour, times the expected PUE.
+pub fn physical_slot_limit(dc: &DcInfo) -> Joules {
+    let top = dc.power_model.max_level();
+    let full = dc.power_model.levels()[top.0].full;
+    Joules(f64::from(dc.servers) * full.0 * 3600.0 * dc.pue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoplace_dcsim::power::ServerPowerModel;
+    use geoplace_energy::price::PriceLevel;
+    use geoplace_types::units::EurosPerKwh;
+    use geoplace_types::DcId;
+
+    fn info(
+        id: u16,
+        servers: u32,
+        battery: f64,
+        forecast: f64,
+        relative_price: f64,
+        last_energy: f64,
+    ) -> DcInfo {
+        info_at(id, servers, battery, forecast, relative_price, last_energy, PriceLevel::High)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn info_at(
+        id: u16,
+        servers: u32,
+        battery: f64,
+        forecast: f64,
+        relative_price: f64,
+        last_energy: f64,
+        price_level: PriceLevel,
+    ) -> DcInfo {
+        DcInfo {
+            id: DcId(id),
+            servers,
+            power_model: ServerPowerModel::xeon_e5410(),
+            battery_available: Joules(battery),
+            battery_headroom: Joules(0.0),
+            pv_forecast: Joules(forecast),
+            pv_forecast_day: Joules(forecast * 8.0),
+            battery_day: Joules(battery),
+            price: EurosPerKwh(0.1),
+            price_level,
+            relative_price,
+            avg_relative_price: relative_price,
+            last_it_energy: Joules(last_energy / 1.2),
+            last_total_energy: Joules(last_energy),
+            pue: 1.2,
+        }
+    }
+
+    #[test]
+    fn free_supply_is_daily_pv_plus_one_battery_cycle() {
+        // pv_forecast_day = 8 × forecast and battery_day = battery in the
+        // fixture; with zero reference demand the cap is the hourly free
+        // supply times the emphasis factor, regardless of price level.
+        for level in [PriceLevel::High, PriceLevel::Low] {
+            let dcs = vec![info_at(0, 1000, 4.8e8, 3.0e8, 0.5, 0.0, level)];
+            let cap = compute_caps(&dcs, CapsConfig::default())[0];
+            let free_slot = (3.0e8 * 8.0 + 4.8e8) / 24.0;
+            assert!(
+                (cap.0 - free_slot * 1.5).abs() < 1.0,
+                "{level:?}: cap {cap} vs {}",
+                free_slot * 1.5
+            );
+        }
+    }
+
+    #[test]
+    fn cheaper_dc_gets_bigger_grid_budget() {
+        let dcs = vec![
+            info(0, 1500, 0.0, 0.0, 1.0, 1e9), // most expensive
+            info(1, 1000, 0.0, 0.0, 0.0, 1e9), // cheapest
+        ];
+        let caps = compute_caps(&dcs, CapsConfig::default());
+        assert!(caps[1].0 > caps[0].0, "cheap DC should get the bigger cap");
+    }
+
+    #[test]
+    fn free_energy_always_counts() {
+        let dcs = vec![
+            info(0, 1500, 5e8, 2e8, 0.5, 0.0),
+            info(1, 1000, 0.0, 0.0, 0.5, 0.0),
+        ];
+        let caps = compute_caps(&dcs, CapsConfig::default());
+        // With zero reference energy, caps are the hourly free supply
+        // times the free-energy emphasis (default 1.5).
+        let free_slot = (2e8 * 8.0 + 5e8) / 24.0;
+        assert!((caps[0].0 - free_slot * 1.5).abs() < 1.0, "cap {}", caps[0]);
+        assert_eq!(caps[1].0, 0.0);
+    }
+
+    #[test]
+    fn residual_shrinks_with_free_supply() {
+        // Same demand, more free energy → less grid budget distributed.
+        let rich = vec![info(0, 1500, 2.4e9, 0.0, 0.5, 1e9), info(1, 1500, 0.0, 0.0, 0.5, 1e9)];
+        let poor = vec![info(0, 1500, 0.0, 0.0, 0.5, 1e9), info(1, 1500, 0.0, 0.0, 0.5, 1e9)];
+        let config = CapsConfig { grid_scale: 1.0, weight_floor: 0.1, free_energy_scale: 1.0 };
+        let caps_rich = compute_caps(&rich, config);
+        let caps_poor = compute_caps(&poor, config);
+        // DC1 has no free energy in either world, but the rich world's
+        // residual is smaller, so DC1's grid budget shrinks.
+        assert!(caps_rich[1].0 < caps_poor[1].0);
+    }
+
+    #[test]
+    fn caps_never_exceed_physical_limit() {
+        let dcs = vec![info(0, 10, 1e15, 1e15, 0.0, 1e15)];
+        let caps = compute_caps(&dcs, CapsConfig::default());
+        let limit = physical_slot_limit(&dcs[0]);
+        assert!(caps[0].0 <= limit.0 + 1e-6);
+        // 10 servers × 246 W × 3600 s × PUE 1.2.
+        assert!((limit.0 - 10.0 * 246.0 * 3600.0 * 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_floor_keeps_expensive_dc_alive() {
+        let dcs = vec![info(0, 1500, 0.0, 0.0, 1.0, 1e9), info(1, 1000, 0.0, 0.0, 0.0, 1e9)];
+        let caps = compute_caps(&dcs, CapsConfig::default());
+        assert!(caps[0].0 > 0.0, "expensive DC must keep a floor budget");
+    }
+
+    #[test]
+    fn grid_scale_scales_budgets() {
+        let dcs = vec![info(0, 1500, 0.0, 0.0, 0.5, 1e9), info(1, 1000, 0.0, 0.0, 0.5, 1e9)];
+        let small = compute_caps(&dcs, CapsConfig { grid_scale: 0.5, ..CapsConfig::default() });
+        let large = compute_caps(&dcs, CapsConfig { grid_scale: 2.0, ..CapsConfig::default() });
+        assert!(large[0].0 > small[0].0);
+    }
+
+    #[test]
+    fn shares_partition_the_reference() {
+        let dcs = vec![
+            info(0, 100_000, 0.0, 0.0, 0.2, 1e9),
+            info(1, 100_000, 0.0, 0.0, 0.8, 1e9),
+            info(2, 100_000, 0.0, 0.0, 0.5, 1e9),
+        ];
+        let config = CapsConfig { grid_scale: 1.0, weight_floor: 0.1, free_energy_scale: 1.0 };
+        let caps = compute_caps(&dcs, config);
+        let total: f64 = caps.iter().map(|c| c.0).sum();
+        // Weights are normalized, so without clamping the caps partition
+        // exactly the reference energy Σ last_total = 3e9.
+        assert!((total - 3e9).abs() / 3e9 < 1e-9);
+    }
+}

@@ -1,0 +1,417 @@
+//! Force-directed 2D VM layout — step 1 of the global phase (Eq. 5–7).
+//!
+//! Every VM is a point in a 2D plane. Between each ordered pair an
+//! *attraction* force `F_a ∈ [−1, 0)` (normalized bidirectional data
+//! correlation) and a *repulsion* force `F_r ∈ (0, 1]` (CPU-load
+//! correlation) combine into
+//!
+//! ```text
+//! F_t = α · F_a + (1 − α) · F_r                           (Eq. 5)
+//! ```
+//!
+//! Points move under the resultant force with `Δx = ½ · F_x · t²`
+//! (Eq. 6). Iteration stops when the motion cost
+//!
+//! ```text
+//! CostAR_k = Σ_i Σ_j F_t^{i,j} · (d_k^{i,j} − d_{k−1}^{i,j})   (Eq. 7)
+//! ```
+//!
+//! — positive when pairs move the way their net force wants — yields a
+//! lower value than the previous iteration, or when the iteration cap is
+//! reached ("we also fix a maximum number of iterations to avoid a
+//! convergence time overhead").
+//!
+//! The final positions persist: "the final location of all the VMs becomes
+//! the initial position for the next time slot", which also warm-starts
+//! the modified k-means.
+
+use geoplace_types::VmId;
+use geoplace_workload::cpucorr::CpuCorrelationMatrix;
+use geoplace_workload::datacorr::DataCorrelation;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A point in the layout plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Tuning of the force layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForceLayoutConfig {
+    /// Energy/performance weighting factor α of Eq. 5 (0 = pure repulsion
+    /// → energy; 1 = pure attraction → performance).
+    pub alpha: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Displacement time period `t` of Eq. 6.
+    pub timestep: f64,
+    /// Maximum per-iteration displacement (stabilizer; forces are
+    /// normalized by the fleet size and clamped to this step).
+    pub max_step: f64,
+}
+
+impl Default for ForceLayoutConfig {
+    fn default() -> Self {
+        ForceLayoutConfig { alpha: 0.5, max_iterations: 50, timestep: 1.0, max_step: 2.0 }
+    }
+}
+
+/// The persistent force-directed layout.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_core::force::{ForceLayout, ForceLayoutConfig};
+/// use geoplace_workload::fleet::{FleetConfig, VmFleet};
+/// use geoplace_types::time::TimeSlot;
+///
+/// let mut fleet = VmFleet::new(FleetConfig::default())?;
+/// let windows = fleet.windows(TimeSlot(0));
+/// let cpu = geoplace_workload::cpucorr::CpuCorrelationMatrix::compute(&windows);
+/// let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 42);
+/// let positions = layout.update(windows.ids(), &cpu, fleet.data_correlation());
+/// assert_eq!(positions.len(), windows.len());
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ForceLayout {
+    config: ForceLayoutConfig,
+    positions: HashMap<VmId, Point>,
+    seed: u64,
+    /// Iterations executed by the most recent [`ForceLayout::update`].
+    last_iterations: usize,
+}
+
+impl ForceLayout {
+    /// Creates an empty layout; `seed` scatters the initial positions.
+    pub fn new(config: ForceLayoutConfig, seed: u64) -> Self {
+        ForceLayout { config, positions: HashMap::new(), seed, last_iterations: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ForceLayoutConfig {
+        &self.config
+    }
+
+    /// Iterations used by the last update (diagnostic; bounded by
+    /// `max_iterations`).
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// Current position of a VM, if it has one.
+    pub fn position(&self, vm: VmId) -> Option<Point> {
+        self.positions.get(&vm).copied()
+    }
+
+    /// Runs the attraction/repulsion iteration for the active VM set and
+    /// returns their final positions (aligned with `ids`). Departed VMs
+    /// are pruned; new VMs enter at deterministic scattered positions.
+    pub fn update(
+        &mut self,
+        ids: &[VmId],
+        cpu_corr: &CpuCorrelationMatrix,
+        data: &DataCorrelation,
+    ) -> Vec<Point> {
+        let n = ids.len();
+        // Prune departures, scatter arrivals.
+        let live: std::collections::HashSet<VmId> = ids.iter().copied().collect();
+        self.positions.retain(|vm, _| live.contains(vm));
+        for &vm in ids {
+            let seed = self.seed;
+            self.positions.entry(vm).or_insert_with(|| scatter(seed, vm));
+        }
+        if n < 2 {
+            self.last_iterations = 0;
+            return ids.iter().map(|vm| self.positions[vm]).collect();
+        }
+
+        let mut points: Vec<Point> = ids.iter().map(|vm| self.positions[vm]).collect();
+
+        // Pairwise net forces per Eq. 5 (directed: attraction uses the
+        // i→j volume, so F[i][j] ≠ F[j][i] in general).
+        let alpha = self.config.alpha;
+        let attraction = data.directed_attraction_matrix(ids);
+        let mut force = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let repulsion = f64::from(cpu_corr.at(i, j));
+                force[i * n + j] =
+                    alpha * attraction[i * n + j] + (1.0 - alpha) * repulsion;
+            }
+        }
+
+        let mut prev_distances = pair_distances(&points);
+        let mut prev_cost: Option<f64> = None;
+        // Normalize the resultant by √n: with distance-independent pair
+        // forces the directions of n−1 contributions largely cancel, so
+        // the typical magnitude grows like √n; dividing by n would freeze
+        // large fleets, dividing by 1 would explode them. `max_step`
+        // guards the tail.
+        let scale = 0.5 * self.config.timestep * self.config.timestep / (n as f64).sqrt();
+        let mut iterations = 0;
+        for k in 0..self.config.max_iterations {
+            iterations = k + 1;
+            // Resultant force per point (Eq. 6): F^{j,i} acts on point i
+            // along the direction from j to i (positive = repulsion).
+            let mut next = points.clone();
+            for i in 0..n {
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let (dx, dy) = direction(points[j], points[i], self.seed, i, j);
+                    let f = force[j * n + i];
+                    fx += f * dx;
+                    fy += f * dy;
+                }
+                let mut step_x = fx * scale;
+                let mut step_y = fy * scale;
+                let step = (step_x * step_x + step_y * step_y).sqrt();
+                if step > self.config.max_step {
+                    let shrink = self.config.max_step / step;
+                    step_x *= shrink;
+                    step_y *= shrink;
+                }
+                next[i].x += step_x;
+                next[i].y += step_y;
+            }
+            points = next;
+
+            // Eq. 7 stopping rule.
+            let distances = pair_distances(&points);
+            let mut cost = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        let delta = distances[i * n + j] - prev_distances[i * n + j];
+                        cost += force[i * n + j] * delta;
+                    }
+                }
+            }
+            prev_distances = distances;
+            if let Some(previous) = prev_cost {
+                if cost < previous {
+                    break;
+                }
+            }
+            prev_cost = Some(cost);
+        }
+        self.last_iterations = iterations;
+
+        for (vm, point) in ids.iter().zip(points.iter()) {
+            self.positions.insert(*vm, *point);
+        }
+        points
+    }
+}
+
+/// Deterministic scatter position for a new VM.
+fn scatter(seed: u64, vm: VmId) -> Point {
+    let h = hash(seed, u64::from(vm.0));
+    let x = ((h >> 11) & 0xFFFF) as f64 / 65535.0 * 10.0;
+    let y = ((h >> 31) & 0xFFFF) as f64 / 65535.0 * 10.0;
+    Point { x, y }
+}
+
+/// Unit vector from `from` to `to`; coincident points get a deterministic
+/// pseudo-random direction so repulsion can separate them.
+fn direction(from: Point, to: Point, seed: u64, i: usize, j: usize) -> (f64, f64) {
+    let dx = to.x - from.x;
+    let dy = to.y - from.y;
+    let len = (dx * dx + dy * dy).sqrt();
+    if len < 1e-12 {
+        let h = hash(seed, (i as u64) << 32 | j as u64);
+        let angle = (h & 0xFFFF) as f64 / 65535.0 * std::f64::consts::TAU;
+        return (angle.cos(), angle.sin());
+    }
+    (dx / len, dy / len)
+}
+
+fn pair_distances(points: &[Point]) -> Vec<f64> {
+    let n = points.len();
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = points[i].distance(&points[j]);
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    d
+}
+
+fn hash(seed: u64, n: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9).wrapping_add(n);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoplace_types::time::TimeSlot;
+    use geoplace_workload::datacorr::DataCorrelationConfig;
+    use geoplace_workload::fleet::{FleetConfig, VmFleet};
+    use geoplace_workload::window::UtilizationWindows;
+
+    fn fleet() -> VmFleet {
+        let mut config = FleetConfig::default();
+        config.arrivals.initial_groups = 8;
+        config.arrivals.group_size_range = (2, 4);
+        config.arrivals.seed = 3;
+        VmFleet::new(config).unwrap()
+    }
+
+    #[test]
+    fn update_returns_finite_positions() {
+        let fleet = fleet();
+        let windows = fleet.windows(TimeSlot(0));
+        let cpu = CpuCorrelationMatrix::compute(&windows);
+        let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+        let points = layout.update(windows.ids(), &cpu, fleet.data_correlation());
+        assert_eq!(points.len(), windows.len());
+        for p in &points {
+            assert!(p.x.is_finite() && p.y.is_finite());
+        }
+        assert!(layout.last_iterations() >= 1);
+        assert!(layout.last_iterations() <= layout.config().max_iterations);
+    }
+
+    #[test]
+    fn positions_persist_across_updates() {
+        let fleet = fleet();
+        let windows = fleet.windows(TimeSlot(0));
+        let cpu = CpuCorrelationMatrix::compute(&windows);
+        let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+        let first = layout.update(windows.ids(), &cpu, fleet.data_correlation());
+        // Next slot: the previous final positions are the new initial ones.
+        let vm0 = windows.ids()[0];
+        assert_eq!(layout.position(vm0).unwrap().x, first[0].x);
+    }
+
+    #[test]
+    fn data_correlated_pairs_end_up_closer_than_cpu_correlated() {
+        // Two synthetic pairs: (0,1) heavy traffic & anti-correlated CPU;
+        // (2,3) no traffic & perfectly coincident CPU peaks.
+        let ids = [VmId(0), VmId(1), VmId(2), VmId(3)];
+        let windows = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.9, 0.1, 0.1, 0.1]),
+            (VmId(1), vec![0.1, 0.1, 0.1, 0.9]),
+            (VmId(2), vec![0.9, 0.1, 0.1, 0.1]),
+            (VmId(3), vec![0.9, 0.1, 0.1, 0.1]),
+        ]);
+        let cpu = CpuCorrelationMatrix::compute(&windows);
+        // Build traffic: only pair (0,1) communicates, heavily.
+        let mut data = DataCorrelation::new(DataCorrelationConfig::default());
+        let mut fleet_cfg = FleetConfig::default();
+        fleet_cfg.arrivals.initial_groups = 2;
+        fleet_cfg.arrivals.group_size_range = (2, 2);
+        fleet_cfg.arrivals.seed = 9;
+        // Construct via a tiny fleet so ids 0..3 exist with groups (0,1),(2,3).
+        let fleet = VmFleet::new(fleet_cfg).unwrap();
+        let specs: Vec<_> =
+            ids.iter().map(|&id| fleet.vm(id).unwrap().clone()).collect();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        // Group of vm0,vm1 gets intra-group wiring; vm2,vm3 are in another
+        // group — sever their link by reconnecting only the first pair.
+        data.connect_arrivals(&specs[..2], &specs[..2], &mut rng);
+
+        let mut layout = ForceLayout::new(
+            ForceLayoutConfig { max_iterations: 200, ..ForceLayoutConfig::default() },
+            7,
+        );
+        let points = layout.update(&ids, &cpu, &data);
+        let talkers = points[0].distance(&points[1]);
+        let peakers = points[2].distance(&points[3]);
+        assert!(
+            talkers < peakers,
+            "data-correlated pair ({talkers:.3}) should sit closer than \
+             CPU-correlated pair ({peakers:.3})"
+        );
+    }
+
+    #[test]
+    fn departed_vms_are_pruned() {
+        let fleet = fleet();
+        let windows = fleet.windows(TimeSlot(0));
+        let cpu = CpuCorrelationMatrix::compute(&windows);
+        let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+        layout.update(windows.ids(), &cpu, fleet.data_correlation());
+        let gone = windows.ids()[0];
+        let remaining: Vec<VmId> = windows.ids()[1..].to_vec();
+        let sub_windows = UtilizationWindows::from_rows(
+            remaining.iter().map(|&vm| (vm, windows.row(vm).unwrap().to_vec())).collect(),
+        );
+        let sub_cpu = CpuCorrelationMatrix::compute(&sub_windows);
+        layout.update(&remaining, &sub_cpu, fleet.data_correlation());
+        assert!(layout.position(gone).is_none());
+    }
+
+    #[test]
+    fn single_vm_needs_no_iteration() {
+        let windows = UtilizationWindows::from_rows(vec![(VmId(0), vec![0.5, 0.5])]);
+        let cpu = CpuCorrelationMatrix::compute(&windows);
+        let data = DataCorrelation::new(DataCorrelationConfig::default());
+        let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+        let points = layout.update(&[VmId(0)], &cpu, &data);
+        assert_eq!(points.len(), 1);
+        assert_eq!(layout.last_iterations(), 0);
+    }
+
+    #[test]
+    fn update_is_deterministic() {
+        let run = || {
+            let fleet = fleet();
+            let windows = fleet.windows(TimeSlot(0));
+            let cpu = CpuCorrelationMatrix::compute(&windows);
+            let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+            layout
+                .update(windows.ids(), &cpu, fleet.data_correlation())
+                .iter()
+                .map(|p| (p.x, p.y))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn alpha_one_is_pure_attraction() {
+        // With α = 1 repulsion is ignored: CPU-correlated, non-talking
+        // pairs do not separate.
+        let ids = [VmId(0), VmId(1)];
+        let windows = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.9, 0.1]),
+            (VmId(1), vec![0.9, 0.1]),
+        ]);
+        let cpu = CpuCorrelationMatrix::compute(&windows);
+        let data = DataCorrelation::new(DataCorrelationConfig::default());
+        let config = ForceLayoutConfig { alpha: 1.0, ..ForceLayoutConfig::default() };
+        let mut layout = ForceLayout::new(config, 3);
+        let before_a = scatter(3, VmId(0));
+        let before_b = scatter(3, VmId(1));
+        let initial = before_a.distance(&before_b);
+        let points = layout.update(&ids, &cpu, &data);
+        let after = points[0].distance(&points[1]);
+        assert!((after - initial).abs() < 1e-9, "no traffic, no repulsion → no motion");
+    }
+}

@@ -1,0 +1,367 @@
+//! Migration-step revision of the k-means output — Algorithm 2.
+//!
+//! The modified k-means ignores the network; this step turns its desired
+//! clustering into an *executable* set of migrations under the hard
+//! latency constraint:
+//!
+//! * per DC, an **outgoing** queue (residents the k-means wants elsewhere,
+//!   sorted *descending* by distance from the DC's centroid — evict the
+//!   most misplaced first) and an **incoming** queue (VMs k-means sends
+//!   here, sorted *ascending* — accept the best-fitting first);
+//! * starting from the first DC: while its load is below its cap, admit
+//!   from the incoming queue (if the move fits the latency budget);
+//!   once above the cap, evict from the outgoing queue and *follow the
+//!   evicted VM to its destination DC* and continue there;
+//! * VMs whose migration would blow the budget are dropped from the
+//!   queues: "unallocated VMs that have been available in the system will
+//!   stay in their previous DC"; brand-new VMs go wherever k-means said,
+//!   without a latency check (they have no image to move).
+
+use crate::force::Point;
+use geoplace_network::latency::LatencyModel;
+use geoplace_network::migration::{Migration, MigrationPlan};
+use geoplace_types::units::{Gigabytes, Joules, Seconds};
+use geoplace_types::{DcId, VmId};
+use rand::Rng;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Inputs of the revision step for one VM.
+#[derive(Debug, Clone, Copy)]
+pub struct VmPlacementInput {
+    /// The VM.
+    pub vm: VmId,
+    /// Where the VM ran last slot (`None` for arrivals).
+    pub prev: Option<DcId>,
+    /// Where the k-means wants it.
+    pub target: DcId,
+    /// Its position in the force plane.
+    pub position: Point,
+    /// Its slot energy load (J).
+    pub load: Joules,
+    /// Its image size (migration volume).
+    pub size: Gigabytes,
+}
+
+/// Result of the revision.
+#[derive(Debug, Clone)]
+pub struct RevisedPlacement {
+    /// Final DC per VM.
+    pub dc_of: HashMap<VmId, DcId>,
+    /// The latency-checked migration plan that realizes it.
+    pub plan: MigrationPlan,
+}
+
+/// Runs Algorithm 2.
+///
+/// `caps` and `centroids` come from the k-means step; `loads_by_dc` must
+/// hold the *previous-slot* load `R_i` of every DC (sum of resident VM
+/// loads).
+pub fn revise_migrations<R: Rng + ?Sized>(
+    vms: &[VmPlacementInput],
+    centroids: &[Point],
+    caps: &[Joules],
+    latency: &LatencyModel,
+    budget: Seconds,
+    rng: &mut R,
+) -> RevisedPlacement {
+    let n_dcs = caps.len();
+    let mut dc_of: HashMap<VmId, DcId> = HashMap::with_capacity(vms.len());
+    let mut load = vec![Joules::ZERO; n_dcs];
+    let by_vm: HashMap<VmId, &VmPlacementInput> =
+        vms.iter().map(|input| (input.vm, input)).collect();
+
+    // Baseline: existing VMs stay where they were; new VMs take their
+    // k-means target straight away (no image to move).
+    for input in vms {
+        match input.prev {
+            Some(prev) => {
+                dc_of.insert(input.vm, prev);
+                load[prev.index()] += input.load;
+            }
+            None => {
+                dc_of.insert(input.vm, input.target);
+                load[input.target.index()] += input.load;
+            }
+        }
+    }
+
+    // Build the queues (lines 1–2 of Algorithm 2).
+    let mut outgoing: Vec<VecDeque<VmId>> = vec![VecDeque::new(); n_dcs];
+    let mut incoming: Vec<VecDeque<VmId>> = vec![VecDeque::new(); n_dcs];
+    {
+        let mut movers: Vec<&VmPlacementInput> = vms
+            .iter()
+            .filter(|input| matches!(input.prev, Some(prev) if prev != input.target))
+            .collect();
+        // Outgoing: descending distance from the *current* DC's centroid.
+        movers.sort_by(|a, b| {
+            let da = a.position.distance(&centroids[a.prev.expect("mover").index()]);
+            let db = b.position.distance(&centroids[b.prev.expect("mover").index()]);
+            db.partial_cmp(&da).expect("finite distance").then(a.vm.cmp(&b.vm))
+        });
+        for input in &movers {
+            outgoing[input.prev.expect("mover").index()].push_back(input.vm);
+        }
+        // Incoming: ascending distance to the *destination* centroid.
+        movers.sort_by(|a, b| {
+            let da = a.position.distance(&centroids[a.target.index()]);
+            let db = b.position.distance(&centroids[b.target.index()]);
+            da.partial_cmp(&db).expect("finite distance").then(a.vm.cmp(&b.vm))
+        });
+        for input in &movers {
+            incoming[input.target.index()].push_back(input.vm);
+        }
+    }
+
+    let mut plan = MigrationPlan::new(n_dcs);
+    let mut current = 0usize;
+    // Iteration guard: every loop turn either migrates or erases a VM from
+    // a queue, so total work is bounded by 2 × movers; the guard protects
+    // against a DC ping-pong with empty queues.
+    let mut guard = 2 * vms.len() + 2 * n_dcs + 4;
+    while guard > 0 {
+        guard -= 1;
+        if outgoing.iter().all(VecDeque::is_empty) && incoming.iter().all(VecDeque::is_empty) {
+            break;
+        }
+        let dc = DcId(current as u16);
+        if load[current].0 < caps[current].0 {
+            // Under the cap: admit from the incoming queue (lines 5–12).
+            let Some(vm) = incoming[current].pop_front() else {
+                current = (current + 1) % n_dcs;
+                continue;
+            };
+            let input = by_vm[&vm];
+            let from = dc_of[&vm];
+            if from == dc {
+                remove_from(&mut outgoing, vm);
+                continue;
+            }
+            let migration = Migration { vm, from, to: dc, size: input.size };
+            if plan.try_add(migration, latency, budget, rng) {
+                dc_of.insert(vm, dc);
+                load[from.index()] -= input.load;
+                load[current] += input.load;
+            }
+            remove_from(&mut outgoing, vm);
+        } else {
+            // Over the cap: evict the farthest resident (lines 13–24).
+            let Some(vm) = outgoing[current].pop_front() else {
+                current = (current + 1) % n_dcs;
+                continue;
+            };
+            let input = by_vm[&vm];
+            let dest = input.target;
+            let migration = Migration { vm, from: dc, to: dest, size: input.size };
+            if plan.try_add(migration, latency, budget, rng) {
+                dc_of.insert(vm, dest);
+                load[current] -= input.load;
+                load[dest.index()] += input.load;
+                remove_from(&mut incoming, vm);
+                // "Move to destination DC" (line 20).
+                current = dest.index();
+            } else {
+                remove_from(&mut incoming, vm);
+            }
+        }
+    }
+
+    RevisedPlacement { dc_of, plan }
+}
+
+fn remove_from(queues: &mut [VecDeque<VmId>], vm: VmId) {
+    for queue in queues {
+        if let Some(pos) = queue.iter().position(|&v| v == vm) {
+            queue.remove(pos);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoplace_network::ber::BerDistribution;
+    use geoplace_network::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+    }
+
+    fn centroids() -> Vec<Point> {
+        vec![
+            Point { x: 0.0, y: 0.0 },
+            Point { x: 10.0, y: 0.0 },
+            Point { x: 0.0, y: 10.0 },
+        ]
+    }
+
+    fn input(
+        vm: u32,
+        prev: Option<u16>,
+        target: u16,
+        position: Point,
+        load: f64,
+    ) -> VmPlacementInput {
+        VmPlacementInput {
+            vm: VmId(vm),
+            prev: prev.map(DcId),
+            target: DcId(target),
+            position,
+            load: Joules(load),
+            size: Gigabytes(2.0),
+        }
+    }
+
+    #[test]
+    fn new_vms_take_kmeans_target_unchecked() {
+        let vms =
+            vec![input(0, None, 2, Point { x: 0.0, y: 10.0 }, 5.0)];
+        let r = revise_migrations(
+            &vms,
+            &centroids(),
+            &[Joules(100.0); 3],
+            &model(),
+            Seconds(72.0),
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(r.dc_of[&VmId(0)], DcId(2));
+        assert!(r.plan.is_empty(), "new VMs do not migrate images");
+    }
+
+    #[test]
+    fn feasible_moves_are_executed() {
+        // VM 0 sits in DC0 but belongs with DC1; plenty of cap everywhere.
+        let vms = vec![
+            input(0, Some(0), 1, Point { x: 9.0, y: 0.0 }, 5.0),
+            input(1, Some(1), 1, Point { x: 10.0, y: 0.0 }, 5.0),
+        ];
+        let r = revise_migrations(
+            &vms,
+            &centroids(),
+            &[Joules(100.0); 3],
+            &model(),
+            Seconds(72.0),
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert_eq!(r.dc_of[&VmId(0)], DcId(1));
+        assert_eq!(r.plan.len(), 1);
+        assert_eq!(r.plan.migrations()[0].vm, VmId(0));
+    }
+
+    #[test]
+    fn zero_budget_keeps_everyone_home() {
+        let vms = vec![
+            input(0, Some(0), 1, Point { x: 9.0, y: 0.0 }, 5.0),
+            input(1, Some(2), 0, Point { x: 1.0, y: 1.0 }, 5.0),
+        ];
+        let r = revise_migrations(
+            &vms,
+            &centroids(),
+            &[Joules(100.0); 3],
+            &model(),
+            Seconds(0.0),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(r.dc_of[&VmId(0)], DcId(0), "stays in previous DC");
+        assert_eq!(r.dc_of[&VmId(1)], DcId(2));
+        assert!(r.plan.is_empty());
+    }
+
+    #[test]
+    fn eviction_follows_vm_to_destination() {
+        // DC0 is over cap; its farthest resident targets DC1.
+        let vms = vec![
+            input(0, Some(0), 1, Point { x: 8.0, y: 0.0 }, 60.0),
+            input(1, Some(0), 0, Point { x: 0.5, y: 0.0 }, 50.0),
+        ];
+        let caps = vec![Joules(80.0), Joules(100.0), Joules(100.0)];
+        let r = revise_migrations(
+            &vms,
+            &centroids(),
+            &caps,
+            &model(),
+            Seconds(72.0),
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert_eq!(r.dc_of[&VmId(0)], DcId(1), "over-cap DC evicts the mover");
+        assert_eq!(r.dc_of[&VmId(1)], DcId(0), "non-mover stays");
+    }
+
+    #[test]
+    fn latency_budget_limits_migration_count() {
+        // Fifty movers all heading to DC1: the 72 s budget cannot carry
+        // them all (each 2 GB costs ≥ 1.6 s on the destination link alone).
+        let vms: Vec<VmPlacementInput> = (0..50)
+            .map(|i| input(i, Some(0), 1, Point { x: 9.0, y: 0.0 }, 1.0))
+            .collect();
+        let r = revise_migrations(
+            &vms,
+            &centroids(),
+            &[Joules(1e9); 3],
+            &model(),
+            Seconds(72.0),
+            &mut StdRng::seed_from_u64(5),
+        );
+        let moved = vms.iter().filter(|v| r.dc_of[&v.vm] == DcId(1)).count();
+        assert!(moved > 0, "some migrations must fit");
+        assert!(moved < 50, "budget must stop the stampede, moved {moved}");
+        // The committed plan must itself respect the budget.
+        let mut rng = StdRng::seed_from_u64(6);
+        let total = model().total_latency(DcId(1), r.plan.volumes(), &mut rng);
+        assert!(total.0 <= 72.0 + 1e-9);
+    }
+
+    #[test]
+    fn every_vm_ends_up_somewhere() {
+        let vms: Vec<VmPlacementInput> = (0..40)
+            .map(|i| {
+                input(
+                    i,
+                    if i % 3 == 0 { None } else { Some((i % 3) as u16 - 1) },
+                    (i % 3) as u16,
+                    Point { x: f64::from(i), y: 0.0 },
+                    2.0,
+                )
+            })
+            .collect();
+        let r = revise_migrations(
+            &vms,
+            &centroids(),
+            &[Joules(30.0); 3],
+            &model(),
+            Seconds(72.0),
+            &mut StdRng::seed_from_u64(7),
+        );
+        for v in &vms {
+            assert!(r.dc_of.contains_key(&v.vm), "{} unplaced", v.vm);
+        }
+    }
+
+    #[test]
+    fn farthest_resident_evicted_first() {
+        // DC0 over cap with two movers at different distances from DC0's
+        // centroid; only one can leave within a tight budget that fits a
+        // single 2 GB move.
+        let vms = vec![
+            input(0, Some(0), 1, Point { x: 3.0, y: 0.0 }, 50.0),
+            input(1, Some(0), 1, Point { x: 9.0, y: 0.0 }, 50.0),
+        ];
+        let caps = vec![Joules(60.0), Joules(1000.0), Joules(1000.0)];
+        // 2 GB ≈ 1.6 s source + 0.16 s backbone + 1.6 s dest ≈ 3.4 s.
+        // Budget 4 s admits exactly one migration.
+        let r = revise_migrations(
+            &vms,
+            &centroids(),
+            &caps,
+            &model(),
+            Seconds(4.0),
+            &mut StdRng::seed_from_u64(8),
+        );
+        assert_eq!(r.dc_of[&VmId(1)], DcId(1), "farthest VM moves first");
+        assert_eq!(r.dc_of[&VmId(0)], DcId(0), "budget exhausted for the nearer one");
+    }
+}

@@ -1,0 +1,343 @@
+//! The assembled two-phase multi-objective placement policy — the paper's
+//! contribution.
+//!
+//! Per slot:
+//!
+//! 1. **Force layout** (Eq. 5–7): CPU-load repulsion vs. data-correlation
+//!    attraction positions every VM in the 2D plane (warm-started from the
+//!    previous slot).
+//! 2. **Capacity caps**: per-DC energy budgets from battery, PV forecast,
+//!    grid price and the last-value demand predictor.
+//! 3. **Modified k-means**: capacity-capped clustering of the plane into
+//!    one cluster per DC, warm-started from the previous centroids.
+//! 4. **Migration revision** (Algorithm 2): turns the desired clustering
+//!    into latency-feasible migrations; infeasible movers stay put.
+//! 5. **Local phase**: correlation-aware FFD packs each DC's VMs onto the
+//!    minimum number of servers and picks per-server DVFS levels.
+
+use crate::caps::{compute_caps, CapsConfig};
+use crate::force::{ForceLayout, ForceLayoutConfig, Point};
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::local::{allocate, LocalAllocConfig};
+use crate::migrate::{revise_migrations, VmPlacementInput};
+use geoplace_dcsim::decision::PlacementDecision;
+use geoplace_dcsim::policy::GlobalPolicy;
+use geoplace_dcsim::snapshot::SystemSnapshot;
+use geoplace_types::units::Joules;
+use geoplace_types::DcId;
+use geoplace_workload::cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the full pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_core::ProposedConfig;
+/// let mut config = ProposedConfig::default();
+/// config.alpha = 0.7; // favour performance (attraction) over energy
+/// assert!(config.alpha > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProposedConfig {
+    /// Energy/performance weighting factor α of Eq. 5.
+    pub alpha: f64,
+    /// Force-layout iteration cap.
+    pub max_force_iterations: usize,
+    /// Capacity-cap tuning.
+    pub caps: CapsConfig,
+    /// k-means tuning.
+    pub kmeans: KMeansConfig,
+    /// Local-allocation tuning.
+    pub local: LocalAllocConfig,
+    /// Seed for the policy's internal randomness (BER draws during
+    /// migration checks).
+    pub seed: u64,
+    /// Pairwise statistic behind the repulsion force. The engine supplies
+    /// the paper's peak-coincidence matrix; selecting
+    /// [`CorrelationMetric::Pearson`] makes the policy recompute the
+    /// matrix from the observed windows (comparison variant).
+    pub repulsion_metric: CorrelationMetric,
+}
+
+impl Default for ProposedConfig {
+    fn default() -> Self {
+        ProposedConfig {
+            alpha: 0.5,
+            max_force_iterations: 50,
+            caps: CapsConfig::default(),
+            kmeans: KMeansConfig::default(),
+            local: LocalAllocConfig::default(),
+            seed: 0xC0FFEE,
+            repulsion_metric: CorrelationMetric::PeakCoincidence,
+        }
+    }
+}
+
+/// The paper's two-phase multi-objective VM placement policy.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_core::{ProposedConfig, ProposedPolicy};
+/// use geoplace_dcsim::config::ScenarioConfig;
+/// use geoplace_dcsim::engine::{Scenario, Simulator};
+///
+/// let mut config = ScenarioConfig::scaled(5);
+/// config.horizon_slots = 2;
+/// let mut policy = ProposedPolicy::new(ProposedConfig::default());
+/// let report = Simulator::new(Scenario::build(&config)?).run(&mut policy);
+/// assert_eq!(report.policy, "Proposed");
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ProposedPolicy {
+    config: ProposedConfig,
+    layout: ForceLayout,
+    prev_centroids: Option<Vec<Point>>,
+    rng: StdRng,
+}
+
+impl ProposedPolicy {
+    /// Creates the policy.
+    pub fn new(config: ProposedConfig) -> Self {
+        let layout_config = ForceLayoutConfig {
+            alpha: config.alpha,
+            max_iterations: config.max_force_iterations,
+            ..ForceLayoutConfig::default()
+        };
+        ProposedPolicy {
+            layout: ForceLayout::new(layout_config, config.seed),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x9E37),
+            prev_centroids: None,
+            config,
+        }
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> &ProposedConfig {
+        &self.config
+    }
+
+    /// Iterations used by the most recent force-layout run (diagnostic).
+    pub fn last_force_iterations(&self) -> usize {
+        self.layout.last_iterations()
+    }
+}
+
+impl GlobalPolicy for ProposedPolicy {
+    fn name(&self) -> &'static str {
+        "Proposed"
+    }
+
+    fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+        let ids = snapshot.vm_ids();
+        let n = ids.len();
+        let n_dcs = snapshot.dc_count();
+        let mut decision = PlacementDecision::new(n_dcs);
+        if n == 0 {
+            return decision;
+        }
+
+        // Phase 1, step 1: attraction/repulsion layout.
+        let points = match self.config.repulsion_metric {
+            CorrelationMetric::PeakCoincidence => {
+                self.layout.update(ids, snapshot.cpu_corr, snapshot.data)
+            }
+            CorrelationMetric::Pearson => {
+                let pearson_matrix = CpuCorrelationMatrix::compute_with(
+                    snapshot.windows,
+                    CorrelationMetric::Pearson,
+                );
+                self.layout.update(ids, &pearson_matrix, snapshot.data)
+            }
+        };
+
+        // Step 2: capacity caps + capacity-capped k-means.
+        let caps = compute_caps(snapshot.dcs, self.config.caps);
+        let mut loads: Vec<Joules> = (0..n).map(|i| snapshot.vm_slot_energy(i)).collect();
+        // Normalize the VM loads so they sum to the fleet's last-value
+        // total energy — the caps partition that total, and without this
+        // the dynamic-only VM energies are a fraction of it, the caps
+        // never bind, and k-means degenerates to plain nearest-centroid
+        // (losing all price/renewable awareness).
+        let reference: f64 = snapshot.dcs.iter().map(|d| d.last_total_energy.0).sum();
+        let raw_total: f64 = loads.iter().map(|l| l.0).sum();
+        if reference > 0.0 && raw_total > 0.0 {
+            let scale = reference / raw_total;
+            for load in &mut loads {
+                *load = *load * scale;
+            }
+        }
+        let clustering = kmeans(
+            &points,
+            &loads,
+            &caps,
+            self.prev_centroids.as_deref(),
+            self.config.kmeans,
+        );
+        self.prev_centroids = Some(clustering.centroids.clone());
+
+        // Step 3: migration revision under the latency constraint.
+        let inputs: Vec<VmPlacementInput> = (0..n)
+            .map(|i| VmPlacementInput {
+                vm: ids[i],
+                prev: snapshot.prev_dc.get(&ids[i]).copied(),
+                target: DcId(clustering.assignment[i] as u16),
+                position: points[i],
+                load: loads[i],
+                size: snapshot.vm_memory[i],
+            })
+            .collect();
+        let revised = revise_migrations(
+            &inputs,
+            &clustering.centroids,
+            &caps,
+            snapshot.latency,
+            snapshot.migration_budget,
+            &mut self.rng,
+        );
+
+        // Phase 2: correlation-aware local allocation per DC.
+        for dc_index in 0..n_dcs {
+            let dc = DcId(dc_index as u16);
+            let members: Vec<usize> =
+                (0..n).filter(|&i| revised.dc_of[&ids[i]] == dc).collect();
+            let assignments = allocate(
+                &members,
+                snapshot,
+                &snapshot.dcs[dc_index].power_model,
+                snapshot.dcs[dc_index].servers,
+                self.config.local,
+            );
+            for assignment in assignments {
+                decision.push(dc, assignment);
+            }
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::SnapshotFixture;
+    use geoplace_types::VmId;
+    use geoplace_workload::datacorr::{DataCorrelation, DataCorrelationConfig};
+
+    fn diurnal(phase: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|t| {
+                let x = (t + phase) % len;
+                0.15 + 0.7 * (-((x as f32 - len as f32 / 2.0).powi(2)) / 18.0).exp()
+            })
+            .collect()
+    }
+
+    fn fixture(n: usize) -> SnapshotFixture {
+        let rows: Vec<(u32, Vec<f32>)> =
+            (0..n as u32).map(|i| (i, diurnal((i as usize * 7) % 24, 24))).collect();
+        SnapshotFixture::new(rows, vec![2; n])
+    }
+
+    #[test]
+    fn decision_covers_every_vm() {
+        let fixture = fixture(24);
+        let snapshot = fixture.snapshot();
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        let decision = policy.decide(&snapshot);
+        let active: Vec<VmId> = snapshot.vm_ids().to_vec();
+        decision
+            .validate(&active, &[50, 50, 50], 2)
+            .expect("proposed decision must be structurally valid");
+    }
+
+    #[test]
+    fn empty_fleet_produces_empty_decision() {
+        let fixture = SnapshotFixture::new(vec![], vec![]);
+        let snapshot = fixture.snapshot();
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        let decision = policy.decide(&snapshot);
+        assert_eq!(decision.vm_count(), 0);
+    }
+
+    #[test]
+    fn policy_is_deterministic() {
+        let run = || {
+            let fixture = fixture(16);
+            let snapshot = fixture.snapshot();
+            let mut policy = ProposedPolicy::new(ProposedConfig::default());
+            policy.decide(&snapshot)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn migrations_respect_prev_assignment_when_budget_zero() {
+        let fixture = fixture(12).with_prev(&[(0, 0), (1, 0), (2, 1), (3, 2)]);
+        let mut snapshot = fixture.snapshot();
+        snapshot.migration_budget = geoplace_types::units::Seconds(0.0);
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        let decision = policy.decide(&snapshot);
+        let dc_of = decision.dc_of();
+        // With a zero budget no existing VM may move.
+        assert_eq!(dc_of[&VmId(0)], geoplace_types::DcId(0));
+        assert_eq!(dc_of[&VmId(1)], geoplace_types::DcId(0));
+        assert_eq!(dc_of[&VmId(2)], geoplace_types::DcId(1));
+        assert_eq!(dc_of[&VmId(3)], geoplace_types::DcId(2));
+    }
+
+    #[test]
+    fn heavy_data_pairs_colocate() {
+        // 6 VMs, pair (0,1) exchanges heavy traffic; flat CPU loads.
+        let rows: Vec<(u32, Vec<f32>)> =
+            (0..6u32).map(|i| (i, vec![0.3 + 0.01 * i as f32; 24])).collect();
+        let mut data = DataCorrelation::new(DataCorrelationConfig {
+            cross_links_per_vm: 0,
+            ..DataCorrelationConfig::default()
+        });
+        // Fabricate traffic through a fleet-independent route: connect via
+        // public API by abusing connect_arrivals with two fake specs is
+        // heavy; instead use attraction through many evolve steps — not
+        // needed: simply rely on the force layout pulling talkers together
+        // via directed_attraction_matrix, which reads pairs created by
+        // connect_arrivals. Build two one-group specs:
+        let mut fleet_config = geoplace_workload::fleet::FleetConfig::default();
+        fleet_config.arrivals.initial_groups = 1;
+        fleet_config.arrivals.group_size_range = (2, 2);
+        fleet_config.arrivals.seed = 1;
+        let fleet = geoplace_workload::fleet::VmFleet::new(fleet_config).unwrap();
+        let specs: Vec<_> =
+            [VmId(0), VmId(1)].iter().map(|&v| fleet.vm(v).unwrap().clone()).collect();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+        data.connect_arrivals(&specs, &specs, &mut rng);
+
+        let fixture = SnapshotFixture::new(rows, vec![2; 6]).with_data(data);
+        let snapshot = fixture.snapshot();
+        let mut policy = ProposedPolicy::new(ProposedConfig {
+            alpha: 0.9, // strongly favour attraction
+            ..ProposedConfig::default()
+        });
+        let decision = policy.decide(&snapshot);
+        let dc_of = decision.dc_of();
+        assert_eq!(
+            dc_of[&VmId(0)],
+            dc_of[&VmId(1)],
+            "heavily communicating pair should land in the same DC"
+        );
+    }
+
+    #[test]
+    fn respects_server_limits() {
+        // 40 heavy VMs on 3 DCs × 50 servers: decision must stay in range.
+        let rows: Vec<(u32, Vec<f32>)> = (0..40u32).map(|i| (i, vec![0.9; 24])).collect();
+        let fixture = SnapshotFixture::new(rows, vec![8; 40]);
+        let snapshot = fixture.snapshot();
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        let decision = policy.decide(&snapshot);
+        let active: Vec<VmId> = snapshot.vm_ids().to_vec();
+        assert!(decision.validate(&active, &[50, 50, 50], 2).is_ok());
+    }
+}

@@ -1,0 +1,325 @@
+//! Placement decisions returned by global policies.
+//!
+//! A decision is a complete assignment for one control slot: every active
+//! VM is mapped to a `(data center, server, DVFS level)` triple. Both the
+//! paper's two-phase algorithm and the baselines produce this shape; the
+//! engine validates it before simulating the interval.
+
+use crate::power::FreqLevel;
+use geoplace_types::{DcId, Error, Result, VmId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The VMs and operating point of one physical server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerAssignment {
+    /// Dense per-DC server index.
+    pub server: u32,
+    /// Chosen DVFS level.
+    pub freq: FreqLevel,
+    /// VMs hosted this slot.
+    pub vms: Vec<VmId>,
+}
+
+/// A complete placement for one slot.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_dcsim::decision::{PlacementDecision, ServerAssignment};
+/// use geoplace_dcsim::power::FreqLevel;
+/// use geoplace_types::{DcId, VmId};
+///
+/// let mut decision = PlacementDecision::new(3);
+/// decision.push(DcId(0), ServerAssignment {
+///     server: 0,
+///     freq: FreqLevel(1),
+///     vms: vec![VmId(4), VmId(9)],
+/// });
+/// assert_eq!(decision.vm_count(), 2);
+/// assert_eq!(decision.dc_of().get(&VmId(9)), Some(&DcId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    per_dc: Vec<Vec<ServerAssignment>>,
+}
+
+impl PlacementDecision {
+    /// Creates an empty decision over `n_dcs` data centers.
+    pub fn new(n_dcs: usize) -> Self {
+        PlacementDecision { per_dc: vec![Vec::new(); n_dcs] }
+    }
+
+    /// Number of data centers covered.
+    pub fn n_dcs(&self) -> usize {
+        self.per_dc.len()
+    }
+
+    /// Appends a server assignment to a DC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DC id is out of range.
+    pub fn push(&mut self, dc: DcId, assignment: ServerAssignment) {
+        self.per_dc[dc.index()].push(assignment);
+    }
+
+    /// The server assignments of one DC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DC id is out of range.
+    pub fn dc_assignments(&self, dc: DcId) -> &[ServerAssignment] {
+        &self.per_dc[dc.index()]
+    }
+
+    /// Total number of VM placements in the decision.
+    pub fn vm_count(&self) -> usize {
+        self.per_dc
+            .iter()
+            .flat_map(|dc| dc.iter())
+            .map(|s| s.vms.len())
+            .sum()
+    }
+
+    /// Number of powered-on servers.
+    pub fn active_servers(&self) -> usize {
+        self.per_dc
+            .iter()
+            .flat_map(|dc| dc.iter())
+            .filter(|s| !s.vms.is_empty())
+            .count()
+    }
+
+    /// Map from VM to its host DC.
+    pub fn dc_of(&self) -> HashMap<VmId, DcId> {
+        let mut map = HashMap::new();
+        for (dc_index, servers) in self.per_dc.iter().enumerate() {
+            for assignment in servers {
+                for &vm in &assignment.vms {
+                    map.insert(vm, DcId(dc_index as u16));
+                }
+            }
+        }
+        map
+    }
+
+    /// Removes a VM from wherever the decision placed it; returns its
+    /// former host DC, or `None` if the VM was not placed.
+    ///
+    /// Used by the engine to clip migrations that violate the QoS latency
+    /// budget ("unallocated VMs … stay in their previous DC").
+    pub fn remove_vm(&mut self, vm: VmId) -> Option<DcId> {
+        for (dc_index, servers) in self.per_dc.iter_mut().enumerate() {
+            for assignment in servers.iter_mut() {
+                if let Some(pos) = assignment.vms.iter().position(|&v| v == vm) {
+                    assignment.vms.remove(pos);
+                    return Some(DcId(dc_index as u16));
+                }
+            }
+        }
+        None
+    }
+
+    /// Forces a VM onto a DC: it joins the least-populated server already
+    /// assigned there as long as that server hosts fewer than
+    /// `max_vms_per_server` VMs; otherwise a fresh server index below
+    /// `server_count` is opened (at DVFS level `freq`). Keeps engine-side
+    /// migration clipping from exploding the active-server count (one
+    /// near-idle server per rejected VM) while not over-packing either.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DC id is out of range, or if the DC has no
+    /// assignments *and* `server_count` is zero.
+    pub fn force_host(&mut self, dc: DcId, vm: VmId, server_count: u32, freq: FreqLevel) {
+        const MAX_VMS_PER_SERVER: usize = 4;
+        let servers = &mut self.per_dc[dc.index()];
+        let candidate = servers
+            .iter_mut()
+            .filter(|s| !s.vms.is_empty())
+            .min_by_key(|s| s.vms.len());
+        if let Some(host) = candidate {
+            if host.vms.len() < MAX_VMS_PER_SERVER {
+                host.vms.push(vm);
+                return;
+            }
+        }
+        let used: std::collections::HashSet<u32> =
+            servers.iter().map(|s| s.server).collect();
+        if let Some(fresh) = (0..server_count).find(|index| !used.contains(index)) {
+            servers.push(ServerAssignment { server: fresh, freq, vms: vec![vm] });
+            return;
+        }
+        let host = servers
+            .iter_mut()
+            .min_by_key(|s| s.vms.len())
+            .expect("a DC with all server indices used has assignments");
+        host.vms.push(vm);
+    }
+
+    /// Checks structural integrity against the active VM set and per-DC
+    /// server counts and DVFS depth:
+    ///
+    /// * every active VM appears exactly once;
+    /// * no unknown VM appears;
+    /// * server indices are in range and unique per DC;
+    /// * DVFS levels are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] describing the first violation.
+    pub fn validate(
+        &self,
+        active: &[VmId],
+        dc_server_counts: &[u32],
+        dvfs_levels: usize,
+    ) -> Result<()> {
+        if self.per_dc.len() != dc_server_counts.len() {
+            return Err(Error::invalid_config(format!(
+                "decision covers {} DCs, system has {}",
+                self.per_dc.len(),
+                dc_server_counts.len()
+            )));
+        }
+        let mut seen: HashMap<VmId, DcId> = HashMap::with_capacity(active.len());
+        for (dc_index, servers) in self.per_dc.iter().enumerate() {
+            let dc = DcId(dc_index as u16);
+            let mut used_servers = std::collections::HashSet::new();
+            for assignment in servers {
+                if assignment.server >= dc_server_counts[dc_index] {
+                    return Err(Error::invalid_config(format!(
+                        "{dc} server index {} out of range (DC has {})",
+                        assignment.server, dc_server_counts[dc_index]
+                    )));
+                }
+                if !used_servers.insert(assignment.server) {
+                    return Err(Error::invalid_config(format!(
+                        "{dc} server {} assigned twice",
+                        assignment.server
+                    )));
+                }
+                if assignment.freq.0 >= dvfs_levels {
+                    return Err(Error::invalid_config(format!(
+                        "{dc} server {} uses DVFS level {} of {}",
+                        assignment.server, assignment.freq.0, dvfs_levels
+                    )));
+                }
+                for &vm in &assignment.vms {
+                    if seen.insert(vm, dc).is_some() {
+                        return Err(Error::invalid_config(format!("{vm} placed twice")));
+                    }
+                }
+            }
+        }
+        for &vm in active {
+            if !seen.contains_key(&vm) {
+                return Err(Error::invalid_config(format!("{vm} is active but unplaced")));
+            }
+        }
+        if seen.len() != active.len() {
+            return Err(Error::invalid_config(format!(
+                "decision places {} VMs, {} are active",
+                seen.len(),
+                active.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(server: u32, vms: &[u32]) -> ServerAssignment {
+        ServerAssignment {
+            server,
+            freq: FreqLevel(0),
+            vms: vms.iter().map(|&v| VmId(v)).collect(),
+        }
+    }
+
+    fn active(ids: &[u32]) -> Vec<VmId> {
+        ids.iter().map(|&v| VmId(v)).collect()
+    }
+
+    #[test]
+    fn valid_decision_passes() {
+        let mut d = PlacementDecision::new(2);
+        d.push(DcId(0), assignment(0, &[1, 2]));
+        d.push(DcId(1), assignment(0, &[3]));
+        assert!(d.validate(&active(&[1, 2, 3]), &[4, 4], 2).is_ok());
+        assert_eq!(d.vm_count(), 3);
+        assert_eq!(d.active_servers(), 2);
+    }
+
+    #[test]
+    fn unplaced_vm_fails() {
+        let mut d = PlacementDecision::new(2);
+        d.push(DcId(0), assignment(0, &[1]));
+        let err = d.validate(&active(&[1, 2]), &[4, 4], 2).unwrap_err();
+        assert!(err.to_string().contains("unplaced"));
+    }
+
+    #[test]
+    fn double_placement_fails() {
+        let mut d = PlacementDecision::new(2);
+        d.push(DcId(0), assignment(0, &[1]));
+        d.push(DcId(1), assignment(0, &[1]));
+        let err = d.validate(&active(&[1]), &[4, 4], 2).unwrap_err();
+        assert!(err.to_string().contains("placed twice"));
+    }
+
+    #[test]
+    fn server_out_of_range_fails() {
+        let mut d = PlacementDecision::new(1);
+        d.push(DcId(0), assignment(9, &[1]));
+        assert!(d.validate(&active(&[1]), &[4], 2).is_err());
+    }
+
+    #[test]
+    fn duplicate_server_entry_fails() {
+        let mut d = PlacementDecision::new(1);
+        d.push(DcId(0), assignment(2, &[1]));
+        d.push(DcId(0), assignment(2, &[3]));
+        let err = d.validate(&active(&[1, 3]), &[4], 2).unwrap_err();
+        assert!(err.to_string().contains("assigned twice"));
+    }
+
+    #[test]
+    fn bad_freq_level_fails() {
+        let mut d = PlacementDecision::new(1);
+        d.push(
+            DcId(0),
+            ServerAssignment { server: 0, freq: FreqLevel(5), vms: vec![VmId(1)] },
+        );
+        assert!(d.validate(&active(&[1]), &[4], 2).is_err());
+    }
+
+    #[test]
+    fn stray_vm_fails() {
+        let mut d = PlacementDecision::new(1);
+        d.push(DcId(0), assignment(0, &[1, 99]));
+        assert!(d.validate(&active(&[1]), &[4], 2).is_err());
+    }
+
+    #[test]
+    fn dc_of_maps_every_vm() {
+        let mut d = PlacementDecision::new(3);
+        d.push(DcId(2), assignment(1, &[5, 6]));
+        let map = d.dc_of();
+        assert_eq!(map[&VmId(5)], DcId(2));
+        assert_eq!(map[&VmId(6)], DcId(2));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn empty_servers_do_not_count_active() {
+        let mut d = PlacementDecision::new(1);
+        d.push(DcId(0), assignment(0, &[]));
+        d.push(DcId(0), assignment(1, &[7]));
+        assert_eq!(d.active_servers(), 1);
+        assert!(d.validate(&active(&[7]), &[4], 2).is_ok());
+    }
+}

@@ -1,0 +1,67 @@
+//! Geo-distributed data-center simulator.
+//!
+//! Combines the workload, energy and network substrates into the paper's
+//! evaluation platform:
+//!
+//! * [`power`] — Xeon E5410 DVFS power model (ref [19]);
+//! * [`pue`] — free-cooling time-varying PUE (ref [20]);
+//! * [`config`] / [`dc`] — Table I scenario description and per-DC runtime;
+//! * [`decision`] / [`snapshot`] / [`policy`] — the contract between the
+//!   engine and placement policies;
+//! * [`engine`] — the hourly-slot / 5 s-tick simulation loop;
+//! * [`metrics`] — reports, totals, histograms (raw data of Figs. 1–6).
+//!
+//! # Examples
+//!
+//! ```
+//! use geoplace_dcsim::config::ScenarioConfig;
+//! use geoplace_dcsim::decision::{PlacementDecision, ServerAssignment};
+//! use geoplace_dcsim::engine::{Scenario, Simulator};
+//! use geoplace_dcsim::policy::GlobalPolicy;
+//! use geoplace_dcsim::power::FreqLevel;
+//! use geoplace_dcsim::snapshot::SystemSnapshot;
+//! use geoplace_types::DcId;
+//!
+//! /// Pack 4 VMs per server on the first DC (toy policy).
+//! struct Toy;
+//! impl GlobalPolicy for Toy {
+//!     fn name(&self) -> &'static str { "toy" }
+//!     fn decide(&mut self, snap: &SystemSnapshot<'_>) -> PlacementDecision {
+//!         let mut d = PlacementDecision::new(snap.dc_count());
+//!         for (i, chunk) in snap.vm_ids().chunks(4).enumerate() {
+//!             d.push(DcId(0), ServerAssignment {
+//!                 server: i as u32,
+//!                 freq: FreqLevel(1),
+//!                 vms: chunk.to_vec(),
+//!             });
+//!         }
+//!         d
+//!     }
+//! }
+//!
+//! let mut config = ScenarioConfig::scaled(3);
+//! config.horizon_slots = 2;
+//! let report = Simulator::new(Scenario::build(&config)?).run(&mut Toy);
+//! assert_eq!(report.hourly.len(), 2);
+//! # Ok::<(), geoplace_types::Error>(())
+//! ```
+
+pub mod config;
+pub mod dc;
+pub mod decision;
+pub mod engine;
+pub mod metrics;
+pub mod policy;
+pub mod power;
+pub mod pue;
+pub mod snapshot;
+
+pub use config::{DcConfig, ScenarioConfig};
+pub use dc::DataCenter;
+pub use decision::{PlacementDecision, ServerAssignment};
+pub use engine::{Scenario, Simulator};
+pub use metrics::{Histogram, HourlyRecord, SimulationReport, Totals};
+pub use policy::GlobalPolicy;
+pub use power::{FreqLevel, OperatingPoint, ServerPowerModel};
+pub use pue::{PueModel, SiteClimate};
+pub use snapshot::{DcInfo, SystemSnapshot};

@@ -1,0 +1,30 @@
+//! The interface every global placement policy implements.
+
+use crate::decision::PlacementDecision;
+use crate::snapshot::SystemSnapshot;
+
+/// A global VM-placement policy, invoked once per hourly slot.
+///
+/// Implementations receive the full [`SystemSnapshot`] (previous-interval
+/// loads, correlations, forecasts, prices) and must return a complete
+/// [`PlacementDecision`] covering every active VM. Policies are stateful —
+/// the paper's force layout, for example, warm-starts from the previous
+/// slot's point positions.
+pub trait GlobalPolicy {
+    /// Short display name, used by reports and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Decides the placement for the upcoming slot.
+    fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision;
+}
+
+/// Blanket impl so `&mut P` works wherever `impl GlobalPolicy` is needed.
+impl<P: GlobalPolicy + ?Sized> GlobalPolicy for &mut P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+        (**self).decide(snapshot)
+    }
+}

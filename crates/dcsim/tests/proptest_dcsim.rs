@@ -1,0 +1,110 @@
+//! Property-based tests of the simulator substrate.
+
+use geoplace_dcsim::decision::{PlacementDecision, ServerAssignment};
+use geoplace_dcsim::metrics::{percentile, Histogram};
+use geoplace_dcsim::power::{FreqLevel, ServerPowerModel};
+use geoplace_dcsim::pue::{PueModel, SiteClimate};
+use geoplace_types::time::TimeSlot;
+use geoplace_types::{DcId, VmId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Power is monotone in load at every DVFS level and bounded by the
+    /// operating point's envelope.
+    #[test]
+    fn power_monotone_and_bounded(level in 0usize..2, a in 0.0f64..10.0, b in 0.0f64..10.0) {
+        let model = ServerPowerModel::xeon_e5410();
+        let level = FreqLevel(level);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let p_lo = model.power(level, lo);
+        let p_hi = model.power(level, hi);
+        prop_assert!(p_lo.0 <= p_hi.0 + 1e-9);
+        let point = model.levels()[level.0];
+        prop_assert!(p_lo.0 >= point.idle.0 - 1e-9);
+        prop_assert!(p_hi.0 <= point.full.0 + 1e-9);
+    }
+
+    /// DVFS selection always returns a level whose capacity covers the
+    /// load when any level can.
+    #[test]
+    fn dvfs_selection_adequate(load in 0.0f64..8.0) {
+        let model = ServerPowerModel::xeon_e5410();
+        let level = model.dvfs_select(load);
+        prop_assert!(model.capacity_cores(level) + 1e-9 >= load.min(8.0));
+    }
+
+    /// The PUE stays within its curve's envelope for any climate and slot.
+    #[test]
+    fn pue_within_envelope(mean in -10.0f64..35.0, amplitude in 0.0f64..15.0, slot in 0u32..1000, tz in -12i32..12) {
+        let pue = PueModel::default();
+        let climate = SiteClimate { mean_c: mean, amplitude_c: amplitude, timezone_offset_hours: tz };
+        let value = pue.pue(&climate, TimeSlot(slot));
+        prop_assert!(value >= pue.base - 1e-9);
+        prop_assert!(value <= pue.base + pue.ramp + 1e-9);
+    }
+
+    /// Decision validation accepts exactly the structurally sound
+    /// decisions built by construction.
+    #[test]
+    fn constructed_decisions_validate(
+        per_dc in proptest::collection::vec(0u32..6, 1..4),
+        vms_per_server in 1usize..5,
+    ) {
+        let n_dcs = per_dc.len();
+        let mut decision = PlacementDecision::new(n_dcs);
+        let mut active = Vec::new();
+        let mut next_vm = 0u32;
+        for (dc, &servers) in per_dc.iter().enumerate() {
+            for s in 0..servers {
+                let vms: Vec<VmId> = (0..vms_per_server)
+                    .map(|_| {
+                        let vm = VmId(next_vm);
+                        next_vm += 1;
+                        active.push(vm);
+                        vm
+                    })
+                    .collect();
+                decision.push(
+                    DcId(dc as u16),
+                    ServerAssignment { server: s, freq: FreqLevel(0), vms },
+                );
+            }
+        }
+        let counts: Vec<u32> = per_dc.iter().map(|&s| s.max(1)).collect();
+        prop_assert!(decision.validate(&active, &counts, 2).is_ok());
+        prop_assert_eq!(decision.vm_count(), active.len());
+    }
+
+    /// Histogram PDFs always sum to 1 for non-empty samples and bins never
+    /// lose a sample.
+    #[test]
+    fn histogram_conserves_mass(
+        samples in proptest::collection::vec(0.0f64..10.0, 1..200),
+        bins in 1usize..32,
+        max_value in 0.1f64..10.0,
+    ) {
+        let histogram = Histogram::from_samples(&samples, bins, max_value);
+        let total: u64 = histogram.counts().iter().sum();
+        prop_assert_eq!(total as usize, samples.len());
+        let pdf_sum: f64 = histogram.pdf().iter().sum();
+        prop_assert!((pdf_sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(
+        samples in proptest::collection::vec(-100.0f64..100.0, 1..100),
+        q1 in 0.0f64..1.0,
+        dq in 0.0f64..1.0,
+    ) {
+        let q2 = (q1 + dq).min(1.0);
+        let p1 = percentile(&samples, q1);
+        let p2 = percentile(&samples, q2);
+        prop_assert!(p1 <= p2 + 1e-9);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(p1 >= min - 1e-9 && p2 <= max + 1e-9);
+    }
+}

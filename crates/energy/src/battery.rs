@@ -1,0 +1,240 @@
+//! Lithium-ion battery bank with a depth-of-discharge floor.
+//!
+//! Table I gives each DC a battery (960/720/480 kWh) "with 50 % of DoD,
+//! keeping the remaining capacity in case of outage": only half the
+//! nameplate capacity is usable by the green controller; the rest is an
+//! outage reserve the simulator never touches.
+
+use geoplace_types::units::{Joules, KilowattHours, Seconds, Watts};
+use geoplace_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A stationary battery bank attached to one data center.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_energy::battery::Battery;
+/// use geoplace_types::units::{KilowattHours, Seconds, Watts};
+///
+/// let mut battery = Battery::new(KilowattHours(960.0), 0.5)?;
+/// // Starts full: available = (capacity − reserve) × discharge efficiency.
+/// assert!((battery.available_energy().to_kilowatt_hours().0 - 480.0 * 0.95).abs() < 1e-9);
+/// let delivered = battery.discharge(Watts(10_000.0), Seconds(3600.0));
+/// assert!((delivered.0 - 10_000.0).abs() < 1e-9);
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: Joules,
+    /// Current state of charge.
+    soc: Joules,
+    /// Fraction of capacity that may be cycled (0.5 in the paper).
+    depth_of_discharge: f64,
+    /// One-way charge efficiency.
+    charge_efficiency: f64,
+    /// One-way discharge efficiency.
+    discharge_efficiency: f64,
+    /// Maximum charge/discharge power (C/2 rate by default).
+    max_power: Watts,
+}
+
+impl Battery {
+    /// Creates a battery of the given nameplate capacity, starting full.
+    ///
+    /// `depth_of_discharge` is the cyclable fraction in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for non-positive capacity or a DoD
+    /// outside `(0, 1]`.
+    pub fn new(capacity: KilowattHours, depth_of_discharge: f64) -> Result<Self> {
+        if capacity.0.is_nan() || capacity.0 <= 0.0 {
+            return Err(Error::invalid_config("battery capacity must be positive"));
+        }
+        if !(depth_of_discharge > 0.0 && depth_of_discharge <= 1.0) {
+            return Err(Error::invalid_config("depth of discharge must be in (0, 1]"));
+        }
+        let capacity_j = capacity.to_joules();
+        Ok(Battery {
+            capacity: capacity_j,
+            soc: capacity_j,
+            depth_of_discharge,
+            charge_efficiency: 0.95,
+            discharge_efficiency: 0.95,
+            // C/2: full usable capacity in two hours.
+            max_power: Watts(capacity.0 * 1000.0 / 2.0),
+        })
+    }
+
+    /// Nameplate capacity.
+    pub fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    /// Current state of charge.
+    pub fn state_of_charge(&self) -> Joules {
+        self.soc
+    }
+
+    /// The untouchable outage reserve: `capacity · (1 − DoD)`.
+    pub fn reserve_floor(&self) -> Joules {
+        self.capacity * (1.0 - self.depth_of_discharge)
+    }
+
+    /// Energy available for discharge before hitting the DoD floor,
+    /// after discharge losses.
+    pub fn available_energy(&self) -> Joules {
+        ((self.soc - self.reserve_floor()) * self.discharge_efficiency).max(Joules::ZERO)
+    }
+
+    /// Energy the battery can still absorb (before charge losses).
+    pub fn headroom(&self) -> Joules {
+        (self.capacity - self.soc).max(Joules::ZERO)
+    }
+
+    /// Maximum charge/discharge power.
+    pub fn max_power(&self) -> Watts {
+        self.max_power
+    }
+
+    /// Attempts to store `power` for `duration`; returns the power actually
+    /// *drawn from the source* (≤ `power`), limited by the C-rate and the
+    /// remaining headroom. Losses are applied on the way in.
+    pub fn charge(&mut self, power: Watts, duration: Seconds) -> Watts {
+        if power.0 <= 0.0 || duration.0 <= 0.0 {
+            return Watts::ZERO;
+        }
+        let accepted = power.min(self.max_power);
+        // Power at which the headroom would be exactly filled.
+        let headroom_limited = Watts(
+            self.headroom().0 / (self.charge_efficiency * duration.0),
+        );
+        let drawn = accepted.min(headroom_limited);
+        self.soc += drawn.energy_over(duration) * self.charge_efficiency;
+        self.soc = self.soc.min(self.capacity);
+        drawn
+    }
+
+    /// Attempts to deliver `power` for `duration`; returns the power
+    /// actually *delivered to the load* (≤ `power`), limited by the C-rate
+    /// and the DoD floor. Losses are applied on the way out.
+    pub fn discharge(&mut self, power: Watts, duration: Seconds) -> Watts {
+        if power.0 <= 0.0 || duration.0 <= 0.0 {
+            return Watts::ZERO;
+        }
+        let requested = power.min(self.max_power);
+        let deliverable = Watts(self.available_energy().0 / duration.0);
+        let delivered = requested.min(deliverable);
+        self.soc -= delivered.energy_over(duration) / self.discharge_efficiency;
+        self.soc = self.soc.max(self.reserve_floor());
+        delivered
+    }
+
+    /// State of charge as a fraction of nameplate capacity.
+    pub fn soc_fraction(&self) -> f64 {
+        self.soc / self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn battery() -> Battery {
+        Battery::new(KilowattHours(720.0), 0.5).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Battery::new(KilowattHours(0.0), 0.5).is_err());
+        assert!(Battery::new(KilowattHours(-1.0), 0.5).is_err());
+        assert!(Battery::new(KilowattHours(10.0), 0.0).is_err());
+        assert!(Battery::new(KilowattHours(10.0), 1.5).is_err());
+        assert!(Battery::new(KilowattHours(10.0), 1.0).is_ok());
+    }
+
+    #[test]
+    fn discharge_stops_at_dod_floor() {
+        let mut b = battery();
+        // Try to pull far more than the usable half.
+        let mut total = 0.0;
+        for _ in 0..1000 {
+            total += b.discharge(Watts(1.0e6), Seconds(3600.0)).0 * 3600.0;
+        }
+        let usable = 720.0 * 3.6e6 * 0.5 * 0.95; // kWh→J × DoD × efficiency
+        assert!((total - usable).abs() / usable < 1e-6, "extracted {total} vs usable {usable}");
+        assert!(b.state_of_charge() >= b.reserve_floor() - Joules(1.0));
+        assert_eq!(b.available_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn charge_respects_headroom_and_losses() {
+        let mut b = battery();
+        // Empty the usable half first.
+        while b.available_energy().0 > 0.0 {
+            b.discharge(Watts(b.max_power().0), Seconds(3600.0));
+        }
+        let before = b.state_of_charge();
+        let drawn = b.charge(Watts(100_000.0), Seconds(3600.0));
+        let stored = b.state_of_charge() - before;
+        assert!(drawn.0 > 0.0);
+        // Stored energy = drawn × efficiency.
+        assert!((stored.0 - drawn.0 * 3600.0 * 0.95).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_battery_accepts_nothing() {
+        let mut b = battery();
+        assert_eq!(b.charge(Watts(1000.0), Seconds(5.0)), Watts::ZERO);
+        assert_eq!(b.headroom(), Joules::ZERO);
+    }
+
+    #[test]
+    fn c_rate_limits_power() {
+        let mut b = battery();
+        let delivered = b.discharge(Watts(1.0e9), Seconds(5.0));
+        assert!((delivered.0 - b.max_power().0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_or_negative_requests_are_noops() {
+        let mut b = battery();
+        let soc = b.state_of_charge();
+        assert_eq!(b.charge(Watts(-5.0), Seconds(5.0)), Watts::ZERO);
+        assert_eq!(b.discharge(Watts(0.0), Seconds(5.0)), Watts::ZERO);
+        assert_eq!(b.discharge(Watts(10.0), Seconds(0.0)), Watts::ZERO);
+        assert_eq!(b.state_of_charge(), soc);
+    }
+
+    #[test]
+    fn soc_fraction_tracks_cycling() {
+        let mut b = battery();
+        assert!((b.soc_fraction() - 1.0).abs() < 1e-12);
+        b.discharge(Watts(b.max_power().0), Seconds(3600.0));
+        assert!(b.soc_fraction() < 1.0);
+        assert!(b.soc_fraction() >= 0.5 - 1e-9, "never below DoD floor");
+    }
+
+    #[test]
+    fn roundtrip_efficiency_loses_energy() {
+        let mut b = drained_battery();
+        let drawn = b.charge(Watts(50_000.0), Seconds(3600.0));
+        let drawn_energy = drawn.energy_over_seconds(3600.0);
+        assert!(drawn_energy.0 > 0.0);
+        // Everything retrievable after the round trip is strictly less
+        // than what the source paid: ×0.95 in, ×0.95 out.
+        let retrievable = b.available_energy();
+        let expected = drawn_energy.0 * 0.95 * 0.95;
+        assert!(retrievable.0 < drawn_energy.0);
+        assert!((retrievable.0 - expected).abs() < 1.0);
+    }
+
+    fn drained_battery() -> Battery {
+        let mut b = battery();
+        while b.available_energy().0 > 0.0 {
+            b.discharge(Watts(b.max_power().0), Seconds(3600.0));
+        }
+        b
+    }
+}

@@ -1,0 +1,195 @@
+//! Two-level electricity tariffs with per-site time zones.
+//!
+//! The paper uses a "two-level real electricity price scenario" across
+//! Lisbon, Zurich and Helsinki, exploiting "temporal and regional
+//! diversities of electricity price". We model each site with an off-peak
+//! and a peak rate and a local peak window; the time-zone offset shifts
+//! when (in simulation/UTC time) each DC is expensive, which is exactly
+//! the diversity the global controller arbitrages.
+
+use geoplace_types::time::TimeSlot;
+use geoplace_types::units::EurosPerKwh;
+use geoplace_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Qualitative price level of a slot, consumed by the green controller's
+/// rules ("during the high price period…", "during the low price
+/// periods…").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PriceLevel {
+    /// Off-peak tariff window.
+    Low,
+    /// Peak tariff window.
+    High,
+}
+
+/// A two-level tariff for one site.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_energy::price::{PriceLevel, PriceSchedule};
+/// use geoplace_types::{time::TimeSlot, units::EurosPerKwh};
+///
+/// let tariff = PriceSchedule::new(
+///     EurosPerKwh(0.08),
+///     EurosPerKwh(0.20),
+///     8..22,
+///     0,
+/// )?;
+/// assert_eq!(tariff.level(TimeSlot(12)), PriceLevel::High);
+/// assert_eq!(tariff.level(TimeSlot(3)), PriceLevel::Low);
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceSchedule {
+    off_peak: EurosPerKwh,
+    peak: EurosPerKwh,
+    /// Local hours `[start, end)` of the peak window.
+    peak_hours: (u32, u32),
+    /// Site offset from simulation base time, in hours.
+    timezone_offset_hours: i32,
+}
+
+impl PriceSchedule {
+    /// Creates a schedule with a peak window given in *local* hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if prices are negative, the peak is
+    /// cheaper than off-peak, or the window is malformed.
+    pub fn new(
+        off_peak: EurosPerKwh,
+        peak: EurosPerKwh,
+        peak_hours: std::ops::Range<u32>,
+        timezone_offset_hours: i32,
+    ) -> Result<Self> {
+        if off_peak.0 < 0.0 || peak.0 < 0.0 {
+            return Err(Error::invalid_config("prices must be non-negative"));
+        }
+        if peak.0 < off_peak.0 {
+            return Err(Error::invalid_config("peak price below off-peak price"));
+        }
+        if peak_hours.start >= 24 || peak_hours.end > 24 || peak_hours.start >= peak_hours.end {
+            return Err(Error::invalid_config("peak window must satisfy 0 <= start < end <= 24"));
+        }
+        Ok(PriceSchedule {
+            off_peak,
+            peak,
+            peak_hours: (peak_hours.start, peak_hours.end),
+            timezone_offset_hours,
+        })
+    }
+
+    /// The off-peak rate.
+    pub fn off_peak(&self) -> EurosPerKwh {
+        self.off_peak
+    }
+
+    /// The peak rate.
+    pub fn peak(&self) -> EurosPerKwh {
+        self.peak
+    }
+
+    /// Whether `slot` falls in the local peak window.
+    pub fn level(&self, slot: TimeSlot) -> PriceLevel {
+        let local = slot.local_hour(self.timezone_offset_hours);
+        if (self.peak_hours.0..self.peak_hours.1).contains(&local) {
+            PriceLevel::High
+        } else {
+            PriceLevel::Low
+        }
+    }
+
+    /// The applicable tariff for `slot`.
+    pub fn price_at(&self, slot: TimeSlot) -> EurosPerKwh {
+        match self.level(slot) {
+            PriceLevel::High => self.peak,
+            PriceLevel::Low => self.off_peak,
+        }
+    }
+
+    /// Position of this slot's price between the fleet-wide `min` and
+    /// `max` tariffs: 0.0 = cheapest, 1.0 = most expensive. Used by the
+    /// capacity-cap computation.
+    pub fn relative_price(&self, slot: TimeSlot, min: EurosPerKwh, max: EurosPerKwh) -> f64 {
+        let span = max.0 - min.0;
+        if span <= 0.0 {
+            return 0.5;
+        }
+        ((self.price_at(slot).0 - min.0) / span).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(offset: i32) -> PriceSchedule {
+        PriceSchedule::new(EurosPerKwh(0.08), EurosPerKwh(0.20), 8..22, offset).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let e = EurosPerKwh;
+        assert!(PriceSchedule::new(e(-0.1), e(0.2), 8..22, 0).is_err());
+        assert!(PriceSchedule::new(e(0.3), e(0.2), 8..22, 0).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 22..8;
+        assert!(PriceSchedule::new(e(0.1), e(0.2), reversed, 0).is_err());
+        assert!(PriceSchedule::new(e(0.1), e(0.2), 0..25, 0).is_err());
+        assert!(PriceSchedule::new(e(0.1), e(0.2), 8..22, 0).is_ok());
+    }
+
+    #[test]
+    fn peak_window_in_local_time() {
+        let utc = schedule(0);
+        assert_eq!(utc.level(TimeSlot(7)), PriceLevel::Low);
+        assert_eq!(utc.level(TimeSlot(8)), PriceLevel::High);
+        assert_eq!(utc.level(TimeSlot(21)), PriceLevel::High);
+        assert_eq!(utc.level(TimeSlot(22)), PriceLevel::Low);
+    }
+
+    #[test]
+    fn timezone_shifts_the_window() {
+        // Helsinki (UTC+2): local 08:00 is 06:00 UTC.
+        let helsinki = schedule(2);
+        assert_eq!(helsinki.level(TimeSlot(6)), PriceLevel::High);
+        assert_eq!(helsinki.level(TimeSlot(5)), PriceLevel::Low);
+        // Local 22:00 is 20:00 UTC.
+        assert_eq!(helsinki.level(TimeSlot(20)), PriceLevel::Low);
+        assert_eq!(helsinki.level(TimeSlot(19)), PriceLevel::High);
+    }
+
+    #[test]
+    fn price_matches_level() {
+        let s = schedule(0);
+        assert_eq!(s.price_at(TimeSlot(12)), s.peak());
+        assert_eq!(s.price_at(TimeSlot(2)), s.off_peak());
+    }
+
+    #[test]
+    fn relative_price_normalizes() {
+        let s = schedule(0);
+        let min = EurosPerKwh(0.05);
+        let max = EurosPerKwh(0.25);
+        let high = s.relative_price(TimeSlot(12), min, max);
+        let low = s.relative_price(TimeSlot(2), min, max);
+        assert!(high > low);
+        assert!((0.0..=1.0).contains(&high));
+        // Degenerate span falls back to 0.5.
+        assert_eq!(s.relative_price(TimeSlot(0), max, max), 0.5);
+    }
+
+    #[test]
+    fn daily_periodicity() {
+        let s = schedule(1);
+        for hour in 0..24u32 {
+            assert_eq!(
+                s.level(TimeSlot(hour)),
+                s.level(TimeSlot(hour + 24)),
+                "hour {hour}"
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the energy substrate.
+
+use geoplace_energy::battery::Battery;
+use geoplace_energy::forecast::WcmaForecaster;
+use geoplace_energy::green::GreenController;
+use geoplace_energy::price::{PriceLevel, PriceSchedule};
+use geoplace_energy::pv::{PvArray, Site};
+use geoplace_types::time::{Tick, TimeSlot};
+use geoplace_types::units::{EurosPerKwh, Joules, KilowattHours, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The battery's SoC stays in [reserve floor, capacity] under any
+    /// sequence of charge/discharge commands.
+    #[test]
+    fn battery_soc_always_in_envelope(
+        capacity_kwh in 10.0f64..2000.0,
+        dod in 0.1f64..1.0,
+        ops in proptest::collection::vec((any::<bool>(), 0.0f64..1.0e6, 1.0f64..3600.0), 1..40),
+    ) {
+        let mut battery = Battery::new(KilowattHours(capacity_kwh), dod).unwrap();
+        for (charge, power, seconds) in ops {
+            if charge {
+                battery.charge(Watts(power), Seconds(seconds));
+            } else {
+                battery.discharge(Watts(power), Seconds(seconds));
+            }
+            let soc = battery.state_of_charge();
+            prop_assert!(soc.0 <= battery.capacity().0 + 1e-6);
+            prop_assert!(soc.0 >= battery.reserve_floor().0 - 1e-6);
+        }
+    }
+
+    /// Delivered and accepted powers never exceed the request or the
+    /// C-rate limit.
+    #[test]
+    fn battery_flows_respect_limits(power in 0.0f64..1.0e9, seconds in 0.1f64..3600.0) {
+        let mut battery = Battery::new(KilowattHours(480.0), 0.5).unwrap();
+        let delivered = battery.discharge(Watts(power), Seconds(seconds));
+        prop_assert!(delivered.0 <= power + 1e-9);
+        prop_assert!(delivered.0 <= battery.max_power().0 + 1e-9);
+        let accepted = battery.charge(Watts(power), Seconds(seconds));
+        prop_assert!(accepted.0 <= power + 1e-9);
+        prop_assert!(accepted.0 <= battery.max_power().0 + 1e-9);
+    }
+
+    /// The green controller's ledger always balances: demand is supplied
+    /// exactly, PV is fully accounted, nothing is negative.
+    #[test]
+    fn green_controller_ledger_balances(
+        pv in 0.0f64..2.0e5,
+        demand in 0.0f64..2.0e5,
+        high_price: bool,
+        soc_drain in 0.0f64..1.0,
+        reserve in 0.0f64..1.0e9,
+    ) {
+        let controller = GreenController::default();
+        let mut battery = Battery::new(KilowattHours(480.0), 0.5).unwrap();
+        // Pre-drain a fraction of the usable energy.
+        let drain_power = battery.max_power().0 * soc_drain;
+        battery.discharge(Watts(drain_power), Seconds(3600.0));
+        let level = if high_price { PriceLevel::High } else { PriceLevel::Low };
+        let out = controller.step_with_reserve(
+            Watts(pv),
+            Watts(demand),
+            level,
+            &mut battery,
+            Seconds(5.0),
+            Joules(reserve),
+        );
+        prop_assert!(out.is_physical());
+        let grid_for_load = out.grid.0 - out.grid_to_battery.0;
+        let supplied = out.pv_used.0 + out.battery_to_load.0 + grid_for_load;
+        prop_assert!((supplied - demand).abs() < 1e-6, "supplied {supplied} vs {demand}");
+        let pv_accounted = out.pv_used.0 + out.pv_to_battery.0 + out.pv_curtailed.0;
+        prop_assert!((pv_accounted - pv).abs() < 1e-6);
+    }
+
+    /// WCMA forecasts are never negative and never absurdly above the
+    /// clamp ceiling relative to history.
+    #[test]
+    fn wcma_forecast_bounded(seed_energy in 0.0f64..1.0e6, days in 1usize..5) {
+        let mut wcma = WcmaForecaster::new(days, 3);
+        for day in 0..days as u32 + 1 {
+            for hour in 0..24u32 {
+                let e = if (6..18).contains(&hour) { seed_energy } else { 0.0 };
+                wcma.observe(TimeSlot(day * 24 + hour), Joules(e));
+            }
+        }
+        for hour in 0..24u32 {
+            let f = wcma.forecast(TimeSlot(200 * 24 + hour));
+            prop_assert!(f.0 >= 0.0);
+            prop_assert!(f.0 <= seed_energy * 3.0 + 1e-9, "forecast {f} vs cap {}", seed_energy * 3.0);
+        }
+    }
+
+    /// PV output is non-negative, never above nameplate, zero at night.
+    #[test]
+    fn pv_output_bounded(
+        kwp in 1.0f64..500.0,
+        latitude in 0.0f64..70.0,
+        seed in 0u64..100,
+        tick in 0u64..(7 * 24 * 720),
+    ) {
+        let pv = PvArray::new(kwp, Site { latitude_deg: latitude, timezone_offset_hours: 0 }, seed);
+        let p = pv.power_at(Tick(tick));
+        prop_assert!(p.0 >= 0.0);
+        prop_assert!(p.0 <= kwp * 1000.0 + 1e-9);
+    }
+
+    /// Tariff levels are daily-periodic and the price matches the level.
+    #[test]
+    fn tariff_periodicity(offset in -12i32..12, start in 0u32..12, len in 1u32..12, slot in 0u32..1000) {
+        let schedule = PriceSchedule::new(
+            EurosPerKwh(0.05),
+            EurosPerKwh(0.25),
+            start..(start + len).min(24),
+            offset,
+        ).unwrap();
+        let a = schedule.level(TimeSlot(slot));
+        let b = schedule.level(TimeSlot(slot + 24));
+        prop_assert_eq!(a, b);
+        let price = schedule.price_at(TimeSlot(slot));
+        match a {
+            PriceLevel::High => prop_assert_eq!(price, schedule.peak()),
+            PriceLevel::Low => prop_assert_eq!(price, schedule.off_peak()),
+        }
+    }
+
+    /// Forecast-aware arbitrage monotonicity: a larger PV reserve never
+    /// increases the grid-to-battery charge.
+    #[test]
+    fn reserve_monotonically_limits_charging(small in 0.0f64..5.0e8, extra in 0.0f64..5.0e8) {
+        let controller = GreenController::default();
+        let make_battery = || {
+            let mut b = Battery::new(KilowattHours(480.0), 0.5).unwrap();
+            b.discharge(Watts(b.max_power().0), Seconds(3600.0));
+            b
+        };
+        let mut b1 = make_battery();
+        let mut b2 = make_battery();
+        let o_small = controller.step_with_reserve(
+            Watts(0.0), Watts(1.0e4), PriceLevel::Low, &mut b1, Seconds(5.0), Joules(small));
+        let o_large = controller.step_with_reserve(
+            Watts(0.0), Watts(1.0e4), PriceLevel::Low, &mut b2, Seconds(5.0), Joules(small + extra));
+        prop_assert!(o_large.grid_to_battery.0 <= o_small.grid_to_battery.0 + 1e-9);
+    }
+}

@@ -1,0 +1,226 @@
+//! Migration feasibility under the hard latency constraint.
+//!
+//! Algorithm 2 (the k-means output revision) may only execute a migration
+//! if moving the VM images finishes within the latency constraint derived
+//! from the QoS level: "a value of 98 % for the quality of service
+//! guarantees that the migration of VMs will take less than the 2 % of the
+//! time slot" — 72 s of a one-hour slot.
+//!
+//! [`MigrationPlan`] accumulates tentatively accepted migrations; its
+//! latency query re-evaluates Eq. 1 for the destination *including* all
+//! volume already committed to that destination, which also captures the
+//! paper's remark about preventing "network bottlenecks made by one DC
+//! when the other DCs need to migrate their VMs to the same destination".
+
+use crate::latency::LatencyModel;
+use crate::traffic::TrafficMatrix;
+use geoplace_types::time::SLOT_SECONDS;
+use geoplace_types::units::{Gigabytes, Seconds};
+use geoplace_types::{DcId, VmId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One planned VM migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Migration {
+    /// The VM to move.
+    pub vm: VmId,
+    /// Current host DC.
+    pub from: DcId,
+    /// Destination DC.
+    pub to: DcId,
+    /// Image size moved across the network.
+    pub size: Gigabytes,
+}
+
+/// Latency budget for migrations derived from a QoS level.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_network::migration::latency_constraint_for_qos;
+/// let budget = latency_constraint_for_qos(0.98);
+/// assert!((budget.0 - 72.0).abs() < 1e-9);
+/// ```
+pub fn latency_constraint_for_qos(qos: f64) -> Seconds {
+    Seconds(((1.0 - qos).clamp(0.0, 1.0)) * SLOT_SECONDS)
+}
+
+/// A mutable set of planned migrations with incremental feasibility
+/// checking.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_network::ber::BerDistribution;
+/// use geoplace_network::latency::LatencyModel;
+/// use geoplace_network::migration::{latency_constraint_for_qos, Migration, MigrationPlan};
+/// use geoplace_network::topology::Topology;
+/// use geoplace_types::{units::Gigabytes, DcId, VmId};
+/// use rand::SeedableRng;
+///
+/// let model = LatencyModel::new(Topology::paper_default()?, BerDistribution::error_free());
+/// let mut plan = MigrationPlan::new(3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let m = Migration { vm: VmId(0), from: DcId(0), to: DcId(1), size: Gigabytes(8.0) };
+/// let budget = latency_constraint_for_qos(0.98);
+/// assert!(plan.try_add(m, &model, budget, &mut rng));
+/// assert_eq!(plan.migrations().len(), 1);
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    migrations: Vec<Migration>,
+    volumes: TrafficMatrix,
+}
+
+impl MigrationPlan {
+    /// Creates an empty plan over `n_dcs` data centers.
+    pub fn new(n_dcs: usize) -> Self {
+        MigrationPlan { migrations: Vec::new(), volumes: TrafficMatrix::new(n_dcs) }
+    }
+
+    /// The migrations committed so far.
+    pub fn migrations(&self) -> &[Migration] {
+        &self.migrations
+    }
+
+    /// The migration traffic committed so far.
+    pub fn volumes(&self) -> &TrafficMatrix {
+        &self.volumes
+    }
+
+    /// Worst-case completion latency at destination `dest` if `extra`
+    /// additional megabyte-volume were added from `src` — Eq. 1 over the
+    /// already-committed migration traffic plus the candidate.
+    pub fn latency_with<R: Rng + ?Sized>(
+        &self,
+        model: &LatencyModel,
+        candidate: Migration,
+        rng: &mut R,
+    ) -> Seconds {
+        let mut tentative = self.volumes.clone();
+        tentative.add(candidate.from, candidate.to, candidate.size.to_megabytes());
+        model.total_latency(candidate.to, &tentative, rng)
+    }
+
+    /// Tries to append `candidate`: commits and returns `true` iff the
+    /// destination's worst-case latency (with the candidate included)
+    /// stays within `budget`.
+    pub fn try_add<R: Rng + ?Sized>(
+        &mut self,
+        candidate: Migration,
+        model: &LatencyModel,
+        budget: Seconds,
+        rng: &mut R,
+    ) -> bool {
+        if candidate.from == candidate.to {
+            return false;
+        }
+        let latency = self.latency_with(model, candidate, rng);
+        if latency.0 <= budget.0 {
+            self.volumes.add(candidate.from, candidate.to, candidate.size.to_megabytes());
+            self.migrations.push(candidate);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of committed migrations.
+    pub fn len(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// True when no migrations are committed.
+    pub fn is_empty(&self) -> bool {
+        self.migrations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::BerDistribution;
+    use crate::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+    }
+
+    fn mig(vm: u32, from: u16, to: u16, gb: f64) -> Migration {
+        Migration { vm: VmId(vm), from: DcId(from), to: DcId(to), size: Gigabytes(gb) }
+    }
+
+    #[test]
+    fn qos_constraint_examples() {
+        assert!((latency_constraint_for_qos(0.98).0 - 72.0).abs() < 1e-9);
+        assert!((latency_constraint_for_qos(0.90).0 - 360.0).abs() < 1e-9);
+        assert_eq!(latency_constraint_for_qos(1.0).0, 0.0);
+    }
+
+    #[test]
+    fn single_small_migration_fits_98_percent_qos() {
+        let m = model();
+        let mut plan = MigrationPlan::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(plan.try_add(mig(0, 0, 1, 8.0), &m, latency_constraint_for_qos(0.98), &mut rng));
+    }
+
+    #[test]
+    fn budget_exhaustion_rejects_later_migrations() {
+        let m = model();
+        let mut plan = MigrationPlan::new(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let budget = latency_constraint_for_qos(0.98); // 72 s
+        // Each 8 GB VM costs ≈ 6.4 s on the shared 10 Gb/s local links
+        // (source + destination) plus backbone time; the budget saturates.
+        let mut accepted = 0;
+        for vm in 0..100u32 {
+            if plan.try_add(mig(vm, 0, 1, 8.0), &m, budget, &mut rng) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(accepted > 0, "first migration must fit");
+        assert!(accepted < 100, "budget must eventually be exhausted");
+        // The committed plan itself must respect the budget: re-check by
+        // measuring the destination latency of the full matrix.
+        let total = m.total_latency(DcId(1), plan.volumes(), &mut rng);
+        assert!(total.0 <= budget.0 + 1e-9, "plan total {total}");
+    }
+
+    #[test]
+    fn same_dc_migration_is_rejected() {
+        let m = model();
+        let mut plan = MigrationPlan::new(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!plan.try_add(mig(0, 1, 1, 2.0), &m, Seconds(1e9), &mut rng));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn cross_destination_contention_is_visible() {
+        // Volume already headed to DC1 from DC0 must slow a later
+        // DC2 → DC1 migration (shared destination local link, Eq. 3).
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(4);
+        let empty = MigrationPlan::new(3);
+        let lone = empty.latency_with(&m, mig(9, 2, 1, 8.0), &mut rng);
+        let mut busy = MigrationPlan::new(3);
+        assert!(busy.try_add(mig(0, 0, 1, 8.0), &m, Seconds(1e9), &mut rng));
+        let contended = busy.latency_with(&m, mig(9, 2, 1, 8.0), &mut rng);
+        assert!(contended.0 > lone.0, "contended {contended} vs lone {lone}");
+    }
+
+    #[test]
+    fn zero_budget_rejects_everything() {
+        let m = model();
+        let mut plan = MigrationPlan::new(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!plan.try_add(mig(0, 0, 1, 2.0), &m, Seconds(0.0), &mut rng));
+    }
+}

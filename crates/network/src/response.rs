@@ -1,0 +1,152 @@
+//! Response-time evaluation.
+//!
+//! The paper defines performance as "the response time of the VMs; i.e.,
+//! the amount of time they have to wait for data from other VMs in the
+//! network". Per slot and per destination DC that is exactly Eq. 1 applied
+//! to the slot's *data-correlation* traffic (the volumes VM pairs exchange
+//! across the placement), and Fig. 3 plots the distribution of these
+//! samples over the week.
+
+use crate::latency::LatencyModel;
+use crate::traffic::TrafficMatrix;
+use geoplace_types::units::Seconds;
+use geoplace_types::DcId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Response-time samples of one slot: the Eq. 1 worst-case latency per
+/// destination DC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotResponse {
+    /// `(destination, worst-case response time)` for every DC.
+    pub per_dc: Vec<(DcId, Seconds)>,
+}
+
+impl SlotResponse {
+    /// The worst response time across destinations — what SLA contracts
+    /// bound ("DC providers typically consider worst-case response time in
+    /// their SLAs").
+    pub fn worst(&self) -> Seconds {
+        self.per_dc.iter().map(|&(_, t)| t).fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Mean response time across destinations.
+    pub fn mean(&self) -> Seconds {
+        if self.per_dc.is_empty() {
+            return Seconds::ZERO;
+        }
+        Seconds(self.per_dc.iter().map(|&(_, t)| t.0).sum::<f64>() / self.per_dc.len() as f64)
+    }
+}
+
+/// Evaluates Eq. 1 for every destination DC over a slot's traffic matrix.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_network::ber::BerDistribution;
+/// use geoplace_network::latency::LatencyModel;
+/// use geoplace_network::response::evaluate_slot;
+/// use geoplace_network::topology::Topology;
+/// use geoplace_network::traffic::TrafficMatrix;
+/// use geoplace_types::{units::Megabytes, DcId};
+/// use rand::SeedableRng;
+///
+/// let model = LatencyModel::new(Topology::paper_default()?, BerDistribution::error_free());
+/// let mut traffic = TrafficMatrix::new(3);
+/// traffic.add(DcId(0), DcId(1), Megabytes(1_250.0));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let response = evaluate_slot(&model, &traffic, &mut rng);
+/// assert_eq!(response.per_dc.len(), 3);
+/// assert!(response.worst().0 > 0.0);
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+pub fn evaluate_slot<R: Rng + ?Sized>(
+    model: &LatencyModel,
+    traffic: &TrafficMatrix,
+    rng: &mut R,
+) -> SlotResponse {
+    let per_dc = model
+        .topology()
+        .dc_ids()
+        .map(|dc| (dc, model.response_latency(dc, traffic, rng)))
+        .collect();
+    SlotResponse { per_dc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::BerDistribution;
+    use crate::topology::Topology;
+    use geoplace_types::units::Megabytes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+    }
+
+    #[test]
+    fn balanced_traffic_beats_hotspot_on_worst_case() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Hotspot: 30 GB all converging on DC0.
+        let mut hotspot = TrafficMatrix::new(3);
+        hotspot.add(DcId(1), DcId(0), Megabytes(15_000.0));
+        hotspot.add(DcId(2), DcId(0), Megabytes(15_000.0));
+        // Balanced: the same total spread over all destinations.
+        let mut balanced = TrafficMatrix::new(3);
+        balanced.add(DcId(1), DcId(0), Megabytes(5_000.0));
+        balanced.add(DcId(2), DcId(0), Megabytes(5_000.0));
+        balanced.add(DcId(0), DcId(1), Megabytes(5_000.0));
+        balanced.add(DcId(2), DcId(1), Megabytes(5_000.0));
+        balanced.add(DcId(0), DcId(2), Megabytes(5_000.0));
+        balanced.add(DcId(1), DcId(2), Megabytes(5_000.0));
+        let worst_hot = evaluate_slot(&m, &hotspot, &mut rng).worst();
+        let worst_bal = evaluate_slot(&m, &balanced, &mut rng).worst();
+        assert!(
+            worst_bal.0 < worst_hot.0,
+            "balanced {worst_bal} should beat hotspot {worst_hot}"
+        );
+    }
+
+    #[test]
+    fn empty_traffic_gives_zero_response() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = evaluate_slot(&m, &TrafficMatrix::new(3), &mut rng);
+        assert_eq!(r.worst(), Seconds::ZERO);
+        assert_eq!(r.mean(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn worst_dominates_mean() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut traffic = TrafficMatrix::new(3);
+        traffic.add(DcId(0), DcId(1), Megabytes(10_000.0));
+        traffic.add(DcId(1), DcId(2), Megabytes(1_000.0));
+        let r = evaluate_slot(&m, &traffic, &mut rng);
+        assert!(r.worst().0 >= r.mean().0);
+    }
+
+    #[test]
+    fn colocation_pays_only_the_local_drain() {
+        // All traffic intra-DC → no propagation/backbone latency, but the
+        // co-located pairs still drain through DC0's 10 Gb/s local link
+        // (Sect. III: VMs reach each other via the NAS links).
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut traffic = TrafficMatrix::new(3);
+        traffic.add(DcId(0), DcId(0), Megabytes(1e6));
+        let r = evaluate_slot(&m, &traffic, &mut rng);
+        // 1e6 MB over 10 Gb/s = 8e12 bits / 1e10 b/s = 800 s, exactly the
+        // local drain — no global terms.
+        let expected = m.destination_local_latency(DcId(0), Megabytes(1e6));
+        assert!((r.worst().0 - expected.0).abs() < 1e-9);
+        // Other DCs see nothing.
+        assert_eq!(r.per_dc[1].1, Seconds::ZERO);
+        assert_eq!(r.per_dc[2].1, Seconds::ZERO);
+    }
+}

@@ -1,0 +1,283 @@
+//! Geo-distributed network topology.
+//!
+//! The paper's Section III models intra-DC local links of bandwidth `B_L`
+//! (10 Gb/s, to reach the network-attached storage) and a *full-mesh*
+//! optical backbone of bandwidth `B_bb` (100 Gb/s full duplex) between DCs,
+//! with propagation delay set by the distance between sites.
+
+use geoplace_types::units::GigabitsPerSecond;
+use geoplace_types::{DcId, Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in km (haversine distance).
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// One data-center site.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_network::topology::DcSite;
+/// let lisbon = DcSite::new("Lisbon", 38.72, -9.14, 0);
+/// assert_eq!(lisbon.name(), "Lisbon");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcSite {
+    name: String,
+    latitude_deg: f64,
+    longitude_deg: f64,
+    timezone_offset_hours: i32,
+}
+
+impl DcSite {
+    /// Creates a site from its coordinates.
+    pub fn new(
+        name: impl Into<String>,
+        latitude_deg: f64,
+        longitude_deg: f64,
+        timezone_offset_hours: i32,
+    ) -> Self {
+        DcSite {
+            name: name.into(),
+            latitude_deg,
+            longitude_deg,
+            timezone_offset_hours,
+        }
+    }
+
+    /// Human-readable site name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Latitude in degrees.
+    pub fn latitude_deg(&self) -> f64 {
+        self.latitude_deg
+    }
+
+    /// Longitude in degrees.
+    pub fn longitude_deg(&self) -> f64 {
+        self.longitude_deg
+    }
+
+    /// Offset from simulation base time in hours.
+    pub fn timezone_offset_hours(&self) -> i32 {
+        self.timezone_offset_hours
+    }
+
+    /// Great-circle distance to another site.
+    pub fn distance_km(&self, other: &DcSite) -> f64 {
+        let (lat1, lon1) = (self.latitude_deg.to_radians(), self.longitude_deg.to_radians());
+        let (lat2, lon2) = (other.latitude_deg.to_radians(), other.longitude_deg.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// The three sites of the paper's evaluation.
+pub fn paper_sites() -> Vec<DcSite> {
+    vec![
+        DcSite::new("Lisbon", 38.72, -9.14, 0),
+        DcSite::new("Zurich", 47.37, 8.54, 1),
+        DcSite::new("Helsinki", 60.17, 24.94, 2),
+    ]
+}
+
+/// Full-mesh backbone topology with per-DC local links.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_network::topology::Topology;
+/// use geoplace_types::DcId;
+///
+/// let topo = Topology::paper_default()?;
+/// assert_eq!(topo.len(), 3);
+/// // Lisbon–Helsinki is the longest leg of the triangle.
+/// let lis_hel = topo.distance_km(DcId(0), DcId(2));
+/// let lis_zur = topo.distance_km(DcId(0), DcId(1));
+/// assert!(lis_hel > lis_zur);
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    sites: Vec<DcSite>,
+    /// Intra-DC local link bandwidth `B_L` per DC.
+    local_bandwidth: Vec<GigabitsPerSecond>,
+    /// Inter-DC backbone bandwidth `B_bb` (full mesh, uniform).
+    backbone_bandwidth: GigabitsPerSecond,
+    /// Precomputed pairwise distances.
+    distances_km: Vec<f64>,
+}
+
+impl Topology {
+    /// Creates a full-mesh topology over `sites` with uniform local
+    /// bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for fewer than 2 sites or
+    /// non-positive bandwidths.
+    pub fn new(
+        sites: Vec<DcSite>,
+        local_bandwidth: GigabitsPerSecond,
+        backbone_bandwidth: GigabitsPerSecond,
+    ) -> Result<Self> {
+        if sites.len() < 2 {
+            return Err(Error::invalid_config("a geo-distributed system needs >= 2 sites"));
+        }
+        if local_bandwidth.0 <= 0.0 || backbone_bandwidth.0 <= 0.0 {
+            return Err(Error::invalid_config("bandwidths must be positive"));
+        }
+        let n = sites.len();
+        let mut distances_km = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                distances_km[i * n + j] = sites[i].distance_km(&sites[j]);
+            }
+        }
+        let local_bandwidth = vec![local_bandwidth; n];
+        Ok(Topology { sites, local_bandwidth, backbone_bandwidth, distances_km })
+    }
+
+    /// The paper's setup: Lisbon/Zurich/Helsinki, 10 Gb/s local links,
+    /// 100 Gb/s full-duplex optical backbone.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature keeps construction uniform.
+    pub fn paper_default() -> Result<Self> {
+        Topology::new(paper_sites(), GigabitsPerSecond(10.0), GigabitsPerSecond(100.0))
+    }
+
+    /// Overrides one DC's local-link bandwidth `B_L^i` — Eq. 2/3 are
+    /// written per-DC, so heterogeneous intranets are supported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an unknown DC or non-positive
+    /// bandwidth.
+    pub fn set_local_bandwidth(
+        &mut self,
+        dc: DcId,
+        bandwidth: GigabitsPerSecond,
+    ) -> Result<()> {
+        if dc.index() >= self.sites.len() {
+            return Err(Error::unknown_entity(dc));
+        }
+        if bandwidth.0 <= 0.0 {
+            return Err(Error::invalid_config("local bandwidth must be positive"));
+        }
+        self.local_bandwidth[dc.index()] = bandwidth;
+        Ok(())
+    }
+
+    /// Number of DCs.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True if the topology has no sites (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// All DC ids.
+    pub fn dc_ids(&self) -> impl Iterator<Item = DcId> {
+        (0..self.sites.len() as u16).map(DcId)
+    }
+
+    /// Site metadata of a DC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn site(&self, dc: DcId) -> &DcSite {
+        &self.sites[dc.index()]
+    }
+
+    /// Local (intra-DC) link bandwidth `B_L` of a DC.
+    pub fn local_bandwidth(&self, dc: DcId) -> GigabitsPerSecond {
+        self.local_bandwidth[dc.index()]
+    }
+
+    /// Backbone bandwidth `B_bb`.
+    pub fn backbone_bandwidth(&self) -> GigabitsPerSecond {
+        self.backbone_bandwidth
+    }
+
+    /// Great-circle distance between two DCs (0 for `i == j`).
+    pub fn distance_km(&self, from: DcId, to: DcId) -> f64 {
+        self.distances_km[from.index() * self.sites.len() + to.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_distances_are_realistic() {
+        let topo = Topology::paper_default().unwrap();
+        // Published great-circle figures: Lisbon–Zurich ≈ 1,716 km,
+        // Lisbon–Helsinki ≈ 3,362 km, Zurich–Helsinki ≈ 1,775 km.
+        let lz = topo.distance_km(DcId(0), DcId(1));
+        let lh = topo.distance_km(DcId(0), DcId(2));
+        let zh = topo.distance_km(DcId(1), DcId(2));
+        assert!((lz - 1716.0).abs() < 60.0, "Lisbon-Zurich {lz}");
+        assert!((lh - 3362.0).abs() < 80.0, "Lisbon-Helsinki {lh}");
+        assert!((zh - 1775.0).abs() < 60.0, "Zurich-Helsinki {zh}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_with_zero_diagonal() {
+        let topo = Topology::paper_default().unwrap();
+        for i in topo.dc_ids() {
+            assert_eq!(topo.distance_km(i, i), 0.0);
+            for j in topo.dc_ids() {
+                assert!(
+                    (topo.distance_km(i, j) - topo.distance_km(j, i)).abs() < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        let one = vec![DcSite::new("x", 0.0, 0.0, 0)];
+        assert!(Topology::new(one, GigabitsPerSecond(1.0), GigabitsPerSecond(1.0)).is_err());
+        let two = paper_sites();
+        assert!(Topology::new(two.clone(), GigabitsPerSecond(0.0), GigabitsPerSecond(1.0))
+            .is_err());
+        assert!(Topology::new(two, GigabitsPerSecond(1.0), GigabitsPerSecond(-5.0)).is_err());
+    }
+
+    #[test]
+    fn bandwidths_match_paper() {
+        let topo = Topology::paper_default().unwrap();
+        assert_eq!(topo.local_bandwidth(DcId(0)).0, 10.0);
+        assert_eq!(topo.backbone_bandwidth().0, 100.0);
+    }
+
+    #[test]
+    fn heterogeneous_local_links() {
+        let mut topo = Topology::paper_default().unwrap();
+        topo.set_local_bandwidth(DcId(2), GigabitsPerSecond(40.0)).unwrap();
+        assert_eq!(topo.local_bandwidth(DcId(2)).0, 40.0);
+        assert_eq!(topo.local_bandwidth(DcId(0)).0, 10.0, "others untouched");
+        assert!(topo.set_local_bandwidth(DcId(9), GigabitsPerSecond(1.0)).is_err());
+        assert!(topo
+            .set_local_bandwidth(DcId(0), GigabitsPerSecond(0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn timezones_span_europe() {
+        let topo = Topology::paper_default().unwrap();
+        assert_eq!(topo.site(DcId(0)).timezone_offset_hours(), 0);
+        assert_eq!(topo.site(DcId(2)).timezone_offset_hours(), 2);
+    }
+}

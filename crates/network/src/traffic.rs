@@ -1,0 +1,154 @@
+//! Aggregated DC-to-DC traffic matrices.
+//!
+//! The latency model (Eq. 1–4) consumes per-DC-pair volumes `Vol^{i,j}`:
+//! the total data DC `i` must ship to DC `j` during one slot. This module
+//! aggregates VM-pair volumes into that matrix given a placement.
+
+use geoplace_types::units::Megabytes;
+use geoplace_types::DcId;
+use serde::{Deserialize, Serialize};
+
+/// Dense matrix of directed DC-to-DC volumes for one slot.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_network::traffic::TrafficMatrix;
+/// use geoplace_types::{units::Megabytes, DcId};
+///
+/// let mut m = TrafficMatrix::new(3);
+/// m.add(DcId(0), DcId(1), Megabytes(500.0));
+/// m.add(DcId(0), DcId(1), Megabytes(250.0));
+/// assert_eq!(m.volume(DcId(0), DcId(1)), Megabytes(750.0));
+/// assert_eq!(m.volume(DcId(1), DcId(0)), Megabytes(0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    volumes: Vec<Megabytes>,
+}
+
+impl TrafficMatrix {
+    /// Creates an all-zero matrix over `n` DCs.
+    pub fn new(n: usize) -> Self {
+        TrafficMatrix { n, volumes: vec![Megabytes::ZERO; n * n] }
+    }
+
+    /// Number of DCs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers no DCs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `volume` to the directed `from → to` cell. Intra-DC volume
+    /// (`from == to`) is tracked too — it loads only the local link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add(&mut self, from: DcId, to: DcId, volume: Megabytes) {
+        assert!(from.index() < self.n && to.index() < self.n, "dc id out of range");
+        self.volumes[from.index() * self.n + to.index()] += volume;
+    }
+
+    /// The directed volume `from → to`.
+    pub fn volume(&self, from: DcId, to: DcId) -> Megabytes {
+        self.volumes[from.index() * self.n + to.index()]
+    }
+
+    /// Total volume arriving at `to` from *other* DCs (Eq. 3's sum).
+    pub fn incoming(&self, to: DcId) -> Megabytes {
+        (0..self.n)
+            .filter(|&i| i != to.index())
+            .map(|i| self.volumes[i * self.n + to.index()])
+            .sum()
+    }
+
+    /// Total volume leaving `from` towards *other* DCs.
+    pub fn outgoing(&self, from: DcId) -> Megabytes {
+        (0..self.n)
+            .filter(|&j| j != from.index())
+            .map(|j| self.volumes[from.index() * self.n + j])
+            .sum()
+    }
+
+    /// Total inter-DC volume (excludes the diagonal).
+    pub fn total_inter_dc(&self) -> Megabytes {
+        let mut total = Megabytes::ZERO;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    total += self.volumes[i * self.n + j];
+                }
+            }
+        }
+        total
+    }
+
+    /// The largest directed inter-DC cell — the "hottest" link.
+    pub fn max_link(&self) -> Megabytes {
+        let mut max = Megabytes::ZERO;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    max = max.max(self.volumes[i * self.n + j]);
+                }
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> TrafficMatrix {
+        let mut m = TrafficMatrix::new(3);
+        m.add(DcId(0), DcId(1), Megabytes(100.0));
+        m.add(DcId(0), DcId(2), Megabytes(50.0));
+        m.add(DcId(1), DcId(2), Megabytes(25.0));
+        m.add(DcId(2), DcId(2), Megabytes(999.0)); // intra-DC
+        m
+    }
+
+    #[test]
+    fn incoming_excludes_diagonal() {
+        let m = filled();
+        assert_eq!(m.incoming(DcId(2)), Megabytes(75.0));
+        assert_eq!(m.incoming(DcId(0)), Megabytes::ZERO);
+    }
+
+    #[test]
+    fn outgoing_excludes_diagonal() {
+        let m = filled();
+        assert_eq!(m.outgoing(DcId(0)), Megabytes(150.0));
+        assert_eq!(m.outgoing(DcId(2)), Megabytes::ZERO);
+    }
+
+    #[test]
+    fn totals_and_max() {
+        let m = filled();
+        assert_eq!(m.total_inter_dc(), Megabytes(175.0));
+        assert_eq!(m.max_link(), Megabytes(100.0));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = TrafficMatrix::new(2);
+        m.add(DcId(0), DcId(1), Megabytes(1.0));
+        m.add(DcId(0), DcId(1), Megabytes(2.0));
+        assert_eq!(m.volume(DcId(0), DcId(1)), Megabytes(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut m = TrafficMatrix::new(2);
+        m.add(DcId(0), DcId(5), Megabytes(1.0));
+    }
+}

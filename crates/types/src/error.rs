@@ -1,0 +1,116 @@
+//! Workspace-wide error type.
+//!
+//! Most of the simulator is infallible by construction (validated configs,
+//! dense ids), so a single small enum covers the genuinely fallible
+//! operations: configuration validation, capacity violations and lookups.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by geoplace components.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_types::Error;
+/// let err = Error::InvalidConfig { reason: "zero servers".into() };
+/// assert!(err.to_string().contains("zero servers"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A scenario or component configuration failed validation.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An entity id was not found in the registry it was used against.
+    UnknownEntity {
+        /// Description of the entity, e.g. `"vm42"` or `"dc7"`.
+        entity: String,
+    },
+    /// A placement decision exceeded a physical capacity.
+    CapacityExceeded {
+        /// What overflowed, e.g. `"server dc0/srv3"`.
+        resource: String,
+        /// Requested amount (unit depends on the resource).
+        requested: f64,
+        /// Available amount.
+        available: f64,
+    },
+    /// A numerical routine failed to converge or met a non-finite value.
+    Numerical {
+        /// Description of the failing computation.
+        context: String,
+    },
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidConfig`].
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        Error::InvalidConfig { reason: reason.into() }
+    }
+
+    /// Shorthand constructor for [`Error::UnknownEntity`].
+    pub fn unknown_entity(entity: impl fmt::Display) -> Self {
+        Error::UnknownEntity { entity: entity.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::UnknownEntity { entity } => write!(f, "unknown entity: {entity}"),
+            Error::CapacityExceeded { resource, requested, available } => write!(
+                f,
+                "capacity exceeded on {resource}: requested {requested}, available {available}"
+            ),
+            Error::Numerical { context } => write!(f, "numerical failure: {context}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::invalid_config("fleet is empty");
+        assert_eq!(e.to_string(), "invalid configuration: fleet is empty");
+
+        let e = Error::unknown_entity("vm9");
+        assert_eq!(e.to_string(), "unknown entity: vm9");
+
+        let e = Error::CapacityExceeded {
+            resource: "server dc0/srv1".into(),
+            requested: 9.0,
+            available: 8.0,
+        };
+        assert!(e.to_string().contains("server dc0/srv1"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<Error>();
+    }
+
+    #[test]
+    fn result_alias_works_with_question_mark() {
+        fn inner() -> Result<u32> {
+            Err(Error::invalid_config("boom"))
+        }
+        fn outer() -> Result<u32> {
+            let v = inner()?;
+            Ok(v)
+        }
+        assert!(outer().is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Simulation time: 5-second *ticks* inside one-hour *slots*.
+//!
+//! The paper's controllers run on two cadences: the global/local placement
+//! controllers are invoked every hour (*time slot* `T`), and the green
+//! controller inside each DC every 5 seconds (*tick*). All trace data is
+//! sampled at tick resolution.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds in one tick — the paper samples VM utilization every 5 s and runs
+/// the green controller at the same cadence.
+pub const TICK_SECONDS: f64 = 5.0;
+
+/// Ticks per one-hour slot (3600 s / 5 s).
+pub const TICKS_PER_SLOT: usize = 720;
+
+/// Slots per day.
+pub const SLOTS_PER_DAY: usize = 24;
+
+/// Slots in the paper's one-week evaluation horizon.
+pub const SLOTS_PER_WEEK: usize = 168;
+
+/// Seconds per slot.
+pub const SLOT_SECONDS: f64 = 3600.0;
+
+/// A 5-second simulation step, counted from the start of the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_types::time::{Tick, TimeSlot};
+/// let t = Tick(725);
+/// assert_eq!(t.slot(), TimeSlot(1));
+/// assert_eq!(t.tick_in_slot(), 5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// The hour-slot this tick belongs to.
+    pub fn slot(self) -> TimeSlot {
+        TimeSlot((self.0 / TICKS_PER_SLOT as u64) as u32)
+    }
+
+    /// Index of the tick inside its slot, in `0..TICKS_PER_SLOT`.
+    pub fn tick_in_slot(self) -> usize {
+        (self.0 % TICKS_PER_SLOT as u64) as usize
+    }
+
+    /// Simulation time in seconds at the *start* of this tick.
+    pub fn seconds(self) -> f64 {
+        self.0 as f64 * TICK_SECONDS
+    }
+
+    /// The next tick.
+    pub fn next(self) -> Tick {
+        Tick(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Tick {
+    type Output = Tick;
+    fn add(self, rhs: u64) -> Tick {
+        Tick(self.0 + rhs)
+    }
+}
+
+impl Sub for Tick {
+    type Output = u64;
+    fn sub(self, rhs: Tick) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tick {}", self.0)
+    }
+}
+
+/// A one-hour control slot `T`; the global controller runs at slot
+/// boundaries using data observed during `[T-1, T)`.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_types::time::{TimeSlot, SLOTS_PER_DAY};
+/// let noon_day_three = TimeSlot((2 * SLOTS_PER_DAY + 12) as u32);
+/// assert_eq!(noon_day_three.hour_of_day(), 12);
+/// assert_eq!(noon_day_three.day(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeSlot(pub u32);
+
+impl TimeSlot {
+    /// First tick of the slot.
+    pub fn start_tick(self) -> Tick {
+        Tick(self.0 as u64 * TICKS_PER_SLOT as u64)
+    }
+
+    /// One-past-the-last tick of the slot.
+    pub fn end_tick(self) -> Tick {
+        Tick((self.0 as u64 + 1) * TICKS_PER_SLOT as u64)
+    }
+
+    /// Iterator over the ticks of this slot.
+    pub fn ticks(self) -> impl Iterator<Item = Tick> {
+        (self.start_tick().0..self.end_tick().0).map(Tick)
+    }
+
+    /// Hour of day in `0..24` (UTC; sites apply their own offsets).
+    pub fn hour_of_day(self) -> u32 {
+        self.0 % SLOTS_PER_DAY as u32
+    }
+
+    /// Day index since the start of the simulation.
+    pub fn day(self) -> u32 {
+        self.0 / SLOTS_PER_DAY as u32
+    }
+
+    /// The previous slot, or `None` at the start of the simulation.
+    pub fn prev(self) -> Option<TimeSlot> {
+        self.0.checked_sub(1).map(TimeSlot)
+    }
+
+    /// The next slot.
+    pub fn next(self) -> TimeSlot {
+        TimeSlot(self.0 + 1)
+    }
+
+    /// Local hour of day for a site shifted `offset_hours` from UTC
+    /// (may be negative).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use geoplace_types::time::TimeSlot;
+    /// // 01:00 UTC is 00:00 in Lisbon (offset 0 in winter we use UTC+0)
+    /// // and 02:00 in Helsinki (UTC+2).
+    /// assert_eq!(TimeSlot(1).local_hour(2), 3);
+    /// assert_eq!(TimeSlot(0).local_hour(-3), 21);
+    /// ```
+    pub fn local_hour(self, offset_hours: i32) -> u32 {
+        let h = self.hour_of_day() as i32 + offset_hours;
+        h.rem_euclid(24) as u32
+    }
+}
+
+impl Add<u32> for TimeSlot {
+    type Output = TimeSlot;
+    fn add(self, rhs: u32) -> TimeSlot {
+        TimeSlot(self.0 + rhs)
+    }
+}
+
+impl Sub for TimeSlot {
+    type Output = u32;
+    fn sub(self, rhs: TimeSlot) -> u32 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for TimeSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot {} (day {}, {:02}:00)", self.0, self.day(), self.hour_of_day())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_slot_relationship() {
+        assert_eq!(Tick(0).slot(), TimeSlot(0));
+        assert_eq!(Tick(719).slot(), TimeSlot(0));
+        assert_eq!(Tick(720).slot(), TimeSlot(1));
+        assert_eq!(TimeSlot(1).start_tick(), Tick(720));
+        assert_eq!(TimeSlot(1).end_tick(), Tick(1440));
+    }
+
+    #[test]
+    fn slot_tick_iteration_covers_exactly_one_hour() {
+        let ticks: Vec<Tick> = TimeSlot(3).ticks().collect();
+        assert_eq!(ticks.len(), TICKS_PER_SLOT);
+        assert_eq!(ticks[0], TimeSlot(3).start_tick());
+        assert_eq!(*ticks.last().unwrap(), Tick(TimeSlot(3).end_tick().0 - 1));
+    }
+
+    #[test]
+    fn tick_seconds_matches_cadence() {
+        assert_eq!(Tick(0).seconds(), 0.0);
+        assert_eq!(Tick(1).seconds(), 5.0);
+        assert_eq!(TimeSlot(1).start_tick().seconds(), 3600.0);
+    }
+
+    #[test]
+    fn hour_of_day_and_day_wrap() {
+        let slot = TimeSlot(25);
+        assert_eq!(slot.hour_of_day(), 1);
+        assert_eq!(slot.day(), 1);
+    }
+
+    #[test]
+    fn local_hour_wraps_both_directions() {
+        assert_eq!(TimeSlot(23).local_hour(2), 1);
+        assert_eq!(TimeSlot(0).local_hour(-1), 23);
+        assert_eq!(TimeSlot(12).local_hour(0), 12);
+    }
+
+    #[test]
+    fn prev_of_origin_is_none() {
+        assert_eq!(TimeSlot(0).prev(), None);
+        assert_eq!(TimeSlot(5).prev(), Some(TimeSlot(4)));
+    }
+
+    #[test]
+    fn week_constant_consistency() {
+        assert_eq!(SLOTS_PER_WEEK, 7 * SLOTS_PER_DAY);
+        assert_eq!(TICKS_PER_SLOT as f64 * TICK_SECONDS, SLOT_SECONDS);
+    }
+}

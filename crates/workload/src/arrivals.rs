@@ -1,0 +1,322 @@
+//! VM arrival process: Poisson group arrivals, exponential lifetimes.
+//!
+//! The paper generates "arrival and life-time of each VM, given in time
+//! slots, by poisson and exponential distributions". We arrive VMs in
+//! *application groups* (1–6 VMs sharing one application) because the data
+//! correlation the paper exploits exists between VMs of the same
+//! application; singleton groups are common, so per-VM Poisson arrivals are
+//! a special case.
+
+use crate::distributions::{Exponential, Poisson, WeightedChoice};
+use crate::trace::{TraceKind, TraceParams, VmTrace};
+use crate::vm::{GroupId, VmSpec};
+use geoplace_types::time::TimeSlot;
+use geoplace_types::units::Gigabytes;
+use geoplace_types::{Error, Result, VmId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the arrival process.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::arrivals::ArrivalConfig;
+/// let config = ArrivalConfig::default();
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean number of application groups arriving per slot.
+    pub groups_per_slot: f64,
+    /// Mean VM lifetime in slots (exponential distribution).
+    pub mean_lifetime_slots: f64,
+    /// Inclusive range of group sizes, drawn uniformly.
+    pub group_size_range: (u32, u32),
+    /// Number of groups already running when the simulation starts.
+    pub initial_groups: u32,
+    /// Mix of trace archetypes as (web, batch, hpc) weights.
+    pub profile_weights: (f64, f64, f64),
+    /// RNG seed for the whole arrival stream.
+    pub seed: u64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            groups_per_slot: 3.0,
+            mean_lifetime_slots: 48.0,
+            group_size_range: (1, 6),
+            initial_groups: 120,
+            profile_weights: (0.5, 0.35, 0.15),
+            seed: 0xA11CE,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any rate or range is degenerate.
+    pub fn validate(&self) -> Result<()> {
+        if !self.groups_per_slot.is_finite() || self.groups_per_slot < 0.0 {
+            return Err(Error::invalid_config("groups_per_slot must be >= 0"));
+        }
+        if self.mean_lifetime_slots.is_nan() || self.mean_lifetime_slots <= 0.0 {
+            return Err(Error::invalid_config("mean_lifetime_slots must be > 0"));
+        }
+        let (lo, hi) = self.group_size_range;
+        if lo == 0 || lo > hi {
+            return Err(Error::invalid_config("group_size_range must satisfy 1 <= lo <= hi"));
+        }
+        let (w, b, h) = self.profile_weights;
+        if w < 0.0 || b < 0.0 || h < 0.0 || w + b + h <= 0.0 {
+            return Err(Error::invalid_config("profile_weights must be non-negative, not all zero"));
+        }
+        Ok(())
+    }
+
+    /// Expected steady-state VM population (Little's law:
+    /// arrival rate × mean group size × mean lifetime).
+    pub fn expected_population(&self) -> f64 {
+        let mean_group = (self.group_size_range.0 + self.group_size_range.1) as f64 / 2.0;
+        self.groups_per_slot * mean_group * self.mean_lifetime_slots
+    }
+}
+
+/// Generator of [`VmSpec`]s over time.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::arrivals::{ArrivalConfig, ArrivalProcess};
+/// use geoplace_types::time::TimeSlot;
+///
+/// let mut process = ArrivalProcess::new(ArrivalConfig::default()).unwrap();
+/// let initial = process.initial_population();
+/// assert!(!initial.is_empty());
+/// let newcomers = process.arrivals_for(TimeSlot(1));
+/// // Arrivals are Poisson; any count (including zero) is possible.
+/// let _ = newcomers.len();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    config: ArrivalConfig,
+    rng: StdRng,
+    group_arrivals: Poisson,
+    lifetimes: Exponential,
+    sizes: WeightedChoice<Gigabytes>,
+    profiles: WeightedChoice<TraceKind>,
+    next_vm: u32,
+    next_group: u32,
+}
+
+impl ArrivalProcess {
+    /// Creates the process from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: ArrivalConfig) -> Result<Self> {
+        config.validate()?;
+        let (w, b, h) = config.profile_weights;
+        Ok(ArrivalProcess {
+            rng: StdRng::seed_from_u64(config.seed),
+            group_arrivals: Poisson::new(config.groups_per_slot)
+                .ok_or_else(|| Error::invalid_config("groups_per_slot"))?,
+            lifetimes: Exponential::with_mean(config.mean_lifetime_slots)
+                .ok_or_else(|| Error::invalid_config("mean_lifetime_slots"))?,
+            // Paper: "the size of the VMs are in the range of 2, 4, and 8 GB
+            // according to the distribution of 60 %, 30 % and 10 %".
+            sizes: WeightedChoice::new(vec![
+                (Gigabytes(2.0), 0.6),
+                (Gigabytes(4.0), 0.3),
+                (Gigabytes(8.0), 0.1),
+            ])
+            .expect("static weights are valid"),
+            profiles: WeightedChoice::new(vec![
+                (TraceKind::WebServing, w),
+                (TraceKind::Batch, b),
+                (TraceKind::Hpc, h),
+            ])
+            .ok_or_else(|| Error::invalid_config("profile_weights"))?,
+            config,
+            next_vm: 0,
+            next_group: 0,
+        })
+    }
+
+    /// The VMs already running at slot 0.
+    ///
+    /// Their remaining lifetimes are exponential (memorylessness makes the
+    /// residual of an exponential lifetime exponential again), so the
+    /// population starts in its stationary regime.
+    pub fn initial_population(&mut self) -> Vec<VmSpec> {
+        let mut vms = Vec::new();
+        for _ in 0..self.config.initial_groups {
+            let group = self.fresh_group();
+            let size = self.group_size();
+            for _ in 0..size {
+                vms.push(self.spawn_vm(group, TimeSlot(0)));
+            }
+        }
+        vms
+    }
+
+    /// VMs arriving at the boundary of `slot` (they are active from `slot`
+    /// onwards).
+    pub fn arrivals_for(&mut self, slot: TimeSlot) -> Vec<VmSpec> {
+        let groups = self.group_arrivals.sample(&mut self.rng);
+        let mut vms = Vec::new();
+        for _ in 0..groups {
+            let group = self.fresh_group();
+            let size = self.group_size();
+            for _ in 0..size {
+                vms.push(self.spawn_vm(group, slot));
+            }
+        }
+        vms
+    }
+
+    /// The configuration this process was created from.
+    pub fn config(&self) -> &ArrivalConfig {
+        &self.config
+    }
+
+    fn fresh_group(&mut self) -> GroupId {
+        let id = GroupId(self.next_group);
+        self.next_group += 1;
+        id
+    }
+
+    fn group_size(&mut self) -> u32 {
+        let (lo, hi) = self.config.group_size_range;
+        self.rng.gen_range(lo..=hi)
+    }
+
+    fn spawn_vm(&mut self, group: GroupId, arrival: TimeSlot) -> VmSpec {
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
+        let memory = *self.sizes.sample(&mut self.rng);
+        let lifetime = self.lifetimes.sample(&mut self.rng).ceil().max(1.0) as u32;
+        let kind = *self.profiles.sample(&mut self.rng);
+        let params = TraceParams::sample(kind, &mut self.rng);
+        let trace_seed = self.rng.gen();
+        VmSpec::new(id, group, memory, arrival, lifetime, VmTrace::new(params, trace_seed))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ArrivalConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ArrivalConfig::default();
+        c.mean_lifetime_slots = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrivalConfig::default();
+        c.group_size_range = (0, 4);
+        assert!(c.validate().is_err());
+
+        let mut c = ArrivalConfig::default();
+        c.group_size_range = (5, 2);
+        assert!(c.validate().is_err());
+
+        let mut c = ArrivalConfig::default();
+        c.profile_weights = (0.0, 0.0, 0.0);
+        assert!(c.validate().is_err());
+
+        let mut c = ArrivalConfig::default();
+        c.groups_per_slot = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ids_are_unique_and_dense() {
+        let mut p = ArrivalProcess::new(ArrivalConfig::default()).unwrap();
+        let mut all = p.initial_population();
+        for s in 1..=5 {
+            all.extend(p.arrivals_for(TimeSlot(s)));
+        }
+        let ids: HashSet<u32> = all.iter().map(|vm| vm.id().0).collect();
+        assert_eq!(ids.len(), all.len(), "duplicate VmIds");
+        assert_eq!(*ids.iter().max().unwrap() as usize, all.len() - 1, "ids not dense");
+    }
+
+    #[test]
+    fn memory_sizes_follow_paper_distribution() {
+        let mut config = ArrivalConfig::default();
+        config.initial_groups = 2000;
+        config.group_size_range = (1, 1);
+        let mut p = ArrivalProcess::new(config).unwrap();
+        let vms = p.initial_population();
+        let count = |gb: f64| vms.iter().filter(|v| v.memory().0 == gb).count() as f64;
+        let n = vms.len() as f64;
+        assert!((count(2.0) / n - 0.6).abs() < 0.05);
+        assert!((count(4.0) / n - 0.3).abs() < 0.05);
+        assert!((count(8.0) / n - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn lifetimes_are_exponential_with_configured_mean() {
+        let mut config = ArrivalConfig::default();
+        config.initial_groups = 3000;
+        config.group_size_range = (1, 1);
+        config.mean_lifetime_slots = 40.0;
+        let mut p = ArrivalProcess::new(config).unwrap();
+        let vms = p.initial_population();
+        let mean: f64 =
+            vms.iter().map(|v| v.lifetime_slots() as f64).sum::<f64>() / vms.len() as f64;
+        // ceil() adds ~0.5 bias on top of the configured mean.
+        assert!((mean - 40.5).abs() < 2.0, "mean lifetime {mean}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut p = ArrivalProcess::new(ArrivalConfig::default()).unwrap();
+            let mut sizes = vec![p.initial_population().len()];
+            for s in 1..=8 {
+                sizes.push(p.arrivals_for(TimeSlot(s)).len());
+            }
+            sizes
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn group_members_share_group_id() {
+        let mut config = ArrivalConfig::default();
+        config.group_size_range = (3, 3);
+        config.initial_groups = 4;
+        let mut p = ArrivalProcess::new(config).unwrap();
+        let vms = p.initial_population();
+        assert_eq!(vms.len(), 12);
+        for chunk in vms.chunks(3) {
+            assert!(chunk.iter().all(|vm| vm.group() == chunk[0].group()));
+        }
+    }
+
+    #[test]
+    fn expected_population_uses_littles_law() {
+        let config = ArrivalConfig {
+            groups_per_slot: 2.0,
+            mean_lifetime_slots: 10.0,
+            group_size_range: (2, 4),
+            ..ArrivalConfig::default()
+        };
+        assert!((config.expected_population() - 60.0).abs() < 1e-9);
+    }
+}

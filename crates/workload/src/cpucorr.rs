@@ -1,0 +1,314 @@
+//! CPU-load correlation between VM pairs.
+//!
+//! The paper's repulsion force (Eq. 5) uses a CPU-load correlation
+//! `Corr_cpu ∈ (0,1]` that is "computed as a worst-case peak CPU utilization
+//! when the peaks of two VMs coincide during the last time slot". We
+//! implement that as the *peak-coincidence ratio*
+//!
+//! ```text
+//! Corr_cpu(i,j) = peak(u_i + u_j) / (peak(u_i) + peak(u_j))
+//! ```
+//!
+//! which is 1.0 exactly when the two peaks coincide (worst case for
+//! consolidation) and approaches `max(peak_i, peak_j)/(peak_i+peak_j)` —
+//! as low as 0.5 for equal peaks — when the loads are perfectly
+//! anti-coincident. A classic Pearson correlation is also provided for
+//! comparison and testing.
+
+use crate::window::{peak_of, UtilizationWindows};
+use geoplace_types::VmId;
+
+/// Symmetric matrix of pairwise CPU-load correlations in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::cpucorr::CpuCorrelationMatrix;
+/// use geoplace_workload::window::UtilizationWindows;
+/// use geoplace_types::VmId;
+///
+/// let windows = UtilizationWindows::from_rows(vec![
+///     (VmId(0), vec![0.8, 0.1, 0.1, 0.8]),
+///     (VmId(1), vec![0.8, 0.1, 0.1, 0.8]), // same shape: peaks coincide
+///     (VmId(2), vec![0.1, 0.8, 0.8, 0.1]), // anti-phase
+/// ]);
+/// let corr = CpuCorrelationMatrix::compute(&windows);
+/// assert!(corr.get(VmId(0), VmId(1)).unwrap() > 0.99);
+/// assert!(corr.get(VmId(0), VmId(2)).unwrap() < 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuCorrelationMatrix {
+    ids: Vec<VmId>,
+    /// Row-major `n × n` symmetric matrix; diagonal is 1.0.
+    values: Vec<f32>,
+    n: usize,
+}
+
+/// Which pairwise statistic the repulsion force uses.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum CorrelationMetric {
+    /// The paper's worst-case peak-coincidence ratio (default).
+    #[default]
+    PeakCoincidence,
+    /// Pearson correlation mapped from `[-1, 1]` into `(0, 1]` — offered
+    /// for comparison (DESIGN.md §5); smoother but blind to *when* peaks
+    /// align in absolute terms.
+    Pearson,
+}
+
+impl CpuCorrelationMatrix {
+    /// Computes the peak-coincidence correlation for every VM pair.
+    pub fn compute(windows: &UtilizationWindows) -> Self {
+        Self::compute_with(windows, CorrelationMetric::PeakCoincidence)
+    }
+
+    /// Computes the pairwise matrix under the chosen metric; both yield
+    /// values in `(0, 1]` with 1.0 meaning "worst co-location candidate".
+    pub fn compute_with(windows: &UtilizationWindows, metric: CorrelationMetric) -> Self {
+        let n = windows.len();
+        let mut values = vec![0.0f32; n * n];
+        let peaks: Vec<f32> =
+            (0..n).map(|i| peak_of(windows.row_at(i))).collect();
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let c = match metric {
+                    CorrelationMetric::PeakCoincidence => peak_coincidence(
+                        windows.row_at(i),
+                        windows.row_at(j),
+                        peaks[i],
+                        peaks[j],
+                    ),
+                    CorrelationMetric::Pearson => {
+                        // Map [-1, 1] → (0, 1]: anti-correlated pairs repel
+                        // least, perfectly correlated ones most.
+                        let r = pearson(windows.row_at(i), windows.row_at(j));
+                        ((r + 1.0) / 2.0).clamp(f32::EPSILON, 1.0)
+                    }
+                };
+                values[i * n + j] = c;
+                values[j * n + i] = c;
+            }
+        }
+        CpuCorrelationMatrix { ids: windows.ids().to_vec(), values, n }
+    }
+
+    /// Number of VMs covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers no VMs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The VM ids in matrix order.
+    pub fn ids(&self) -> &[VmId] {
+        &self.ids
+    }
+
+    /// Correlation between two VMs by id.
+    pub fn get(&self, a: VmId, b: VmId) -> Option<f32> {
+        let i = self.ids.iter().position(|&v| v == a)?;
+        let j = self.ids.iter().position(|&v| v == b)?;
+        Some(self.at(i, j))
+    }
+
+    /// Correlation between two VMs by dense position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.values[i * self.n + j]
+    }
+}
+
+/// Worst-case peak-coincidence ratio of two utilization windows, in
+/// `(0, 1]`. Returns 1.0 when either window has no load at all (degenerate
+/// pair — treat as fully correlated to keep the range).
+pub fn peak_coincidence(a: &[f32], b: &[f32], peak_a: f32, peak_b: f32) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let denominator = peak_a + peak_b;
+    if denominator <= f32::EPSILON {
+        return 1.0;
+    }
+    let combined_peak = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| x + y)
+        .fold(0.0f32, f32::max);
+    (combined_peak / denominator).clamp(f32::EPSILON, 1.0)
+}
+
+/// Pearson correlation coefficient of two equally long sample windows,
+/// in `[-1, 1]`; returns 0.0 when either window is constant.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean_a: f64 = a.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+    let mean_b: f64 = b.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+    let mut cov = 0.0f64;
+    let mut var_a = 0.0f64;
+    let mut var_b = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let dx = x as f64 - mean_a;
+        let dy = y as f64 - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a <= f64::EPSILON || var_b <= f64::EPSILON {
+        return 0.0;
+    }
+    (cov / (var_a.sqrt() * var_b.sqrt())) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coincident_peaks_score_one() {
+        let a = [0.9f32, 0.1, 0.1];
+        let b = [0.8f32, 0.2, 0.1];
+        let c = peak_coincidence(&a, &b, 0.9, 0.8);
+        assert!((c - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn anticoincident_peaks_score_low() {
+        let a = [0.9f32, 0.05, 0.05];
+        let b = [0.05f32, 0.05, 0.9];
+        let c = peak_coincidence(&a, &b, 0.9, 0.9);
+        // Combined peak is 0.95 of a possible 1.8.
+        assert!((c - 0.95 / 1.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_load_pair_is_degenerate_one() {
+        let a = [0.0f32; 4];
+        let b = [0.0f32; 4];
+        assert_eq!(peak_coincidence(&a, &b, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn correlation_stays_in_unit_interval() {
+        let windows = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.2, 0.9, 0.4, 0.1]),
+            (VmId(1), vec![0.7, 0.3, 0.9, 0.2]),
+            (VmId(2), vec![0.5, 0.5, 0.5, 0.5]),
+        ]);
+        let m = CpuCorrelationMatrix::compute(&windows);
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = m.at(i, j);
+                assert!((0.0..=1.0).contains(&v), "corr {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let windows = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.2, 0.9]),
+            (VmId(1), vec![0.7, 0.3]),
+            (VmId(2), vec![0.1, 0.8]),
+        ]);
+        let m = CpuCorrelationMatrix::compute(&windows);
+        for i in 0..3 {
+            assert_eq!(m.at(i, i), 1.0);
+            for j in 0..3 {
+                assert_eq!(m.at(i, j), m.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn get_by_id_matches_at_by_position() {
+        let windows = UtilizationWindows::from_rows(vec![
+            (VmId(10), vec![0.2, 0.9]),
+            (VmId(20), vec![0.7, 0.3]),
+        ]);
+        let m = CpuCorrelationMatrix::compute(&windows);
+        assert_eq!(m.get(VmId(10), VmId(20)).unwrap(), m.at(0, 1));
+        assert!(m.get(VmId(10), VmId(99)).is_none());
+    }
+
+    #[test]
+    fn pearson_identical_and_inverted() {
+        let a = [0.1f32, 0.5, 0.9, 0.5];
+        let inverted: Vec<f32> = a.iter().map(|x| 1.0 - x).collect();
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((pearson(&a, &inverted) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_constant_window_is_zero() {
+        let a = [0.5f32; 8];
+        let b = [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        assert_eq!(pearson(&a, &b), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_metric_orders_pairs_like_the_default() {
+        // Same-phase pair must repel more than anti-phase pair under both
+        // metrics; this is the comparison DESIGN.md §5 promises.
+        let windows = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.9, 0.7, 0.2, 0.1]),
+            (VmId(1), vec![0.8, 0.6, 0.1, 0.2]), // same phase as vm0
+            (VmId(2), vec![0.1, 0.2, 0.8, 0.9]), // anti-phase
+        ]);
+        for metric in [CorrelationMetric::PeakCoincidence, CorrelationMetric::Pearson] {
+            let m = CpuCorrelationMatrix::compute_with(&windows, metric);
+            assert!(
+                m.at(0, 1) > m.at(0, 2),
+                "{metric:?}: same-phase {} must exceed anti-phase {}",
+                m.at(0, 1),
+                m.at(0, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn pearson_metric_stays_in_unit_interval() {
+        let windows = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.9, 0.1, 0.9, 0.1]),
+            (VmId(1), vec![0.1, 0.9, 0.1, 0.9]),
+            (VmId(2), vec![0.5, 0.5, 0.5, 0.5]),
+        ]);
+        let m = CpuCorrelationMatrix::compute_with(&windows, CorrelationMetric::Pearson);
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = m.at(i, j);
+                assert!((0.0..=1.0).contains(&v), "({i},{j}) = {v}");
+            }
+        }
+        // Perfectly anti-correlated pair approaches 0 repulsion.
+        assert!(m.at(0, 1) < 0.1);
+    }
+
+    #[test]
+    fn peak_coincidence_tracks_pearson_ordering() {
+        // For smooth loads the two metrics must agree on which pair is the
+        // "worse" co-location candidate.
+        let phase: Vec<f32> =
+            (0..64).map(|t| 0.5 + 0.4 * ((t as f32) * 0.2).sin()).collect();
+        let same: Vec<f32> =
+            (0..64).map(|t| 0.5 + 0.3 * ((t as f32) * 0.2).sin()).collect();
+        let anti: Vec<f32> = (0..64)
+            .map(|t| 0.5 + 0.4 * ((t as f32) * 0.2 + std::f32::consts::PI).sin())
+            .collect();
+        let c_same = peak_coincidence(&phase, &same, peak_of(&phase), peak_of(&same));
+        let c_anti = peak_coincidence(&phase, &anti, peak_of(&phase), peak_of(&anti));
+        assert!(c_same > c_anti);
+        assert!(pearson(&phase, &same) > pearson(&phase, &anti));
+    }
+}

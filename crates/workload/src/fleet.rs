@@ -1,0 +1,301 @@
+//! The live VM population: arrivals, departures, utilization windows and
+//! both correlation structures, advanced slot by slot.
+
+use crate::arrivals::{ArrivalConfig, ArrivalProcess};
+use crate::cpucorr::CpuCorrelationMatrix;
+use crate::datacorr::{DataCorrelation, DataCorrelationConfig};
+use crate::vm::VmSpec;
+use crate::window::UtilizationWindows;
+use geoplace_types::time::TimeSlot;
+use geoplace_types::{Error, Result, VmId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// What changed at a slot boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetDelta {
+    /// VMs that became active this slot.
+    pub arrived: Vec<VmId>,
+    /// VMs that departed at this slot boundary.
+    pub departed: Vec<VmId>,
+}
+
+/// The evolving VM population of the whole geo-distributed system.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::fleet::{FleetConfig, VmFleet};
+/// use geoplace_types::time::TimeSlot;
+///
+/// let mut fleet = VmFleet::new(FleetConfig::default()).unwrap();
+/// assert!(!fleet.active().is_empty());
+/// let delta = fleet.advance_to(TimeSlot(1));
+/// // Something may arrive or depart; the fleet stays consistent.
+/// assert!(delta.arrived.iter().all(|vm| fleet.active().contains(vm)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmFleet {
+    vms: Vec<VmSpec>,
+    by_id: HashMap<VmId, usize>,
+    active: Vec<VmId>,
+    arrivals: ArrivalProcess,
+    data: DataCorrelation,
+    rng: StdRng,
+    current_slot: TimeSlot,
+}
+
+/// Configuration bundling the arrival process and the traffic generator.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetConfig {
+    /// Arrival/lifetime/profile parameters.
+    pub arrivals: ArrivalConfig,
+    /// Pairwise traffic parameters.
+    pub data: DataCorrelationConfig,
+}
+
+impl VmFleet {
+    /// Creates the fleet with its slot-0 initial population already active
+    /// and wired with data-correlation traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the arrival configuration is
+    /// invalid.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        let mut arrivals = ArrivalProcess::new(config.arrivals.clone())?;
+        let mut rng = StdRng::seed_from_u64(config.arrivals.seed ^ 0xF1EE7);
+        let initial = arrivals.initial_population();
+        let mut data = DataCorrelation::new(config.data);
+        data.connect_arrivals(&initial, &initial, &mut rng);
+        let mut fleet = VmFleet {
+            vms: Vec::new(),
+            by_id: HashMap::new(),
+            active: Vec::new(),
+            arrivals,
+            data,
+            rng,
+            current_slot: TimeSlot(0),
+        };
+        for vm in initial {
+            fleet.register(vm);
+        }
+        fleet.active.sort_unstable();
+        Ok(fleet)
+    }
+
+    /// The slot the fleet currently reflects.
+    pub fn current_slot(&self) -> TimeSlot {
+        self.current_slot
+    }
+
+    /// Ids of all currently active VMs, sorted.
+    pub fn active(&self) -> &[VmId] {
+        &self.active
+    }
+
+    /// Looks up a VM descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEntity`] for ids never seen.
+    pub fn vm(&self, id: VmId) -> Result<&VmSpec> {
+        self.by_id
+            .get(&id)
+            .map(|&i| &self.vms[i])
+            .ok_or_else(|| Error::unknown_entity(id))
+    }
+
+    /// The pairwise traffic structure.
+    pub fn data_correlation(&self) -> &DataCorrelation {
+        &self.data
+    }
+
+    /// Advances the fleet to `slot`, processing departures, arrivals and
+    /// the runtime drift of the traffic rates for each crossed boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is in the past — the fleet only moves forward.
+    pub fn advance_to(&mut self, slot: TimeSlot) -> FleetDelta {
+        assert!(
+            slot >= self.current_slot,
+            "fleet cannot rewind from {} to {}",
+            self.current_slot,
+            slot
+        );
+        let mut delta = FleetDelta::default();
+        while self.current_slot < slot {
+            let next = self.current_slot.next();
+            // Departures: VMs whose half-open activity window ends at `next`.
+            let departed: Vec<VmId> = self
+                .active
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let vm = &self.vms[self.by_id[&id]];
+                    !vm.is_active_at(next)
+                })
+                .collect();
+            self.active.retain(|id| !departed.contains(id));
+            self.data.disconnect(&departed);
+            delta.departed.extend(departed);
+
+            // Arrivals for the new slot.
+            let newcomers = self.arrivals.arrivals_for(next);
+            let population: Vec<VmSpec> = self
+                .active
+                .iter()
+                .map(|&id| self.vms[self.by_id[&id]].clone())
+                .collect();
+            self.data.connect_arrivals(&newcomers, &population, &mut self.rng);
+            for vm in newcomers {
+                delta.arrived.push(vm.id());
+                self.register(vm);
+            }
+            self.active.sort_unstable();
+
+            // Runtime drift of the traffic volumes.
+            self.data.evolve(&mut self.rng);
+            self.current_slot = next;
+        }
+        delta
+    }
+
+    /// Materializes the 5 s utilization windows of all active VMs for
+    /// `slot` (normally the slot that just *ended* — controllers use the
+    /// previous interval's observations).
+    pub fn windows(&self, slot: TimeSlot) -> UtilizationWindows {
+        let rows = self
+            .active
+            .iter()
+            .map(|&id| {
+                let vm = &self.vms[self.by_id[&id]];
+                (id, vm.trace().window(slot))
+            })
+            .collect();
+        UtilizationWindows::from_rows(rows)
+    }
+
+    /// CPU-load correlation matrix of the active VMs over `slot`.
+    pub fn cpu_correlation(&self, slot: TimeSlot) -> CpuCorrelationMatrix {
+        CpuCorrelationMatrix::compute(&self.windows(slot))
+    }
+
+    /// Total number of VMs ever admitted.
+    pub fn total_spawned(&self) -> usize {
+        self.vms.len()
+    }
+
+    fn register(&mut self, vm: VmSpec) {
+        let id = vm.id();
+        self.by_id.insert(id, self.vms.len());
+        self.active.push(id);
+        self.vms.push(vm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet(seed: u64) -> VmFleet {
+        let mut config = FleetConfig::default();
+        config.arrivals.initial_groups = 10;
+        config.arrivals.groups_per_slot = 2.0;
+        config.arrivals.mean_lifetime_slots = 5.0;
+        config.arrivals.seed = seed;
+        VmFleet::new(config).unwrap()
+    }
+
+    #[test]
+    fn initial_population_is_active() {
+        let fleet = small_fleet(1);
+        assert!(!fleet.active().is_empty());
+        assert_eq!(fleet.current_slot(), TimeSlot(0));
+        for &id in fleet.active() {
+            assert!(fleet.vm(id).unwrap().is_active_at(TimeSlot(0)));
+        }
+    }
+
+    #[test]
+    fn advance_processes_arrivals_and_departures() {
+        let mut fleet = small_fleet(2);
+        let mut total_arrived = 0;
+        let mut total_departed = 0;
+        for s in 1..=30u32 {
+            let delta = fleet.advance_to(TimeSlot(s));
+            total_arrived += delta.arrived.len();
+            total_departed += delta.departed.len();
+            // Active set must match per-VM activity windows exactly.
+            for &id in fleet.active() {
+                assert!(fleet.vm(id).unwrap().is_active_at(TimeSlot(s)));
+            }
+        }
+        assert!(total_arrived > 0, "no arrivals in 30 slots");
+        assert!(total_departed > 0, "no departures in 30 slots");
+    }
+
+    #[test]
+    fn departures_drop_traffic_pairs() {
+        let mut fleet = small_fleet(3);
+        for s in 1..=20u32 {
+            let delta = fleet.advance_to(TimeSlot(s));
+            for gone in &delta.departed {
+                assert!(fleet
+                    .data_correlation()
+                    .iter()
+                    .all(|(a, b, _)| a != *gone && b != *gone));
+            }
+        }
+    }
+
+    #[test]
+    fn windows_cover_exactly_the_active_set() {
+        let mut fleet = small_fleet(4);
+        fleet.advance_to(TimeSlot(5));
+        let windows = fleet.windows(TimeSlot(4));
+        assert_eq!(windows.len(), fleet.active().len());
+        for &id in fleet.active() {
+            assert!(windows.row(id).is_some());
+        }
+    }
+
+    #[test]
+    fn advance_is_deterministic() {
+        let run = |seed| {
+            let mut fleet = small_fleet(seed);
+            for s in 1..=10u32 {
+                fleet.advance_to(TimeSlot(s));
+            }
+            (fleet.active().to_vec(), fleet.total_spawned())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn rewinding_panics() {
+        let mut fleet = small_fleet(5);
+        fleet.advance_to(TimeSlot(3));
+        fleet.advance_to(TimeSlot(2));
+    }
+
+    #[test]
+    fn unknown_vm_is_an_error() {
+        let fleet = small_fleet(6);
+        assert!(fleet.vm(VmId(u32::MAX)).is_err());
+    }
+
+    #[test]
+    fn multi_slot_jump_equals_stepwise() {
+        let mut jump = small_fleet(7);
+        let mut step = small_fleet(7);
+        jump.advance_to(TimeSlot(6));
+        for s in 1..=6u32 {
+            step.advance_to(TimeSlot(s));
+        }
+        assert_eq!(jump.active(), step.active());
+    }
+}

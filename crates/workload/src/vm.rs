@@ -1,0 +1,173 @@
+//! Virtual-machine descriptors.
+
+use crate::trace::VmTrace;
+use geoplace_types::time::TimeSlot;
+use geoplace_types::units::Gigabytes;
+use geoplace_types::VmId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of the *application group* a VM belongs to.
+///
+/// VMs of the same cloud application (a web-search tier, a MapReduce job…)
+/// arrive together and exchange data heavily — data correlation in the
+/// paper's sense lives mostly inside groups.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GroupId(pub u32);
+
+/// Immutable description of one VM for its whole lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::vm::{GroupId, VmSpec};
+/// use geoplace_workload::trace::{TraceKind, TraceParams, VmTrace};
+/// use geoplace_types::{time::TimeSlot, units::Gigabytes, VmId};
+///
+/// let trace = VmTrace::new(
+///     TraceParams {
+///         kind: TraceKind::Hpc,
+///         base: 0.6,
+///         amplitude: 0.0,
+///         phase_hours: 0.0,
+///         noise_sigma: 0.02,
+///         burst_duty: 0.0,
+///         burst_level: 0.0,
+///     },
+///     9,
+/// );
+/// let vm = VmSpec::new(VmId(0), GroupId(0), Gigabytes(4.0), TimeSlot(3), 10, trace);
+/// assert!(vm.is_active_at(TimeSlot(3)));
+/// assert!(vm.is_active_at(TimeSlot(12)));
+/// assert!(!vm.is_active_at(TimeSlot(13)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    id: VmId,
+    group: GroupId,
+    memory: Gigabytes,
+    cores: u32,
+    arrival: TimeSlot,
+    lifetime_slots: u32,
+    trace: VmTrace,
+}
+
+impl VmSpec {
+    /// Creates a VM descriptor. `lifetime_slots` is clamped to at least 1 —
+    /// a VM that arrives lives for at least one control slot; the vCPU
+    /// count follows the memory size (2 GB → 2 vCPUs, …, 8 GB → 8 vCPUs).
+    pub fn new(
+        id: VmId,
+        group: GroupId,
+        memory: Gigabytes,
+        arrival: TimeSlot,
+        lifetime_slots: u32,
+        trace: VmTrace,
+    ) -> Self {
+        let cores = (memory.0.round() as u32).clamp(1, 8);
+        VmSpec {
+            id,
+            group,
+            memory,
+            cores,
+            arrival,
+            lifetime_slots: lifetime_slots.max(1),
+            trace,
+        }
+    }
+
+    /// Number of vCPUs. The VM's instantaneous compute demand in
+    /// core-equivalents is `utilization × cores`.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// The VM's unique id.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The application group the VM belongs to.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Memory footprint — this is the volume moved when the VM migrates
+    /// across DCs (the paper uses 2/4/8 GB at 60/30/10 %).
+    pub fn memory(&self) -> Gigabytes {
+        self.memory
+    }
+
+    /// First slot in which the VM is active.
+    pub fn arrival(&self) -> TimeSlot {
+        self.arrival
+    }
+
+    /// Number of slots the VM stays active.
+    pub fn lifetime_slots(&self) -> u32 {
+        self.lifetime_slots
+    }
+
+    /// One-past-the-last active slot.
+    pub fn departure(&self) -> TimeSlot {
+        TimeSlot(self.arrival.0 + self.lifetime_slots)
+    }
+
+    /// Whether the VM is active during `slot` (arrival inclusive, departure
+    /// exclusive).
+    pub fn is_active_at(&self, slot: TimeSlot) -> bool {
+        self.arrival <= slot && slot < self.departure()
+    }
+
+    /// The VM's CPU-utilization trace.
+    pub fn trace(&self) -> &VmTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceKind, TraceParams};
+
+    fn spec(arrival: u32, lifetime: u32) -> VmSpec {
+        let trace = VmTrace::new(
+            TraceParams {
+                kind: TraceKind::Hpc,
+                base: 0.5,
+                amplitude: 0.0,
+                phase_hours: 0.0,
+                noise_sigma: 0.0,
+                burst_duty: 0.0,
+                burst_level: 0.0,
+            },
+            1,
+        );
+        VmSpec::new(VmId(1), GroupId(0), Gigabytes(2.0), TimeSlot(arrival), lifetime, trace)
+    }
+
+    #[test]
+    fn activity_window_is_half_open() {
+        let vm = spec(5, 3);
+        assert!(!vm.is_active_at(TimeSlot(4)));
+        assert!(vm.is_active_at(TimeSlot(5)));
+        assert!(vm.is_active_at(TimeSlot(7)));
+        assert!(!vm.is_active_at(TimeSlot(8)));
+        assert_eq!(vm.departure(), TimeSlot(8));
+    }
+
+    #[test]
+    fn cores_follow_memory_size() {
+        let vm = spec(0, 1);
+        assert_eq!(vm.cores(), 2); // 2 GB VM → 2 vCPUs
+    }
+
+    #[test]
+    fn zero_lifetime_clamped_to_one() {
+        let vm = spec(0, 0);
+        assert_eq!(vm.lifetime_slots(), 1);
+        assert!(vm.is_active_at(TimeSlot(0)));
+        assert!(!vm.is_active_at(TimeSlot(1)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Dense per-slot utilization windows for a set of VMs.
+//!
+//! The correlation analyses (Eq. 5 of the paper) and the local allocation
+//! fit checks all consume the 5 s utilization samples of the *previous*
+//! slot. [`UtilizationWindows`] materializes them row-major so that pairwise
+//! scans are cache-friendly.
+
+use geoplace_types::time::TICKS_PER_SLOT;
+use geoplace_types::VmId;
+use std::collections::HashMap;
+
+/// Row-major matrix of utilization samples: one row of `width` samples per
+/// VM.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::window::UtilizationWindows;
+/// use geoplace_types::VmId;
+///
+/// let windows = UtilizationWindows::from_rows(vec![
+///     (VmId(3), vec![0.2, 0.4]),
+///     (VmId(7), vec![0.6, 0.1]),
+/// ]);
+/// assert_eq!(windows.len(), 2);
+/// assert_eq!(windows.row(VmId(7)).unwrap(), &[0.6, 0.1]);
+/// assert!((windows.peak(VmId(3)).unwrap() - 0.4).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationWindows {
+    ids: Vec<VmId>,
+    index: HashMap<VmId, usize>,
+    samples: Vec<f32>,
+    width: usize,
+}
+
+impl UtilizationWindows {
+    /// Builds the matrix from `(vm, samples)` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or a VM id repeats.
+    pub fn from_rows(rows: Vec<(VmId, Vec<f32>)>) -> Self {
+        let width = rows.first().map_or(TICKS_PER_SLOT, |(_, w)| w.len());
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut index = HashMap::with_capacity(rows.len());
+        let mut samples = Vec::with_capacity(rows.len() * width);
+        for (vm, row) in rows {
+            assert_eq!(row.len(), width, "inconsistent window width for {vm}");
+            let prior = index.insert(vm, ids.len());
+            assert!(prior.is_none(), "duplicate window row for {vm}");
+            ids.push(vm);
+            samples.extend_from_slice(&row);
+        }
+        UtilizationWindows { ids, index, samples, width }
+    }
+
+    /// Number of VMs.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Samples per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The VM ids in row order.
+    pub fn ids(&self) -> &[VmId] {
+        &self.ids
+    }
+
+    /// Dense row position of a VM, if present.
+    pub fn position(&self, vm: VmId) -> Option<usize> {
+        self.index.get(&vm).copied()
+    }
+
+    /// The utilization row of a VM.
+    pub fn row(&self, vm: VmId) -> Option<&[f32]> {
+        self.position(vm).map(|i| self.row_at(i))
+    }
+
+    /// The utilization row at a dense position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len()`.
+    pub fn row_at(&self, pos: usize) -> &[f32] {
+        &self.samples[pos * self.width..(pos + 1) * self.width]
+    }
+
+    /// Peak utilization of a VM over the window.
+    pub fn peak(&self, vm: VmId) -> Option<f32> {
+        self.row(vm).map(peak_of)
+    }
+
+    /// Mean utilization of a VM over the window.
+    pub fn mean(&self, vm: VmId) -> Option<f32> {
+        self.row(vm).map(mean_of)
+    }
+}
+
+/// Peak of a sample slice (0.0 for empty slices).
+pub fn peak_of(samples: &[f32]) -> f32 {
+    samples.iter().copied().fold(0.0, f32::max)
+}
+
+/// Mean of a sample slice (0.0 for empty slices).
+pub fn mean_of(samples: &[f32]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f32>() / samples.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_windows() -> UtilizationWindows {
+        UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.1, 0.2, 0.3]),
+            (VmId(5), vec![0.9, 0.8, 0.7]),
+            (VmId(2), vec![0.5, 0.5, 0.5]),
+        ])
+    }
+
+    #[test]
+    fn rows_are_addressable_by_id_and_position() {
+        let w = sample_windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.width(), 3);
+        assert_eq!(w.ids(), &[VmId(0), VmId(5), VmId(2)]);
+        assert_eq!(w.row(VmId(5)).unwrap(), &[0.9, 0.8, 0.7]);
+        assert_eq!(w.row_at(2), &[0.5, 0.5, 0.5]);
+        assert_eq!(w.position(VmId(2)), Some(2));
+        assert_eq!(w.position(VmId(9)), None);
+        assert!(w.row(VmId(9)).is_none());
+    }
+
+    #[test]
+    fn peak_and_mean() {
+        let w = sample_windows();
+        assert!((w.peak(VmId(0)).unwrap() - 0.3).abs() < 1e-6);
+        assert!((w.mean(VmId(0)).unwrap() - 0.2).abs() < 1e-6);
+        assert!((w.peak(VmId(2)).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent window width")]
+    fn inconsistent_widths_panic() {
+        let _ = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.1]),
+            (VmId(1), vec![0.1, 0.2]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate window row")]
+    fn duplicate_ids_panic() {
+        let _ = UtilizationWindows::from_rows(vec![
+            (VmId(0), vec![0.1]),
+            (VmId(0), vec![0.2]),
+        ]);
+    }
+
+    #[test]
+    fn empty_windows() {
+        let w = UtilizationWindows::from_rows(vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn helper_functions_on_empty_slices() {
+        assert_eq!(peak_of(&[]), 0.0);
+        assert_eq!(mean_of(&[]), 0.0);
+    }
+}

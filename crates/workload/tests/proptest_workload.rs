@@ -1,0 +1,181 @@
+//! Property-based tests of the workload substrate.
+#![allow(clippy::field_reassign_with_default)]
+
+use geoplace_types::time::{Tick, TimeSlot, TICKS_PER_SLOT};
+use geoplace_types::VmId;
+use geoplace_workload::arrivals::{ArrivalConfig, ArrivalProcess};
+use geoplace_workload::cpucorr::{pearson, peak_coincidence, CpuCorrelationMatrix};
+use geoplace_workload::datacorr::{DataCorrelation, DataCorrelationConfig};
+use geoplace_workload::distributions::{Exponential, LogNormal, Normal, Poisson, WeightedChoice};
+use geoplace_workload::fleet::{FleetConfig, VmFleet};
+use geoplace_workload::trace::{TraceKind, TraceParams, VmTrace};
+use geoplace_workload::window::UtilizationWindows;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exponential_samples_are_non_negative(mean in 0.1f64..1000.0, seed in 0u64..500) {
+        let d = Exponential::with_mean(mean).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn poisson_counts_are_bounded_for_small_rates(lambda in 0.0f64..20.0, seed in 0u64..500) {
+        let d = Poisson::new(lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let k = d.sample(&mut rng);
+            // 20σ above the mean is astronomically unlikely.
+            prop_assert!((f64::from(k)) < lambda + 20.0 * lambda.sqrt() + 20.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_parameterization_holds(mean in 0.5f64..100.0, variance in 0.0f64..4.0) {
+        let d = LogNormal::with_arithmetic_mean(mean, variance).unwrap();
+        prop_assert!((d.arithmetic_mean() - mean).abs() / mean < 1e-9);
+    }
+
+    #[test]
+    fn normal_is_symmetric_under_seed_pairs(mu in -50.0f64..50.0, sigma in 0.0f64..10.0) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean: f64 = (0..4000).map(|_| d.sample(&mut rng)).sum::<f64>() / 4000.0;
+        prop_assert!((mean - mu).abs() < 1.0 + sigma / 4.0);
+    }
+
+    #[test]
+    fn weighted_choice_only_returns_members(weights in proptest::collection::vec(0.01f64..10.0, 1..6), seed in 0u64..100) {
+        let options: Vec<(usize, f64)> =
+            weights.iter().enumerate().map(|(i, &w)| (i, w)).collect();
+        let n = options.len();
+        let chooser = WeightedChoice::new(options).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(*chooser.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn trace_utilization_always_bounded(
+        seed in 0u64..5000,
+        base in 0.0f64..0.9,
+        amplitude in 0.0f64..0.9,
+        phase in 0.0f64..24.0,
+        tick in 0u64..1_000_000,
+    ) {
+        let trace = VmTrace::new(
+            TraceParams {
+                kind: TraceKind::WebServing,
+                base,
+                amplitude,
+                phase_hours: phase,
+                noise_sigma: 0.05,
+                burst_duty: 0.0,
+                burst_level: 0.0,
+            },
+            seed,
+        );
+        let u = trace.utilization_at(Tick(tick));
+        prop_assert!((0.0..=1.0).contains(&u), "u={u}");
+    }
+
+    #[test]
+    fn trace_window_matches_pointwise_samples(seed in 0u64..1000, slot in 0u32..336) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TraceParams::sample(TraceKind::Batch, &mut rng);
+        let trace = VmTrace::new(params, seed);
+        let window = trace.window(TimeSlot(slot));
+        prop_assert_eq!(window.len(), TICKS_PER_SLOT);
+        let first_tick = TimeSlot(slot).start_tick();
+        for (k, &w) in window.iter().enumerate().step_by(97) {
+            let direct = trace.utilization_at(Tick(first_tick.0 + k as u64)) as f32;
+            prop_assert!((w - direct).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn peak_coincidence_stays_in_unit_interval(
+        a in proptest::collection::vec(0.0f32..1.0, 8..32),
+    ) {
+        let b: Vec<f32> = a.iter().rev().copied().collect();
+        let peak_a = a.iter().copied().fold(0.0f32, f32::max);
+        let peak_b = peak_a; // reversed has the same peak
+        let c = peak_coincidence(&a, &b, peak_a, peak_b);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        a in proptest::collection::vec(0.0f32..1.0, 16),
+        b in proptest::collection::vec(0.0f32..1.0, 16),
+    ) {
+        let ab = pearson(&a, &b);
+        let ba = pearson(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn fleet_active_set_matches_vm_windows(seed in 0u64..40, slots in 1u32..12) {
+        let mut config = FleetConfig::default();
+        config.arrivals.initial_groups = 6;
+        config.arrivals.groups_per_slot = 1.0;
+        config.arrivals.mean_lifetime_slots = 4.0;
+        config.arrivals.seed = seed;
+        let mut fleet = VmFleet::new(config).unwrap();
+        fleet.advance_to(TimeSlot(slots));
+        for &vm in fleet.active() {
+            prop_assert!(fleet.vm(vm).unwrap().is_active_at(TimeSlot(slots)));
+        }
+        let windows = fleet.windows(TimeSlot(slots));
+        prop_assert_eq!(windows.len(), fleet.active().len());
+    }
+
+    #[test]
+    fn datacorr_attraction_matrix_is_negative_semidefinite_entrywise(
+        groups in 1u32..6,
+        size in 2u32..5,
+        seed in 0u64..100,
+    ) {
+        let mut config = ArrivalConfig::default();
+        config.initial_groups = groups;
+        config.group_size_range = (size, size);
+        config.seed = seed;
+        let mut process = ArrivalProcess::new(config).unwrap();
+        let vms = process.initial_population();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = DataCorrelation::new(DataCorrelationConfig::default());
+        data.connect_arrivals(&vms, &vms, &mut rng);
+        let ids: Vec<VmId> = vms.iter().map(|v| v.id()).collect();
+        let matrix = data.directed_attraction_matrix(&ids);
+        for &value in &matrix {
+            prop_assert!((-1.0..=0.0).contains(&value), "attraction {value}");
+        }
+    }
+
+    #[test]
+    fn correlation_matrix_symmetric_for_any_windows(
+        rows in proptest::collection::vec(proptest::collection::vec(0.0f32..1.0, 8), 2..8),
+    ) {
+        let windows = UtilizationWindows::from_rows(
+            rows.into_iter().enumerate().map(|(i, w)| (VmId(i as u32), w)).collect(),
+        );
+        let m = CpuCorrelationMatrix::compute(&windows);
+        for i in 0..m.len() {
+            prop_assert!((m.at(i, i) - 1.0).abs() < 1e-6);
+            for j in 0..m.len() {
+                prop_assert!((m.at(i, j) - m.at(j, i)).abs() < 1e-6);
+                prop_assert!((0.0..=1.0).contains(&m.at(i, j)));
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Head-to-head comparison of the paper's four policies on an identical
+//! scenario — a miniature of the full evaluation (Figs. 1–4).
+//!
+//! ```bash
+//! cargo run --release --example policy_comparison
+//! ```
+
+use geoplace::prelude::*;
+use geoplace::core::ProposedConfig;
+
+fn main() -> Result<(), geoplace::types::Error> {
+    let mut config = ScenarioConfig::scaled(7);
+    config.horizon_slots = 48; // two simulated days
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>11}",
+        "policy", "cost EUR", "energy GJ", "worst rt s", "migrations", "overruns"
+    );
+
+    // Each policy sees the *same* workload, weather and prices: scenarios
+    // are rebuilt from the same config/seed.
+    let run = |name: &str, report: geoplace::dcsim::SimulationReport| {
+        let totals = report.totals();
+        println!(
+            "{:<12} {:>10.2} {:>10.3} {:>12.1} {:>12} {:>11}",
+            name,
+            totals.cost_eur,
+            totals.energy_gj,
+            totals.worst_response_s,
+            totals.migrations,
+            totals.migration_overruns
+        );
+    };
+
+    let scenario = Scenario::build(&config)?;
+    let mut proposed = ProposedPolicy::new(ProposedConfig::default());
+    run("Proposed", Simulator::new(scenario).run(&mut proposed));
+
+    let scenario = Scenario::build(&config)?;
+    run("Ener-aware", Simulator::new(scenario).run(&mut EnerAwarePolicy::new()));
+
+    let scenario = Scenario::build(&config)?;
+    run("Pri-aware", Simulator::new(scenario).run(&mut PriAwarePolicy::new()));
+
+    let scenario = Scenario::build(&config)?;
+    run("Net-aware", Simulator::new(scenario).run(&mut NetAwarePolicy::new()));
+
+    println!();
+    println!("Expected shape (paper, Figs. 1-6): Proposed cheapest; Ener-aware");
+    println!("lowest energy but worst cost & worst-case response; Net-aware best");
+    println!("response but highest energy; Pri-aware in between.");
+    Ok(())
+}

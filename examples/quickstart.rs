@@ -1,0 +1,42 @@
+//! Quickstart: build a scaled scenario, run the paper's Proposed policy
+//! for one simulated day, and print the headline numbers.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use geoplace::prelude::*;
+
+fn main() -> Result<(), geoplace::types::Error> {
+    // A laptop-scale scenario: the paper's three sites (Lisbon, Zurich,
+    // Helsinki) at 1/10 fleet size, one simulated day, ~100 VMs.
+    let config = ScenarioConfig::scaled(42);
+    let scenario = Scenario::build(&config)?;
+
+    // The paper's two-phase multi-objective placement with default tuning
+    // (α = 0.5 — balanced energy/performance trade-off).
+    let mut policy = ProposedPolicy::new(geoplace::core::ProposedConfig::default());
+    let report = Simulator::new(scenario).run(&mut policy);
+
+    let totals = report.totals();
+    println!("policy             : {}", report.policy);
+    println!("simulated slots    : {}", report.hourly.len());
+    println!("operational cost   : {:.2} EUR", totals.cost_eur);
+    println!("total energy       : {:.3} GJ", totals.energy_gj);
+    println!("grid energy        : {:.3} GJ", totals.grid_energy_gj);
+    println!("worst response time: {:.1} s", totals.worst_response_s);
+    println!("migrations         : {} ({} over budget)", totals.migrations, totals.migration_overruns);
+    println!("mean servers on    : {:.1}", totals.mean_active_servers);
+
+    // The per-hour series behind the paper's Fig. 1 and Fig. 2.
+    let peak_cost_hour = report
+        .hourly
+        .iter()
+        .max_by(|a, b| a.cost_eur.partial_cmp(&b.cost_eur).expect("finite costs"))
+        .expect("at least one slot");
+    println!(
+        "most expensive hour: slot {} at {:.3} EUR",
+        peak_cost_hour.slot, peak_cost_hour.cost_eur
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # geoplace
+//!
+//! A faithful Rust reproduction of *"Exploiting CPU-Load and Data
+//! Correlations in Multi-Objective VM Placement for Geo-Distributed Data
+//! Centers"* (Pahlevan, Garcia del Valle, Atienza — DATE 2016).
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! * [`types`] — ids, physical units, simulation time;
+//! * [`workload`] — VM traces, arrivals, CPU-load & data correlations;
+//! * [`energy`] — PV generation, WCMA forecasting, batteries, tariffs,
+//!   the rule-based green controller;
+//! * [`network`] — geo topology, BER-aware latency (Eq. 1–4, Algorithm 1),
+//!   migration feasibility, response time;
+//! * [`dcsim`] — servers, DVFS power model, cooling/PUE, the slot/tick
+//!   simulation engine and its metrics;
+//! * [`core`] — the paper's contribution: force-directed clustering,
+//!   capacity-capped k-means, migration revision (Algorithm 2),
+//!   correlation-aware local allocation, assembled as
+//!   [`core::ProposedPolicy`];
+//! * [`baselines`] — the three state-of-the-art comparators (Pri-aware,
+//!   Ener-aware, Net-aware).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use geoplace::prelude::*;
+//!
+//! // A small scaled-down scenario: 3 DCs, a day-long horizon.
+//! let config = ScenarioConfig::scaled(42);
+//! let scenario = Scenario::build(&config).expect("valid config");
+//! let mut policy = ProposedPolicy::new(ProposedConfig::default());
+//! let report = Simulator::new(scenario).run(&mut policy);
+//! assert!(report.totals().energy_gj > 0.0);
+//! ```
+
+pub use geoplace_baselines as baselines;
+pub use geoplace_core as core;
+pub use geoplace_dcsim as dcsim;
+pub use geoplace_energy as energy;
+pub use geoplace_network as network;
+pub use geoplace_types as types;
+pub use geoplace_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use geoplace_baselines::{EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy};
+    pub use geoplace_core::{ProposedConfig, ProposedPolicy};
+    pub use geoplace_dcsim::config::ScenarioConfig;
+    pub use geoplace_dcsim::engine::{Scenario, Simulator};
+    pub use geoplace_dcsim::metrics::SimulationReport;
+    pub use geoplace_dcsim::policy::GlobalPolicy;
+    pub use geoplace_types::{DcId, ServerId, TimeSlot, VmId};
+}

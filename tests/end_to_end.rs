@@ -1,0 +1,137 @@
+//! End-to-end integration tests: full scenarios through the public API.
+
+use geoplace::core::{ProposedConfig, ProposedPolicy};
+use geoplace::prelude::*;
+
+fn tiny_config(seed: u64, slots: u32) -> ScenarioConfig {
+    let mut config = ScenarioConfig::scaled(seed);
+    config.horizon_slots = slots;
+    config.fleet.arrivals.initial_groups = 16;
+    config.fleet.arrivals.groups_per_slot = 1.0;
+    config
+}
+
+#[test]
+fn proposed_runs_a_full_day() {
+    let config = ScenarioConfig::scaled(1);
+    let scenario = Scenario::build(&config).expect("valid config");
+    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+    let report = Simulator::new(scenario).run(&mut policy);
+    assert_eq!(report.hourly.len(), 24);
+    let totals = report.totals();
+    assert!(totals.energy_gj > 0.0);
+    assert!(totals.cost_eur > 0.0);
+    assert_eq!(totals.migration_overruns, 0, "Algorithm 2 must respect the QoS budget");
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_reports() {
+    let run = || {
+        let config = tiny_config(9, 6);
+        let scenario = Scenario::build(&config).expect("valid config");
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        Simulator::new(scenario).run(&mut policy)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.hourly, b.hourly);
+    assert_eq!(a.response_samples, b.response_samples);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let config = tiny_config(seed, 6);
+        let scenario = Scenario::build(&config).expect("valid config");
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        Simulator::new(scenario).run(&mut policy).totals()
+    };
+    assert_ne!(run(1), run(2), "different worlds must yield different numbers");
+}
+
+#[test]
+fn all_four_policies_complete_the_same_scenario() {
+    let config = tiny_config(5, 8);
+    let scenario = Scenario::build(&config).expect("valid config");
+    let mut proposed = ProposedPolicy::new(ProposedConfig::default());
+    let reports = vec![
+        Simulator::new(Scenario::build(&config).expect("valid")).run(&mut proposed),
+        Simulator::new(Scenario::build(&config).expect("valid")).run(&mut EnerAwarePolicy::new()),
+        Simulator::new(Scenario::build(&config).expect("valid")).run(&mut PriAwarePolicy::new()),
+        Simulator::new(Scenario::build(&config).expect("valid")).run(&mut NetAwarePolicy::new()),
+    ];
+    drop(scenario);
+    for report in &reports {
+        assert_eq!(report.hourly.len(), 8, "{} incomplete", report.policy);
+        assert!(report.totals().energy_gj > 0.0, "{} burned no energy", report.policy);
+    }
+    // Same workload ⇒ same VM-hours ⇒ comparable energy ballpark (within
+    // 2× of each other).
+    let energies: Vec<f64> = reports.iter().map(|r| r.totals().energy_gj).collect();
+    let max = energies.iter().cloned().fold(f64::MIN, f64::max);
+    let min = energies.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min < 2.0, "energy spread implausible: {energies:?}");
+}
+
+#[test]
+fn energy_accounting_balances() {
+    // IT energy ≤ total energy (PUE ≥ 1), grid + pv_used ≥ total − battery.
+    let config = tiny_config(3, 12);
+    let scenario = Scenario::build(&config).expect("valid config");
+    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+    let report = Simulator::new(scenario).run(&mut policy);
+    for hour in &report.hourly {
+        assert!(
+            hour.it_energy_j <= hour.total_energy_j + 1e-6,
+            "PUE must not shrink energy at slot {}",
+            hour.slot
+        );
+        let supplied = hour.grid_energy_j + hour.pv_used_j + hour.battery_discharge_j;
+        // grid includes battery charging, pv_used includes battery-bound
+        // PV, so supply ≥ demand always.
+        assert!(
+            supplied + 1e-6 >= hour.total_energy_j - hour.battery_discharge_j,
+            "supply {supplied} cannot cover demand {} at slot {}",
+            hour.total_energy_j,
+            hour.slot
+        );
+    }
+}
+
+#[test]
+fn active_server_count_stays_within_fleet() {
+    let config = tiny_config(4, 6);
+    let total_servers: u32 = config.dcs.iter().map(|d| d.servers).sum();
+    let scenario = Scenario::build(&config).expect("valid config");
+    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+    let report = Simulator::new(scenario).run(&mut policy);
+    for hour in &report.hourly {
+        assert!(hour.active_servers <= total_servers);
+        assert!(hour.active_vms > 0);
+    }
+}
+
+#[test]
+fn response_samples_cover_every_slot_and_dc() {
+    let config = tiny_config(6, 10);
+    let scenario = Scenario::build(&config).expect("valid config");
+    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+    let report = Simulator::new(scenario).run(&mut policy);
+    assert_eq!(report.response_samples.len(), 10 * 3);
+    assert!(report.response_samples.iter().all(|s| s.is_finite() && *s >= 0.0));
+}
+
+#[test]
+fn per_dc_energy_sums_to_total() {
+    let config = tiny_config(8, 6);
+    let scenario = Scenario::build(&config).expect("valid config");
+    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+    let report = Simulator::new(scenario).run(&mut policy);
+    let per_dc_sum: f64 = report.per_dc_energy_gj.iter().sum();
+    let totals = report.totals();
+    assert!(
+        (per_dc_sum - totals.energy_gj).abs() < 1e-9,
+        "per-DC {per_dc_sum} vs total {}",
+        totals.energy_gj
+    );
+}

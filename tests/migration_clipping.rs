@@ -1,0 +1,86 @@
+//! Integration tests of the engine-enforced migration QoS constraint:
+//! moves a policy requests but the network cannot deliver within the
+//! latency budget are rejected, and the VM stays in its previous DC.
+
+use geoplace::dcsim::decision::{PlacementDecision, ServerAssignment};
+use geoplace::dcsim::power::FreqLevel;
+use geoplace::dcsim::snapshot::SystemSnapshot;
+use geoplace::prelude::*;
+use geoplace::types::DcId;
+
+/// A policy that ping-pongs the whole fleet between DC0 and DC1 every
+/// slot — maximal migration pressure, zero latency awareness.
+struct PingPong {
+    tick: bool,
+}
+
+impl GlobalPolicy for PingPong {
+    fn name(&self) -> &'static str {
+        "ping-pong"
+    }
+
+    fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+        self.tick = !self.tick;
+        let dc = DcId(u16::from(self.tick));
+        let mut decision = PlacementDecision::new(snapshot.dc_count());
+        for (i, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
+            decision.push(
+                dc,
+                ServerAssignment { server: i as u32, freq: FreqLevel(1), vms: chunk.to_vec() },
+            );
+        }
+        decision
+    }
+}
+
+fn config(slots: u32) -> ScenarioConfig {
+    let mut config = ScenarioConfig::scaled(17);
+    config.horizon_slots = slots;
+    config.fleet.arrivals.initial_groups = 30;
+    config.fleet.arrivals.groups_per_slot = 0.0; // frozen fleet: pure ping-pong
+    config.fleet.arrivals.mean_lifetime_slots = 1000.0;
+    config
+}
+
+#[test]
+fn ping_pong_is_throttled_by_the_qos_budget() {
+    let scenario = Scenario::build(&config(6)).expect("valid config");
+    let report = Simulator::new(scenario).run(&mut PingPong { tick: false });
+    let totals = report.totals();
+    // The fleet is ~90 VMs × 2–8 GB; a full swap each slot vastly exceeds
+    // the 72 s budget, so most requested moves must be rejected…
+    assert!(totals.migration_overruns > 0, "expected rejections");
+    // …while the executed migrations stay within what the budget can
+    // carry: at 10 Gb/s local links, 72 s moves at most ~90 GB into one
+    // DC per slot.
+    for hour in &report.hourly {
+        assert!(
+            hour.migration_volume_gb <= 95.0,
+            "slot {} moved {} GB — over the physical budget",
+            hour.slot,
+            hour.migration_volume_gb
+        );
+    }
+}
+
+#[test]
+fn clipped_vms_keep_running_and_burning_energy() {
+    let scenario = Scenario::build(&config(4)).expect("valid config");
+    let report = Simulator::new(scenario).run(&mut PingPong { tick: false });
+    // Every VM still runs somewhere every slot: energy, server counts and
+    // VM counts stay sane even though most of the decision was clipped.
+    for hour in &report.hourly {
+        assert!(hour.active_vms > 0);
+        assert!(hour.active_servers > 0);
+        assert!(hour.total_energy_j > 0.0);
+    }
+}
+
+#[test]
+fn compliant_policies_are_never_clipped() {
+    use geoplace::core::{ProposedConfig, ProposedPolicy};
+    let scenario = Scenario::build(&config(6)).expect("valid config");
+    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+    let report = Simulator::new(scenario).run(&mut policy);
+    assert_eq!(report.totals().migration_overruns, 0);
+}

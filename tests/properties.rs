@@ -1,0 +1,91 @@
+//! Cross-crate property-based tests (proptest): system invariants under
+//! randomized inputs.
+
+use geoplace::core::{ProposedConfig, ProposedPolicy};
+use geoplace::network::{latency_constraint_for_qos, BerDistribution, LatencyModel, Topology, TrafficMatrix};
+use geoplace::prelude::*;
+use geoplace::types::units::Megabytes;
+use geoplace::types::DcId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 terminates and its latency is at least the error-free
+    /// closed form, for any volume and seed.
+    #[test]
+    fn algorithm1_lower_bounded_by_error_free(volume_mb in 0.0f64..2.0e6, seed in 0u64..1000) {
+        let noisy = LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::paper_default(),
+        );
+        let clean = LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::error_free(),
+        );
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let t_noisy = noisy.global_data_latency(Megabytes(volume_mb), &mut rng1);
+        let t_clean = clean.global_data_latency(Megabytes(volume_mb), &mut rng2);
+        prop_assert!(t_noisy.0 >= t_clean.0 - 1e-9);
+        prop_assert!(t_noisy.0.is_finite());
+    }
+
+    /// Eq. 1 is monotone: adding volume never reduces the total latency.
+    #[test]
+    fn latency_monotone_in_volume(base_mb in 1.0f64..1.0e5, extra_mb in 0.0f64..1.0e5) {
+        let model = LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::error_free(),
+        );
+        let mut small = TrafficMatrix::new(3);
+        small.add(DcId(0), DcId(1), Megabytes(base_mb));
+        let mut big = TrafficMatrix::new(3);
+        big.add(DcId(0), DcId(1), Megabytes(base_mb + extra_mb));
+        let mut rng = StdRng::seed_from_u64(1);
+        let t_small = model.total_latency(DcId(1), &small, &mut rng);
+        let t_big = model.total_latency(DcId(1), &big, &mut rng);
+        prop_assert!(t_big.0 >= t_small.0 - 1e-9);
+    }
+
+    /// The QoS→budget map is linear and bounded by the slot length.
+    #[test]
+    fn qos_budget_well_formed(qos in 0.0f64..=1.0) {
+        let budget = latency_constraint_for_qos(qos);
+        prop_assert!(budget.0 >= 0.0);
+        prop_assert!(budget.0 <= 3600.0);
+    }
+
+    /// Any seed yields a simulable world and a structurally complete
+    /// report under the Proposed policy.
+    #[test]
+    fn any_seed_simulates(seed in 0u64..64) {
+        let mut config = ScenarioConfig::scaled(seed);
+        config.horizon_slots = 3;
+        config.fleet.arrivals.initial_groups = 8;
+        let scenario = Scenario::build(&config).expect("valid config");
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        let report = Simulator::new(scenario).run(&mut policy);
+        prop_assert_eq!(report.hourly.len(), 3);
+        for hour in &report.hourly {
+            prop_assert!(hour.total_energy_j >= hour.it_energy_j);
+            prop_assert!(hour.cost_eur >= 0.0);
+            prop_assert!(hour.response_worst_s >= hour.response_mean_s - 1e-9);
+        }
+        prop_assert_eq!(report.totals().migration_overruns, 0);
+    }
+
+    /// The α knob always produces valid placements across its range.
+    #[test]
+    fn alpha_range_is_safe(alpha in 0.0f64..=1.0) {
+        let mut config = ScenarioConfig::scaled(5);
+        config.horizon_slots = 2;
+        config.fleet.arrivals.initial_groups = 10;
+        let scenario = Scenario::build(&config).expect("valid config");
+        let mut policy = ProposedPolicy::new(ProposedConfig { alpha, ..ProposedConfig::default() });
+        let report = Simulator::new(scenario).run(&mut policy);
+        prop_assert_eq!(report.hourly.len(), 2);
+    }
+}
