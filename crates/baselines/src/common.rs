@@ -20,9 +20,15 @@ pub fn plain_ffd(
         return Vec::new();
     }
     let capacity = model.capacity_cores(model.max_level()) * utilization_threshold;
-    let mut order: Vec<(usize, f64)> =
-        positions.iter().map(|&p| (p, snapshot.peak_load(p))).collect();
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite peaks").then(a.0.cmp(&b.0)));
+    let mut order: Vec<(usize, f64)> = positions
+        .iter()
+        .map(|&p| (p, snapshot.peak_load(p)))
+        .collect();
+    order.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite peaks")
+            .then(a.0.cmp(&b.0))
+    });
 
     struct Bin {
         reserved: f64,
@@ -34,14 +40,19 @@ pub fn plain_ffd(
         let index = match slot {
             Some(index) => index,
             None if (bins.len() as u32) < max_servers => {
-                bins.push(Bin { reserved: 0.0, vms: Vec::new() });
+                bins.push(Bin {
+                    reserved: 0.0,
+                    vms: Vec::new(),
+                });
                 bins.len() - 1
             }
             None => bins
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    a.reserved.partial_cmp(&b.reserved).expect("finite reservations")
+                    a.reserved
+                        .partial_cmp(&b.reserved)
+                        .expect("finite reservations")
                 })
                 .map(|(i, _)| i)
                 .expect("max_servers >= 1"),
@@ -61,11 +72,7 @@ pub fn plain_ffd(
 
 /// Physical compute capacity of a DC in top-frequency core-equivalents,
 /// derated by the packing threshold.
-pub fn dc_core_capacity(
-    servers: u32,
-    model: &ServerPowerModel,
-    utilization_threshold: f64,
-) -> f64 {
+pub fn dc_core_capacity(servers: u32, model: &ServerPowerModel, utilization_threshold: f64) -> f64 {
     f64::from(servers) * model.capacity_cores(model.max_level()) * utilization_threshold
 }
 
@@ -79,7 +86,9 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     /// Representative of `x`'s set (path-halving).

@@ -33,7 +33,9 @@ pub struct EnerAwarePolicy {
 impl EnerAwarePolicy {
     /// Creates the policy with the standard local-allocation tuning.
     pub fn new() -> Self {
-        EnerAwarePolicy { local: LocalAllocConfig::default() }
+        EnerAwarePolicy {
+            local: LocalAllocConfig::default(),
+        }
     }
 }
 
@@ -52,10 +54,11 @@ impl GlobalPolicy for EnerAwarePolicy {
 
         // Global FFD over DCs in fixed order: first DC whose remaining
         // physical capacity fits the VM's peak.
-        let mut vm_order: Vec<(usize, f64)> =
-            (0..n).map(|i| (i, snapshot.peak_load(i))).collect();
+        let mut vm_order: Vec<(usize, f64)> = (0..n).map(|i| (i, snapshot.peak_load(i))).collect();
         vm_order.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite peaks").then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("finite peaks")
+                .then(a.0.cmp(&b.0))
         });
         let capacities: Vec<f64> = (0..n_dcs)
             .map(|dc| {
@@ -136,7 +139,11 @@ mod tests {
         let decision = policy.decide(&snapshot);
         let dc_of = decision.dc_of();
         let count = |dc: u16| {
-            snapshot.vm_ids().iter().filter(|vm| dc_of[*vm] == DcId(dc)).count()
+            snapshot
+                .vm_ids()
+                .iter()
+                .filter(|vm| dc_of[*vm] == DcId(dc))
+                .count()
         };
         assert!(count(0) <= 4, "tiny DC0 must not take everything");
         assert!(count(1) > 0, "overflow must reach DC1");

@@ -36,7 +36,9 @@ pub struct NetAwarePolicy {
 impl NetAwarePolicy {
     /// Creates the policy with the standard 90 % packing threshold.
     pub fn new() -> Self {
-        NetAwarePolicy { utilization_threshold: 0.9 }
+        NetAwarePolicy {
+            utilization_threshold: 0.9,
+        }
     }
 }
 
@@ -61,11 +63,9 @@ impl GlobalPolicy for NetAwarePolicy {
         let mut pairs: Vec<(usize, usize, f64)> = snapshot
             .data
             .iter()
-            .filter_map(|(a, b, traffic)| {
-                match (index.get(&a), index.get(&b)) {
-                    (Some(&i), Some(&j)) => Some((i, j, traffic.total())),
-                    _ => None,
-                }
+            .filter_map(|(a, b, traffic)| match (index.get(&a), index.get(&b)) {
+                (Some(&i), Some(&j)) => Some((i, j, traffic.total())),
+                _ => None,
             })
             .collect();
         pairs.sort_by(|a, b| {
@@ -95,7 +95,9 @@ impl GlobalPolicy for NetAwarePolicy {
             })
             .collect();
         group_list.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2).expect("finite loads").then(a.0.cmp(&b.0))
+            b.2.partial_cmp(&a.2)
+                .expect("finite loads")
+                .then(a.0.cmp(&b.0))
         });
 
         // Greedy balance: each component to the DC with the lowest
@@ -127,7 +129,10 @@ impl GlobalPolicy for NetAwarePolicy {
                     // All DCs nominally full: least-loaded absorbs.
                     (0..n_dcs)
                         .min_by(|&a, &b| {
-                            used[a].partial_cmp(&used[b]).expect("finite").then(a.cmp(&b))
+                            used[a]
+                                .partial_cmp(&used[b])
+                                .expect("finite")
+                                .then(a.cmp(&b))
                         })
                         .expect("at least one DC")
                 });
@@ -161,7 +166,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn flat_rows(n: u32) -> Vec<(u32, Vec<f32>)> {
-        (0..n).map(|i| (i, vec![0.5 + 0.001 * i as f32; 8])).collect()
+        (0..n)
+            .map(|i| (i, vec![0.5 + 0.001 * i as f32; 8]))
+            .collect()
     }
 
     /// Traffic where ids {0..k} form one chatty application.
@@ -171,8 +178,7 @@ mod tests {
         fleet_config.arrivals.group_size_range = (k, k);
         fleet_config.arrivals.seed = 13;
         let fleet = VmFleet::new(fleet_config).unwrap();
-        let specs: Vec<_> =
-            (0..k).map(|i| fleet.vm(VmId(i)).unwrap().clone()).collect();
+        let specs: Vec<_> = (0..k).map(|i| fleet.vm(VmId(i)).unwrap().clone()).collect();
         let mut data = DataCorrelation::new(DataCorrelationConfig {
             cross_links_per_vm: 0,
             ..DataCorrelationConfig::default()
@@ -184,8 +190,7 @@ mod tests {
 
     #[test]
     fn chatty_component_stays_together() {
-        let fixture =
-            SnapshotFixture::new(flat_rows(12), vec![2; 12]).with_data(group_traffic(4));
+        let fixture = SnapshotFixture::new(flat_rows(12), vec![2; 12]).with_data(group_traffic(4));
         let snapshot = fixture.snapshot();
         let mut policy = NetAwarePolicy::new();
         let decision = policy.decide(&snapshot);
@@ -223,24 +228,35 @@ mod tests {
         // the 1-core-equivalent VMs; the rest balances over DC0/DC1 —
         // absolute balancing would have wanted 20 in DC2 but capacity
         // forbids it.
-        let fixture =
-            SnapshotFixture::new(flat_rows(60), vec![2; 60]).with_servers(2, 1);
+        let fixture = SnapshotFixture::new(flat_rows(60), vec![2; 60]).with_servers(2, 1);
         let snapshot = fixture.snapshot();
         let mut policy = NetAwarePolicy::new();
         let decision = policy.decide(&snapshot);
         let dc_of = decision.dc_of();
         let count = |dc: u16| {
-            snapshot.vm_ids().iter().filter(|vm| dc_of[*vm] == DcId(dc)).count()
+            snapshot
+                .vm_ids()
+                .iter()
+                .filter(|vm| dc_of[*vm] == DcId(dc))
+                .count()
         };
-        assert!(count(2) <= 7, "capacity must bound tiny DC2, got {}", count(2));
+        assert!(
+            count(2) <= 7,
+            "capacity must bound tiny DC2, got {}",
+            count(2)
+        );
         let diff = (count(0) as i64 - count(1) as i64).abs();
-        assert!(diff <= 2, "DC0/DC1 must stay balanced, got {} vs {}", count(0), count(1));
+        assert!(
+            diff <= 2,
+            "DC0/DC1 must stay balanced, got {} vs {}",
+            count(0),
+            count(1)
+        );
     }
 
     #[test]
     fn decision_is_valid() {
-        let fixture =
-            SnapshotFixture::new(flat_rows(30), vec![4; 30]).with_data(group_traffic(6));
+        let fixture = SnapshotFixture::new(flat_rows(30), vec![4; 30]).with_data(group_traffic(6));
         let snapshot = fixture.snapshot();
         let mut policy = NetAwarePolicy::new();
         let decision = policy.decide(&snapshot);

@@ -34,7 +34,9 @@ pub struct PriAwarePolicy {
 impl PriAwarePolicy {
     /// Creates the policy with the standard 90 % packing threshold.
     pub fn new() -> Self {
-        PriAwarePolicy { utilization_threshold: 0.9 }
+        PriAwarePolicy {
+            utilization_threshold: 0.9,
+        }
     }
 }
 
@@ -63,10 +65,11 @@ impl GlobalPolicy for PriAwarePolicy {
         });
 
         // Biggest VMs first, chasing the cheapest capacity.
-        let mut vm_order: Vec<(usize, f64)> =
-            (0..n).map(|i| (i, snapshot.peak_load(i))).collect();
+        let mut vm_order: Vec<(usize, f64)> = (0..n).map(|i| (i, snapshot.peak_load(i))).collect();
         vm_order.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite peaks").then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("finite peaks")
+                .then(a.0.cmp(&b.0))
         });
 
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_dcs];
@@ -117,7 +120,9 @@ mod tests {
     use geoplace_types::VmId;
 
     fn rows(n: u32) -> Vec<(u32, Vec<f32>)> {
-        (0..n).map(|i| (i, vec![0.4 + 0.01 * (i % 5) as f32; 8])).collect()
+        (0..n)
+            .map(|i| (i, vec![0.4 + 0.01 * (i % 5) as f32; 8]))
+            .collect()
     }
 
     #[test]
@@ -130,7 +135,10 @@ mod tests {
         let mut policy = PriAwarePolicy::new();
         let decision = policy.decide(&snapshot);
         let dc_of = decision.dc_of();
-        assert!(snapshot.vm_ids().iter().all(|vm| dc_of[vm] == geoplace_types::DcId(2)));
+        assert!(snapshot
+            .vm_ids()
+            .iter()
+            .all(|vm| dc_of[vm] == geoplace_types::DcId(2)));
     }
 
     #[test]
@@ -180,7 +188,10 @@ mod tests {
             .filter(|vm| dc_of[*vm] == geoplace_types::DcId(0))
             .count();
         assert!(in_dc0 < 50, "cheapest DC must overflow");
-        assert!(in_dc0 >= 45, "cheapest DC should be filled close to capacity");
+        assert!(
+            in_dc0 >= 45,
+            "cheapest DC should be filled close to capacity"
+        );
     }
 
     #[test]

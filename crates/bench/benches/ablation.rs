@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geoplace_bench::{run_proposed_with, Scale};
 use geoplace_core::ProposedConfig;
-use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_core::ProposedPolicy;
+use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_energy::green::GreenController;
 use geoplace_network::latency::EffectiveBandwidthModel;
 use geoplace_network::{BerDistribution, LatencyModel, Topology};
@@ -22,7 +22,13 @@ fn bench_alpha(c: &mut Criterion) {
     for alpha in [0.0f64, 0.5, 1.0] {
         group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
             b.iter(|| {
-                run_proposed_with(&config, ProposedConfig { alpha, ..ProposedConfig::default() })
+                run_proposed_with(
+                    &config,
+                    ProposedConfig {
+                        alpha,
+                        ..ProposedConfig::default()
+                    },
+                )
             })
         });
     }
@@ -33,7 +39,10 @@ fn bench_bandwidth_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("effective_bandwidth_model");
     for (name, model) in [
         ("paper_linear", EffectiveBandwidthModel::PaperLinear),
-        ("frame_retransmission", EffectiveBandwidthModel::FrameRetransmission),
+        (
+            "frame_retransmission",
+            EffectiveBandwidthModel::FrameRetransmission,
+        ),
     ] {
         let latency = LatencyModel::new(
             Topology::paper_default().expect("paper"),
@@ -54,18 +63,29 @@ fn bench_green_arbitrage(c: &mut Criterion) {
     let mut group = c.benchmark_group("green_arbitrage");
     group.sample_size(10);
     for (name, disable) in [("on", false), ("off", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &disable, |b, &disable| {
-            b.iter(|| {
-                let scenario = Scenario::build(&config).expect("valid");
-                let mut policy = ProposedPolicy::new(ProposedConfig::default());
-                Simulator::new(scenario)
-                    .with_green_controller(GreenController { disable_arbitrage: disable })
-                    .run(&mut policy)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &disable,
+            |b, &disable| {
+                b.iter(|| {
+                    let scenario = Scenario::build(&config).expect("valid");
+                    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+                    Simulator::new(scenario)
+                        .with_green_controller(GreenController {
+                            disable_arbitrage: disable,
+                        })
+                        .run(&mut policy)
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(ablations, bench_alpha, bench_bandwidth_models, bench_green_arbitrage);
+criterion_group!(
+    ablations,
+    bench_alpha,
+    bench_bandwidth_models,
+    bench_green_arbitrage
+);
 criterion_main!(ablations);

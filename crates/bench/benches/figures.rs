@@ -28,16 +28,20 @@ fn bench_policy_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("six_slot_simulation");
     group.sample_size(10);
     for kind in PolicyKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| run_policy(&config, kind))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| run_policy(&config, kind)),
+        );
     }
     group.finish();
 }
 
 fn bench_figure_rendering(c: &mut Criterion) {
     let reports = shared_reports();
-    c.bench_function("render_all_figures", |b| b.iter(|| figures::all_figures(reports)));
+    c.bench_function("render_all_figures", |b| {
+        b.iter(|| figures::all_figures(reports))
+    });
 }
 
 criterion_group!(figure_benches, bench_policy_runs, bench_figure_rendering);

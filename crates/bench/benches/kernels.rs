@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geoplace_core::{
-    allocate, compute_caps, kmeans, revise_migrations, CapsConfig, ForceLayout,
-    ForceLayoutConfig, KMeansConfig, LocalAllocConfig, VmPlacementInput,
+    allocate, compute_caps, kmeans, revise_migrations, CapsConfig, ForceLayout, ForceLayoutConfig,
+    KMeansConfig, LocalAllocConfig, VmPlacementInput,
 };
 use geoplace_dcsim::config::ScenarioConfig;
 use geoplace_dcsim::engine::Scenario;
@@ -83,20 +83,36 @@ fn bench_local_allocation(c: &mut Criterion) {
     drop(scenario);
     c.bench_function("local_allocate_via_fixture", move |b| {
         let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
-            .map(|i| (i, (0..720).map(|t| ((t + i as usize) % 7) as f32 * 0.1).collect()))
+            .map(|i| {
+                (
+                    i,
+                    (0..720)
+                        .map(|t| ((t + i as usize) % 7) as f32 * 0.1)
+                        .collect(),
+                )
+            })
             .collect();
-        let fixture =
-            geoplace_core::testutil::SnapshotFixture::new(rows, vec![2; n]);
+        let fixture = geoplace_core::testutil::SnapshotFixture::new(rows, vec![2; n]);
         let snapshot = fixture.snapshot();
         let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
         let positions: Vec<usize> = (0..n).collect();
-        b.iter(|| allocate(&positions, &snapshot, &model, 200, LocalAllocConfig::default()))
+        b.iter(|| {
+            allocate(
+                &positions,
+                &snapshot,
+                &model,
+                200,
+                LocalAllocConfig::default(),
+            )
+        })
     });
 }
 
 fn bench_algorithm1_latency(c: &mut Criterion) {
-    let model =
-        LatencyModel::new(Topology::paper_default().expect("paper"), BerDistribution::paper_default());
+    let model = LatencyModel::new(
+        Topology::paper_default().expect("paper"),
+        BerDistribution::paper_default(),
+    );
     let mut group = c.benchmark_group("algorithm1_global_latency");
     for mb in [1_000.0, 100_000.0, 1_000_000.0] {
         group.bench_with_input(BenchmarkId::from_parameter(mb as u64), &mb, |b, &mb| {
@@ -108,8 +124,10 @@ fn bench_algorithm1_latency(c: &mut Criterion) {
 }
 
 fn bench_eq1_total_latency(c: &mut Criterion) {
-    let model =
-        LatencyModel::new(Topology::paper_default().expect("paper"), BerDistribution::paper_default());
+    let model = LatencyModel::new(
+        Topology::paper_default().expect("paper"),
+        BerDistribution::paper_default(),
+    );
     let mut traffic = TrafficMatrix::new(3);
     traffic.add(DcId(0), DcId(1), Megabytes(50_000.0));
     traffic.add(DcId(2), DcId(1), Megabytes(25_000.0));
@@ -121,8 +139,10 @@ fn bench_eq1_total_latency(c: &mut Criterion) {
 }
 
 fn bench_migration_revision(c: &mut Criterion) {
-    let latency =
-        LatencyModel::new(Topology::paper_default().expect("paper"), BerDistribution::error_free());
+    let latency = LatencyModel::new(
+        Topology::paper_default().expect("paper"),
+        BerDistribution::error_free(),
+    );
     let centroids = vec![
         geoplace_core::Point { x: 0.0, y: 0.0 },
         geoplace_core::Point { x: 10.0, y: 0.0 },
@@ -133,7 +153,10 @@ fn bench_migration_revision(c: &mut Criterion) {
             vm: geoplace_types::VmId(i),
             prev: Some(DcId((i % 3) as u16)),
             target: DcId(((i + 1) % 3) as u16),
-            position: geoplace_core::Point { x: f64::from(i % 17), y: f64::from(i % 11) },
+            position: geoplace_core::Point {
+                x: f64::from(i % 17),
+                y: f64::from(i % 11),
+            },
             load: Joules(1e6),
             size: Gigabytes(2.0),
         })
@@ -153,10 +176,7 @@ fn bench_caps(c: &mut Criterion) {
     // Build DcInfos via a one-slot simulated snapshot is heavy; fabricate
     // through the fixture instead.
     drop(scenario);
-    let fixture = geoplace_core::testutil::SnapshotFixture::new(
-        vec![(0, vec![0.5; 8])],
-        vec![2],
-    );
+    let fixture = geoplace_core::testutil::SnapshotFixture::new(vec![(0, vec![0.5; 8])], vec![2]);
     let snapshot = fixture.snapshot();
     c.bench_function("capacity_caps", |b| {
         b.iter(|| compute_caps(snapshot.dcs, CapsConfig::default()))

@@ -24,8 +24,12 @@ fn main() {
         let report = run_proposed_with(&config, proposed);
         let totals = report.totals();
         let pv: f64 = report.hourly.iter().map(|h| h.pv_used_j).sum::<f64>() / 1e9;
-        let batt: f64 =
-            report.hourly.iter().map(|h| h.battery_discharge_j).sum::<f64>() / 1e9;
+        let batt: f64 = report
+            .hourly
+            .iter()
+            .map(|h| h.battery_discharge_j)
+            .sum::<f64>()
+            / 1e9;
         println!(
             "floor {floor:.2} free {free:.1} grid {grid:.1} -> cost {:>7.2} energy {:>6.2} pv {pv:>5.2} batt {batt:>5.2} worst_rt {:>7.1} per-DC {:?}",
             totals.cost_eur,

@@ -9,12 +9,19 @@ fn main() {
     for report in run_all(&config) {
         let totals = report.totals();
         let grid_kwh = totals.grid_energy_gj * 1e9 / 3.6e6;
-        let avg_price = if grid_kwh > 0.0 { totals.cost_eur / grid_kwh } else { 0.0 };
+        let avg_price = if grid_kwh > 0.0 {
+            totals.cost_eur / grid_kwh
+        } else {
+            0.0
+        };
         let pv: f64 = report.hourly.iter().map(|h| h.pv_used_j).sum::<f64>() / 1e9;
-        let curtailed: f64 =
-            report.hourly.iter().map(|h| h.pv_curtailed_j).sum::<f64>() / 1e9;
-        let battery: f64 =
-            report.hourly.iter().map(|h| h.battery_discharge_j).sum::<f64>() / 1e9;
+        let curtailed: f64 = report.hourly.iter().map(|h| h.pv_curtailed_j).sum::<f64>() / 1e9;
+        let battery: f64 = report
+            .hourly
+            .iter()
+            .map(|h| h.battery_discharge_j)
+            .sum::<f64>()
+            / 1e9;
         print!(
             "{:<11} cost {:>7.1} grid {:>6.2}GJ avg {:>6.4}EUR/kWh pv {:>5.2} curt {:>5.2} batt {:>5.2} | per-DC GJ:",
             report.policy, totals.cost_eur, totals.grid_energy_gj, avg_price, pv, curtailed, battery

@@ -9,8 +9,13 @@ fn main() {
     let config = Scale::from_args().config(42);
     let mut rows = Vec::new();
     for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let report =
-            run_proposed_with(&config, ProposedConfig { alpha, ..ProposedConfig::default() });
+        let report = run_proposed_with(
+            &config,
+            ProposedConfig {
+                alpha,
+                ..ProposedConfig::default()
+            },
+        );
         let totals = report.totals();
         rows.push(vec![
             format!("{alpha:.2}"),
@@ -25,7 +30,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["alpha", "cost EUR", "energy GJ", "worst rt s", "mean rt s", "servers on"],
+            &[
+                "alpha",
+                "cost EUR",
+                "energy GJ",
+                "worst rt s",
+                "mean rt s",
+                "servers on"
+            ],
             &rows
         )
     );

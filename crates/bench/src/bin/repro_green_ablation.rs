@@ -15,7 +15,9 @@ fn main() {
         let scenario = Scenario::build(&config).expect("valid config");
         let mut policy = ProposedPolicy::new(ProposedConfig::default());
         let report = Simulator::new(scenario)
-            .with_green_controller(GreenController { disable_arbitrage: disable })
+            .with_green_controller(GreenController {
+                disable_arbitrage: disable,
+            })
             .run(&mut policy);
         let totals = report.totals();
         let battery: f64 = report.hourly.iter().map(|h| h.battery_discharge_j).sum();

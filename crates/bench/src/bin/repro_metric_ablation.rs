@@ -10,12 +10,18 @@ fn main() {
     let config = Scale::from_args().config(seed_from_args());
     let mut rows = Vec::new();
     for (label, metric) in [
-        ("peak coincidence (paper)", CorrelationMetric::PeakCoincidence),
+        (
+            "peak coincidence (paper)",
+            CorrelationMetric::PeakCoincidence,
+        ),
         ("Pearson", CorrelationMetric::Pearson),
     ] {
         let report = run_proposed_with(
             &config,
-            ProposedConfig { repulsion_metric: metric, ..ProposedConfig::default() },
+            ProposedConfig {
+                repulsion_metric: metric,
+                ..ProposedConfig::default()
+            },
         );
         let totals = report.totals();
         rows.push(vec![
@@ -29,6 +35,15 @@ fn main() {
     println!("Ablation A4 — repulsion statistic (Eq. 5's Corr_cpu)");
     print!(
         "{}",
-        render_table(&["metric", "cost EUR", "energy GJ", "worst rt s", "servers on"], &rows)
+        render_table(
+            &[
+                "metric",
+                "cost EUR",
+                "energy GJ",
+                "worst rt s",
+                "servers on"
+            ],
+            &rows
+        )
     );
 }

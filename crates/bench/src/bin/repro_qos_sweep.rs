@@ -26,7 +26,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["QoS", "budget", "migrations", "overruns", "cost EUR", "worst rt s"],
+            &[
+                "QoS",
+                "budget",
+                "migrations",
+                "overruns",
+                "cost EUR",
+                "worst rt s"
+            ],
             &rows
         )
     );

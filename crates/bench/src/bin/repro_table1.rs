@@ -24,7 +24,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["DC", "servers", "PV kWp", "battery kWh", "tz", "tariff off/peak EUR"],
+            &[
+                "DC",
+                "servers",
+                "PV kWp",
+                "battery kWh",
+                "tz",
+                "tariff off/peak EUR"
+            ],
             &rows
         )
     );

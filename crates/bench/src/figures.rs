@@ -21,7 +21,13 @@ pub fn fig1(reports: &[SimulationReport]) -> String {
     }
     let mut out = String::from("Fig. 1 — Normalized operational cost (one week)\n");
     out.push_str(&render_table(
-        &["policy", "cost EUR", "normalized", "Proposed saves", "hourly shape"],
+        &[
+            "policy",
+            "cost EUR",
+            "normalized",
+            "Proposed saves",
+            "hourly shape",
+        ],
         &rows,
     ));
     out
@@ -42,7 +48,13 @@ pub fn fig2(reports: &[SimulationReport]) -> String {
     }
     let mut out = String::from("Fig. 2 — Energy consumed by DCs (one week)\n");
     out.push_str(&render_table(
-        &["policy", "total GJ", "grid GJ", "mean servers on", "hourly shape"],
+        &[
+            "policy",
+            "total GJ",
+            "grid GJ",
+            "mean servers on",
+            "hourly shape",
+        ],
         &rows,
     ));
     out
@@ -78,7 +90,10 @@ pub fn fig3(reports: &[SimulationReport]) -> String {
             report.policy.clone(),
             format!("{mean:.3}"),
             format!("{peak:.3}"),
-            pdf.iter().map(|p| format!("{p:.2}")).collect::<Vec<_>>().join(" "),
+            pdf.iter()
+                .map(|p| format!("{p:.2}"))
+                .collect::<Vec<_>>()
+                .join(" "),
         ]);
     }
     out.push_str(&render_table(
@@ -90,12 +105,18 @@ pub fn fig3(reports: &[SimulationReport]) -> String {
 
 /// Fig. 4 — total cost, energy and performance summary.
 pub fn fig4(reports: &[SimulationReport]) -> String {
-    let worst_cost =
-        reports.iter().map(|r| r.totals().cost_eur).fold(0.0, f64::max);
-    let worst_energy =
-        reports.iter().map(|r| r.totals().energy_gj).fold(0.0, f64::max);
-    let worst_response =
-        reports.iter().map(|r| r.totals().worst_response_s).fold(0.0, f64::max);
+    let worst_cost = reports
+        .iter()
+        .map(|r| r.totals().cost_eur)
+        .fold(0.0, f64::max);
+    let worst_energy = reports
+        .iter()
+        .map(|r| r.totals().energy_gj)
+        .fold(0.0, f64::max);
+    let worst_response = reports
+        .iter()
+        .map(|r| r.totals().worst_response_s)
+        .fold(0.0, f64::max);
     let mut rows = Vec::new();
     for report in reports {
         let totals = report.totals();
@@ -106,10 +127,14 @@ pub fn fig4(reports: &[SimulationReport]) -> String {
             normalized_cell(totals.worst_response_s, worst_response),
         ]);
     }
-    let mut out =
-        String::from("Fig. 4 — Totals (normalized by worst; lower is better)\n");
+    let mut out = String::from("Fig. 4 — Totals (normalized by worst; lower is better)\n");
     out.push_str(&render_table(
-        &["policy", "operational cost", "energy", "response time (worst)"],
+        &[
+            "policy",
+            "operational cost",
+            "energy",
+            "response time (worst)",
+        ],
         &rows,
     ));
     out
@@ -161,7 +186,13 @@ fn scatter(
     }
     let mut out = format!("{title}\n");
     out.push_str(&render_table(
-        &["policy", x_name, y_name, "Proposed saves (x)", "Proposed saves (y)"],
+        &[
+            "policy",
+            x_name,
+            y_name,
+            "Proposed saves (x)",
+            "Proposed saves (y)",
+        ],
         &rows,
     ));
     out
@@ -176,18 +207,20 @@ fn normalized_cell(value: f64, worst: f64) -> String {
 }
 
 fn position(reports: &[SimulationReport], name: &str) -> usize {
-    reports
-        .iter()
-        .position(|r| r.policy == name)
-        .unwrap_or(0)
+    reports.iter().position(|r| r.policy == name).unwrap_or(0)
 }
 
 /// All six figures, in order.
 pub fn all_figures(reports: &[SimulationReport]) -> String {
     let mut out = String::new();
-    for section in
-        [fig1(reports), fig2(reports), fig3(reports), fig4(reports), fig5(reports), fig6(reports)]
-    {
+    for section in [
+        fig1(reports),
+        fig2(reports),
+        fig3(reports),
+        fig4(reports),
+        fig5(reports),
+        fig6(reports),
+    ] {
         out.push_str(&section);
         out.push('\n');
     }
@@ -207,7 +240,10 @@ pub fn migration_summary(reports: &[SimulationReport]) -> String {
         ]);
     }
     let mut out = String::from("Migrations (volume in GB; overruns = QoS budget blown)\n");
-    out.push_str(&render_table(&["policy", "count", "volume", "overruns"], &rows));
+    out.push_str(&render_table(
+        &["policy", "count", "volume", "overruns"],
+        &rows,
+    ));
     out
 }
 

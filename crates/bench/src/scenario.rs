@@ -94,8 +94,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All four, in the paper's presentation order.
-    pub const ALL: [PolicyKind; 4] =
-        [PolicyKind::Proposed, PolicyKind::EnerAware, PolicyKind::PriAware, PolicyKind::NetAware];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Proposed,
+        PolicyKind::EnerAware,
+        PolicyKind::PriAware,
+        PolicyKind::NetAware,
+    ];
 
     /// Display name matching the paper's legends.
     pub fn name(self) -> &'static str {
@@ -139,7 +143,10 @@ pub fn run_proposed_with(config: &ScenarioConfig, proposed: ProposedConfig) -> S
 /// workload, weather, prices) and returns the reports in
 /// [`PolicyKind::ALL`] order.
 pub fn run_all(config: &ScenarioConfig) -> Vec<SimulationReport> {
-    PolicyKind::ALL.iter().map(|&kind| run_policy(config, kind)).collect()
+    PolicyKind::ALL
+        .iter()
+        .map(|&kind| run_policy(config, kind))
+        .collect()
 }
 
 /// Convenience: a boxed instance of each policy (used by generic tests).
@@ -169,10 +176,12 @@ mod tests {
         let repro = Scale::Repro.config(1);
         assert!(repro.dcs[0].servers < paper.dcs[0].servers);
         assert!(
-            repro.fleet.arrivals.expected_population()
-                < paper.fleet.arrivals.expected_population()
+            repro.fleet.arrivals.expected_population() < paper.fleet.arrivals.expected_population()
         );
-        assert_eq!(repro.horizon_slots, paper.horizon_slots, "keep the weekly horizon");
+        assert_eq!(
+            repro.horizon_slots, paper.horizon_slots,
+            "keep the weekly horizon"
+        );
     }
 
     #[test]

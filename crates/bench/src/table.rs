@@ -113,10 +113,16 @@ mod tests {
     fn table_aligns_columns() {
         let out = render_table(
             &["a", "bbbb"],
-            &[vec!["x".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = out.lines().collect();
-        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "ragged table:\n{out}");
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "ragged table:\n{out}"
+        );
     }
 
     #[test]

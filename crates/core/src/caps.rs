@@ -43,7 +43,11 @@ pub struct CapsConfig {
 
 impl Default for CapsConfig {
     fn default() -> Self {
-        CapsConfig { grid_scale: 1.1, weight_floor: 0.1, free_energy_scale: 1.5 }
+        CapsConfig {
+            grid_scale: 1.1,
+            weight_floor: 0.1,
+            free_energy_scale: 1.5,
+        }
     }
 }
 
@@ -87,7 +91,11 @@ pub fn compute_caps(dcs: &[DcInfo], config: CapsConfig) -> Vec<Joules> {
         .zip(raw_weights.iter())
         .zip(free_per_slot.iter())
         .map(|((dc, &w), &free)| {
-            let share = if weight_sum > 0.0 { w / weight_sum } else { 0.0 };
+            let share = if weight_sum > 0.0 {
+                w / weight_sum
+            } else {
+                0.0
+            };
             let grid_budget = residual * share * config.grid_scale;
             let physical = physical_slot_limit(dc);
             Joules((free * config.free_energy_scale + grid_budget).min(physical.0))
@@ -119,7 +127,15 @@ mod tests {
         relative_price: f64,
         last_energy: f64,
     ) -> DcInfo {
-        info_at(id, servers, battery, forecast, relative_price, last_energy, PriceLevel::High)
+        info_at(
+            id,
+            servers,
+            battery,
+            forecast,
+            relative_price,
+            last_energy,
+            PriceLevel::High,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -195,9 +211,19 @@ mod tests {
     #[test]
     fn residual_shrinks_with_free_supply() {
         // Same demand, more free energy → less grid budget distributed.
-        let rich = vec![info(0, 1500, 2.4e9, 0.0, 0.5, 1e9), info(1, 1500, 0.0, 0.0, 0.5, 1e9)];
-        let poor = vec![info(0, 1500, 0.0, 0.0, 0.5, 1e9), info(1, 1500, 0.0, 0.0, 0.5, 1e9)];
-        let config = CapsConfig { grid_scale: 1.0, weight_floor: 0.1, free_energy_scale: 1.0 };
+        let rich = vec![
+            info(0, 1500, 2.4e9, 0.0, 0.5, 1e9),
+            info(1, 1500, 0.0, 0.0, 0.5, 1e9),
+        ];
+        let poor = vec![
+            info(0, 1500, 0.0, 0.0, 0.5, 1e9),
+            info(1, 1500, 0.0, 0.0, 0.5, 1e9),
+        ];
+        let config = CapsConfig {
+            grid_scale: 1.0,
+            weight_floor: 0.1,
+            free_energy_scale: 1.0,
+        };
         let caps_rich = compute_caps(&rich, config);
         let caps_poor = compute_caps(&poor, config);
         // DC1 has no free energy in either world, but the rich world's
@@ -217,16 +243,34 @@ mod tests {
 
     #[test]
     fn weight_floor_keeps_expensive_dc_alive() {
-        let dcs = vec![info(0, 1500, 0.0, 0.0, 1.0, 1e9), info(1, 1000, 0.0, 0.0, 0.0, 1e9)];
+        let dcs = vec![
+            info(0, 1500, 0.0, 0.0, 1.0, 1e9),
+            info(1, 1000, 0.0, 0.0, 0.0, 1e9),
+        ];
         let caps = compute_caps(&dcs, CapsConfig::default());
         assert!(caps[0].0 > 0.0, "expensive DC must keep a floor budget");
     }
 
     #[test]
     fn grid_scale_scales_budgets() {
-        let dcs = vec![info(0, 1500, 0.0, 0.0, 0.5, 1e9), info(1, 1000, 0.0, 0.0, 0.5, 1e9)];
-        let small = compute_caps(&dcs, CapsConfig { grid_scale: 0.5, ..CapsConfig::default() });
-        let large = compute_caps(&dcs, CapsConfig { grid_scale: 2.0, ..CapsConfig::default() });
+        let dcs = vec![
+            info(0, 1500, 0.0, 0.0, 0.5, 1e9),
+            info(1, 1000, 0.0, 0.0, 0.5, 1e9),
+        ];
+        let small = compute_caps(
+            &dcs,
+            CapsConfig {
+                grid_scale: 0.5,
+                ..CapsConfig::default()
+            },
+        );
+        let large = compute_caps(
+            &dcs,
+            CapsConfig {
+                grid_scale: 2.0,
+                ..CapsConfig::default()
+            },
+        );
         assert!(large[0].0 > small[0].0);
     }
 
@@ -237,7 +281,11 @@ mod tests {
             info(1, 100_000, 0.0, 0.0, 0.8, 1e9),
             info(2, 100_000, 0.0, 0.0, 0.5, 1e9),
         ];
-        let config = CapsConfig { grid_scale: 1.0, weight_floor: 0.1, free_energy_scale: 1.0 };
+        let config = CapsConfig {
+            grid_scale: 1.0,
+            weight_floor: 0.1,
+            free_energy_scale: 1.0,
+        };
         let caps = compute_caps(&dcs, config);
         let total: f64 = caps.iter().map(|c| c.0).sum();
         // Weights are normalized, so without clamping the caps partition

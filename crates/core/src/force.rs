@@ -64,7 +64,12 @@ pub struct ForceLayoutConfig {
 
 impl Default for ForceLayoutConfig {
     fn default() -> Self {
-        ForceLayoutConfig { alpha: 0.5, max_iterations: 50, timestep: 1.0, max_step: 2.0 }
+        ForceLayoutConfig {
+            alpha: 0.5,
+            max_iterations: 50,
+            timestep: 1.0,
+            max_step: 2.0,
+        }
     }
 }
 
@@ -97,7 +102,12 @@ pub struct ForceLayout {
 impl ForceLayout {
     /// Creates an empty layout; `seed` scatters the initial positions.
     pub fn new(config: ForceLayoutConfig, seed: u64) -> Self {
-        ForceLayout { config, positions: HashMap::new(), seed, last_iterations: 0 }
+        ForceLayout {
+            config,
+            positions: HashMap::new(),
+            seed,
+            last_iterations: 0,
+        }
     }
 
     /// The configuration.
@@ -131,7 +141,9 @@ impl ForceLayout {
         self.positions.retain(|vm, _| live.contains(vm));
         for &vm in ids {
             let seed = self.seed;
-            self.positions.entry(vm).or_insert_with(|| scatter(seed, vm));
+            self.positions
+                .entry(vm)
+                .or_insert_with(|| scatter(seed, vm));
         }
         if n < 2 {
             self.last_iterations = 0;
@@ -151,8 +163,7 @@ impl ForceLayout {
                     continue;
                 }
                 let repulsion = f64::from(cpu_corr.at(i, j));
-                force[i * n + j] =
-                    alpha * attraction[i * n + j] + (1.0 - alpha) * repulsion;
+                force[i * n + j] = alpha * attraction[i * n + j] + (1.0 - alpha) * repulsion;
             }
         }
 
@@ -329,15 +340,20 @@ mod tests {
         fleet_cfg.arrivals.seed = 9;
         // Construct via a tiny fleet so ids 0..3 exist with groups (0,1),(2,3).
         let fleet = VmFleet::new(fleet_cfg).unwrap();
-        let specs: Vec<_> =
-            ids.iter().map(|&id| fleet.vm(id).unwrap().clone()).collect();
+        let specs: Vec<_> = ids
+            .iter()
+            .map(|&id| fleet.vm(id).unwrap().clone())
+            .collect();
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
         // Group of vm0,vm1 gets intra-group wiring; vm2,vm3 are in another
         // group — sever their link by reconnecting only the first pair.
         data.connect_arrivals(&specs[..2], &specs[..2], &mut rng);
 
         let mut layout = ForceLayout::new(
-            ForceLayoutConfig { max_iterations: 200, ..ForceLayoutConfig::default() },
+            ForceLayoutConfig {
+                max_iterations: 200,
+                ..ForceLayoutConfig::default()
+            },
             7,
         );
         let points = layout.update(&ids, &cpu, &data);
@@ -360,7 +376,10 @@ mod tests {
         let gone = windows.ids()[0];
         let remaining: Vec<VmId> = windows.ids()[1..].to_vec();
         let sub_windows = UtilizationWindows::from_rows(
-            remaining.iter().map(|&vm| (vm, windows.row(vm).unwrap().to_vec())).collect(),
+            remaining
+                .iter()
+                .map(|&vm| (vm, windows.row(vm).unwrap().to_vec()))
+                .collect(),
         );
         let sub_cpu = CpuCorrelationMatrix::compute(&sub_windows);
         layout.update(&remaining, &sub_cpu, fleet.data_correlation());
@@ -405,13 +424,19 @@ mod tests {
         ]);
         let cpu = CpuCorrelationMatrix::compute(&windows);
         let data = DataCorrelation::new(DataCorrelationConfig::default());
-        let config = ForceLayoutConfig { alpha: 1.0, ..ForceLayoutConfig::default() };
+        let config = ForceLayoutConfig {
+            alpha: 1.0,
+            ..ForceLayoutConfig::default()
+        };
         let mut layout = ForceLayout::new(config, 3);
         let before_a = scatter(3, VmId(0));
         let before_b = scatter(3, VmId(1));
         let initial = before_a.distance(&before_b);
         let points = layout.update(&ids, &cpu, &data);
         let after = points[0].distance(&points[1]);
-        assert!((after - initial).abs() < 1e-9, "no traffic, no repulsion → no motion");
+        assert!(
+            (after - initial).abs() < 1e-9,
+            "no traffic, no repulsion → no motion"
+        );
     }
 }

@@ -97,7 +97,11 @@ pub fn kmeans(
     // natural cluster before the long tail fills the gaps.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        loads[b].0.partial_cmp(&loads[a].0).expect("finite loads").then(a.cmp(&b))
+        loads[b]
+            .0
+            .partial_cmp(&loads[a].0)
+            .expect("finite loads")
+            .then(a.cmp(&b))
     });
 
     let mut assignment = vec![0usize; n];
@@ -151,12 +155,20 @@ pub fn kmeans(
         }
         for (c, &(sx, sy, count)) in sums.iter().enumerate() {
             if count > 0 {
-                centroids[c] = Point { x: sx / count as f64, y: sy / count as f64 };
+                centroids[c] = Point {
+                    x: sx / count as f64,
+                    y: sy / count as f64,
+                };
             }
         }
     }
 
-    Clustering { assignment, centroids, cluster_load, iterations }
+    Clustering {
+        assignment,
+        centroids,
+        cluster_load,
+        iterations,
+    }
 }
 
 /// Deterministic spread initialization (farthest-point heuristic seeded by
@@ -164,7 +176,10 @@ pub fn kmeans(
 fn initial_centroids(points: &[Point], k: usize) -> Vec<Point> {
     if points.is_empty() {
         return (0..k)
-            .map(|c| Point { x: c as f64, y: c as f64 })
+            .map(|c| Point {
+                x: c as f64,
+                y: c as f64,
+            })
             .collect();
     }
     let mut centroids = Vec::with_capacity(k);
@@ -176,7 +191,9 @@ fn initial_centroids(points: &[Point], k: usize) -> Vec<Point> {
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            a.distance(&center).partial_cmp(&b.distance(&center)).expect("finite")
+            a.distance(&center)
+                .partial_cmp(&b.distance(&center))
+                .expect("finite")
         })
         .map(|(i, _)| i)
         .expect("non-empty");
@@ -187,8 +204,14 @@ fn initial_centroids(points: &[Point], k: usize) -> Vec<Point> {
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| {
-                let da = centroids.iter().map(|c| a.distance(c)).fold(f64::MAX, f64::min);
-                let db = centroids.iter().map(|c| b.distance(c)).fold(f64::MAX, f64::min);
+                let da = centroids
+                    .iter()
+                    .map(|c| a.distance(c))
+                    .fold(f64::MAX, f64::min);
+                let db = centroids
+                    .iter()
+                    .map(|c| b.distance(c))
+                    .fold(f64::MAX, f64::min);
                 da.partial_cmp(&db).expect("finite")
             })
             .map(|(i, _)| i)
@@ -206,10 +229,16 @@ mod tests {
         // Two well-separated blobs of 4 points each.
         let mut p = Vec::new();
         for i in 0..4 {
-            p.push(Point { x: i as f64 * 0.1, y: 0.0 });
+            p.push(Point {
+                x: i as f64 * 0.1,
+                y: 0.0,
+            });
         }
         for i in 0..4 {
-            p.push(Point { x: 10.0 + i as f64 * 0.1, y: 10.0 });
+            p.push(Point {
+                x: 10.0 + i as f64 * 0.1,
+                y: 10.0,
+            });
         }
         p
     }
@@ -231,8 +260,12 @@ mod tests {
     fn caps_force_splitting_a_blob() {
         // One tight blob of 6 unit loads, two clusters of cap 3: the blob
         // must split despite proximity.
-        let points: Vec<Point> =
-            (0..6).map(|i| Point { x: i as f64 * 0.01, y: 0.0 }).collect();
+        let points: Vec<Point> = (0..6)
+            .map(|i| Point {
+                x: i as f64 * 0.01,
+                y: 0.0,
+            })
+            .collect();
         let loads = vec![Joules(1.0); 6];
         let caps = vec![Joules(3.0), Joules(3.0)];
         let r = kmeans(&points, &loads, &caps, None, KMeansConfig::default());
@@ -246,7 +279,12 @@ mod tests {
     #[test]
     fn overflow_goes_to_least_overdrawn() {
         // Total load exceeds every cap: assignment must still be complete.
-        let points: Vec<Point> = (0..5).map(|i| Point { x: i as f64, y: 0.0 }).collect();
+        let points: Vec<Point> = (0..5)
+            .map(|i| Point {
+                x: i as f64,
+                y: 0.0,
+            })
+            .collect();
         let loads = vec![Joules(10.0); 5];
         let caps = vec![Joules(5.0), Joules(5.0)];
         let r = kmeans(&points, &loads, &caps, None, KMeansConfig::default());

@@ -30,7 +30,9 @@ pub struct LocalAllocConfig {
 
 impl Default for LocalAllocConfig {
     fn default() -> Self {
-        LocalAllocConfig { utilization_threshold: 0.9 }
+        LocalAllocConfig {
+            utilization_threshold: 0.9,
+        }
     }
 }
 
@@ -63,9 +65,15 @@ pub fn allocate(
 
     // FFD: biggest predicted peak first (ties broken by position for
     // determinism).
-    let mut order: Vec<(usize, f64)> =
-        positions.iter().map(|&p| (p, snapshot.peak_load(p))).collect();
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite peaks").then(a.0.cmp(&b.0)));
+    let mut order: Vec<(usize, f64)> = positions
+        .iter()
+        .map(|&p| (p, snapshot.peak_load(p)))
+        .collect();
+    order.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite peaks")
+            .then(a.0.cmp(&b.0))
+    });
 
     let mut servers: Vec<OpenServer> = Vec::new();
     for &(pos, _) in &order {
@@ -96,9 +104,7 @@ pub fn allocate(
             None => servers
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.peak.partial_cmp(&b.peak).expect("finite peaks")
-                })
+                .min_by(|(_, a), (_, b)| a.peak.partial_cmp(&b.peak).expect("finite peaks"))
                 .map(|(i, _)| i)
                 .expect("max_servers >= 1"),
         };
@@ -144,7 +150,10 @@ mod tests {
 
     /// Correlated pair: coincident peaks.
     fn co_pair() -> Vec<(u32, Vec<f32>)> {
-        vec![(0, vec![0.9, 0.9, 0.05, 0.05]), (1, vec![0.9, 0.9, 0.05, 0.05])]
+        vec![
+            (0, vec![0.9, 0.9, 0.05, 0.05]),
+            (1, vec![0.9, 0.9, 0.05, 0.05]),
+        ]
     }
 
     #[test]
@@ -169,10 +178,8 @@ mod tests {
         // Combined peak 7.2 > 7.2? combined = 0.9·4 + 0.9·4 = 7.2, capacity
         // 8 × 0.9 = 7.2 → fits exactly at equality... use 0.95 loads to
         // clear the boundary.
-        let fixture = SnapshotFixture::new(
-            vec![(0, vec![0.95; 4]), (1, vec![0.95; 4])],
-            vec![4, 4],
-        );
+        let fixture =
+            SnapshotFixture::new(vec![(0, vec![0.95; 4]), (1, vec![0.95; 4])], vec![4, 4]);
         let snapshot = fixture.snapshot();
         let strict = allocate(&[0, 1], &snapshot, &model, 10, LocalAllocConfig::default());
         assert_eq!(strict.len(), 2, "coincident peaks must split");
@@ -183,8 +190,7 @@ mod tests {
     fn dvfs_drops_frequency_on_light_servers() {
         // One 2-core VM at 0.5 → peak 1.0 ≤ 6.956 × … → the 2.0 GHz level
         // suffices.
-        let fixture =
-            SnapshotFixture::new(vec![(0, vec![0.5, 0.5, 0.5, 0.5])], vec![2]);
+        let fixture = SnapshotFixture::new(vec![(0, vec![0.5, 0.5, 0.5, 0.5])], vec![2]);
         let snapshot = fixture.snapshot();
         let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
         let out = allocate(&[0], &snapshot, &model, 10, LocalAllocConfig::default());
@@ -204,12 +210,17 @@ mod tests {
     #[test]
     fn overflow_lands_on_least_loaded_server() {
         // Three 8-core VMs at full blast but only 2 servers allowed.
-        let rows: Vec<(u32, Vec<f32>)> =
-            (0..3).map(|i| (i, vec![0.95f32; 4])).collect();
+        let rows: Vec<(u32, Vec<f32>)> = (0..3).map(|i| (i, vec![0.95f32; 4])).collect();
         let fixture = SnapshotFixture::new(rows, vec![8, 8, 8]);
         let snapshot = fixture.snapshot();
         let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
-        let out = allocate(&[0, 1, 2], &snapshot, &model, 2, LocalAllocConfig::default());
+        let out = allocate(
+            &[0, 1, 2],
+            &snapshot,
+            &model,
+            2,
+            LocalAllocConfig::default(),
+        );
         assert_eq!(out.len(), 2, "cannot exceed max_servers");
         let total: usize = out.iter().map(|s| s.vms.len()).sum();
         assert_eq!(total, 3, "every VM must land somewhere");
@@ -233,8 +244,20 @@ mod tests {
         let snapshot = fixture.snapshot();
         let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
         let positions: Vec<usize> = (0..12).collect();
-        let a = allocate(&positions, &snapshot, &model, 20, LocalAllocConfig::default());
-        let b = allocate(&positions, &snapshot, &model, 20, LocalAllocConfig::default());
+        let a = allocate(
+            &positions,
+            &snapshot,
+            &model,
+            20,
+            LocalAllocConfig::default(),
+        );
+        let b = allocate(
+            &positions,
+            &snapshot,
+            &model,
+            20,
+            LocalAllocConfig::default(),
+        );
         assert_eq!(a, b);
     }
 
@@ -255,7 +278,17 @@ mod tests {
         let snapshot = fixture.snapshot();
         let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
         let positions: Vec<usize> = (0..6).collect();
-        let out = allocate(&positions, &snapshot, &model, 10, LocalAllocConfig::default());
-        assert!(out.len() <= 3, "correlation-aware packing should pair them, got {}", out.len());
+        let out = allocate(
+            &positions,
+            &snapshot,
+            &model,
+            10,
+            LocalAllocConfig::default(),
+        );
+        assert!(
+            out.len() <= 3,
+            "correlation-aware packing should pair them, got {}",
+            out.len()
+        );
     }
 }

@@ -96,9 +96,15 @@ pub fn revise_migrations<R: Rng + ?Sized>(
             .collect();
         // Outgoing: descending distance from the *current* DC's centroid.
         movers.sort_by(|a, b| {
-            let da = a.position.distance(&centroids[a.prev.expect("mover").index()]);
-            let db = b.position.distance(&centroids[b.prev.expect("mover").index()]);
-            db.partial_cmp(&da).expect("finite distance").then(a.vm.cmp(&b.vm))
+            let da = a
+                .position
+                .distance(&centroids[a.prev.expect("mover").index()]);
+            let db = b
+                .position
+                .distance(&centroids[b.prev.expect("mover").index()]);
+            db.partial_cmp(&da)
+                .expect("finite distance")
+                .then(a.vm.cmp(&b.vm))
         });
         for input in &movers {
             outgoing[input.prev.expect("mover").index()].push_back(input.vm);
@@ -107,7 +113,9 @@ pub fn revise_migrations<R: Rng + ?Sized>(
         movers.sort_by(|a, b| {
             let da = a.position.distance(&centroids[a.target.index()]);
             let db = b.position.distance(&centroids[b.target.index()]);
-            da.partial_cmp(&db).expect("finite distance").then(a.vm.cmp(&b.vm))
+            da.partial_cmp(&db)
+                .expect("finite distance")
+                .then(a.vm.cmp(&b.vm))
         });
         for input in &movers {
             incoming[input.target.index()].push_back(input.vm);
@@ -138,7 +146,12 @@ pub fn revise_migrations<R: Rng + ?Sized>(
                 remove_from(&mut outgoing, vm);
                 continue;
             }
-            let migration = Migration { vm, from, to: dc, size: input.size };
+            let migration = Migration {
+                vm,
+                from,
+                to: dc,
+                size: input.size,
+            };
             if plan.try_add(migration, latency, budget, rng) {
                 dc_of.insert(vm, dc);
                 load[from.index()] -= input.load;
@@ -153,7 +166,12 @@ pub fn revise_migrations<R: Rng + ?Sized>(
             };
             let input = by_vm[&vm];
             let dest = input.target;
-            let migration = Migration { vm, from: dc, to: dest, size: input.size };
+            let migration = Migration {
+                vm,
+                from: dc,
+                to: dest,
+                size: input.size,
+            };
             if plan.try_add(migration, latency, budget, rng) {
                 dc_of.insert(vm, dest);
                 load[current] -= input.load;
@@ -188,7 +206,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn model() -> LatencyModel {
-        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+        LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::error_free(),
+        )
     }
 
     fn centroids() -> Vec<Point> {
@@ -218,8 +239,7 @@ mod tests {
 
     #[test]
     fn new_vms_take_kmeans_target_unchecked() {
-        let vms =
-            vec![input(0, None, 2, Point { x: 0.0, y: 10.0 }, 5.0)];
+        let vms = vec![input(0, None, 2, Point { x: 0.0, y: 10.0 }, 5.0)];
         let r = revise_migrations(
             &vms,
             &centroids(),
@@ -321,9 +341,16 @@ mod tests {
             .map(|i| {
                 input(
                     i,
-                    if i % 3 == 0 { None } else { Some((i % 3) as u16 - 1) },
+                    if i % 3 == 0 {
+                        None
+                    } else {
+                        Some((i % 3) as u16 - 1)
+                    },
                     (i % 3) as u16,
-                    Point { x: f64::from(i), y: 0.0 },
+                    Point {
+                        x: f64::from(i),
+                        y: 0.0,
+                    },
                     2.0,
                 )
             })
@@ -362,6 +389,10 @@ mod tests {
             &mut StdRng::seed_from_u64(8),
         );
         assert_eq!(r.dc_of[&VmId(1)], DcId(1), "farthest VM moves first");
-        assert_eq!(r.dc_of[&VmId(0)], DcId(0), "budget exhausted for the nearer one");
+        assert_eq!(
+            r.dc_of[&VmId(0)],
+            DcId(0),
+            "budget exhausted for the nearer one"
+        );
     }
 }

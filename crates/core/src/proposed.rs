@@ -203,8 +203,7 @@ impl GlobalPolicy for ProposedPolicy {
         // Phase 2: correlation-aware local allocation per DC.
         for dc_index in 0..n_dcs {
             let dc = DcId(dc_index as u16);
-            let members: Vec<usize> =
-                (0..n).filter(|&i| revised.dc_of[&ids[i]] == dc).collect();
+            let members: Vec<usize> = (0..n).filter(|&i| revised.dc_of[&ids[i]] == dc).collect();
             let assignments = allocate(
                 &members,
                 snapshot,
@@ -237,8 +236,9 @@ mod tests {
     }
 
     fn fixture(n: usize) -> SnapshotFixture {
-        let rows: Vec<(u32, Vec<f32>)> =
-            (0..n as u32).map(|i| (i, diurnal((i as usize * 7) % 24, 24))).collect();
+        let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
+            .map(|i| (i, diurnal((i as usize * 7) % 24, 24)))
+            .collect();
         SnapshotFixture::new(rows, vec![2; n])
     }
 
@@ -292,8 +292,9 @@ mod tests {
     #[test]
     fn heavy_data_pairs_colocate() {
         // 6 VMs, pair (0,1) exchanges heavy traffic; flat CPU loads.
-        let rows: Vec<(u32, Vec<f32>)> =
-            (0..6u32).map(|i| (i, vec![0.3 + 0.01 * i as f32; 24])).collect();
+        let rows: Vec<(u32, Vec<f32>)> = (0..6u32)
+            .map(|i| (i, vec![0.3 + 0.01 * i as f32; 24]))
+            .collect();
         let mut data = DataCorrelation::new(DataCorrelationConfig {
             cross_links_per_vm: 0,
             ..DataCorrelationConfig::default()
@@ -309,8 +310,10 @@ mod tests {
         fleet_config.arrivals.group_size_range = (2, 2);
         fleet_config.arrivals.seed = 1;
         let fleet = geoplace_workload::fleet::VmFleet::new(fleet_config).unwrap();
-        let specs: Vec<_> =
-            [VmId(0), VmId(1)].iter().map(|&v| fleet.vm(v).unwrap().clone()).collect();
+        let specs: Vec<_> = [VmId(0), VmId(1)]
+            .iter()
+            .map(|&v| fleet.vm(v).unwrap().clone())
+            .collect();
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
         data.connect_arrivals(&specs, &specs, &mut rng);
 

@@ -37,9 +37,8 @@ impl SnapshotFixture {
     /// network, 72 s migration budget.
     pub fn new(rows: Vec<(u32, Vec<f32>)>, cores: Vec<u32>) -> Self {
         assert_eq!(rows.len(), cores.len(), "rows/cores mismatch");
-        let windows = UtilizationWindows::from_rows(
-            rows.into_iter().map(|(id, w)| (VmId(id), w)).collect(),
-        );
+        let windows =
+            UtilizationWindows::from_rows(rows.into_iter().map(|(id, w)| (VmId(id), w)).collect());
         let cpu = CpuCorrelationMatrix::compute(&windows);
         let memory = cores.iter().map(|&c| Gigabytes(f64::from(c))).collect();
         let dcs = (0..3u16)

@@ -138,7 +138,10 @@ impl ScenarioConfig {
         }
         for dc in &self.dcs {
             if dc.servers == 0 {
-                return Err(Error::invalid_config(format!("{} has zero servers", dc.name)));
+                return Err(Error::invalid_config(format!(
+                    "{} has zero servers",
+                    dc.name
+                )));
             }
             if dc.pv_kwp < 0.0 || dc.battery_kwh <= 0.0 {
                 return Err(Error::invalid_config(format!(
@@ -218,11 +221,20 @@ mod tests {
         let c = ScenarioConfig::paper(0);
         assert_eq!(c.dcs.len(), 3);
         let lisbon = &c.dcs[0];
-        assert_eq!((lisbon.servers, lisbon.pv_kwp, lisbon.battery_kwh), (1500, 150.0, 960.0));
+        assert_eq!(
+            (lisbon.servers, lisbon.pv_kwp, lisbon.battery_kwh),
+            (1500, 150.0, 960.0)
+        );
         let zurich = &c.dcs[1];
-        assert_eq!((zurich.servers, zurich.pv_kwp, zurich.battery_kwh), (1000, 100.0, 720.0));
+        assert_eq!(
+            (zurich.servers, zurich.pv_kwp, zurich.battery_kwh),
+            (1000, 100.0, 720.0)
+        );
         let helsinki = &c.dcs[2];
-        assert_eq!((helsinki.servers, helsinki.pv_kwp, helsinki.battery_kwh), (500, 50.0, 480.0));
+        assert_eq!(
+            (helsinki.servers, helsinki.pv_kwp, helsinki.battery_kwh),
+            (500, 50.0, 480.0)
+        );
         assert_eq!(c.horizon_slots, 168);
         assert_eq!(c.qos, 0.98);
         assert!(c.validate().is_ok());
@@ -263,7 +275,10 @@ mod tests {
     #[test]
     fn regional_price_diversity_exists() {
         let dcs = paper_dcs();
-        let cheapest = dcs.iter().map(|d| d.price_off_peak).fold(f64::MAX, f64::min);
+        let cheapest = dcs
+            .iter()
+            .map(|d| d.price_off_peak)
+            .fold(f64::MAX, f64::min);
         let dearest = dcs.iter().map(|d| d.price_peak).fold(0.0, f64::max);
         assert!(dearest / cheapest > 2.0, "tariff diversity too small");
     }

@@ -47,7 +47,9 @@ pub struct PlacementDecision {
 impl PlacementDecision {
     /// Creates an empty decision over `n_dcs` data centers.
     pub fn new(n_dcs: usize) -> Self {
-        PlacementDecision { per_dc: vec![Vec::new(); n_dcs] }
+        PlacementDecision {
+            per_dc: vec![Vec::new(); n_dcs],
+        }
     }
 
     /// Number of data centers covered.
@@ -145,10 +147,13 @@ impl PlacementDecision {
                 return;
             }
         }
-        let used: std::collections::HashSet<u32> =
-            servers.iter().map(|s| s.server).collect();
+        let used: std::collections::HashSet<u32> = servers.iter().map(|s| s.server).collect();
         if let Some(fresh) = (0..server_count).find(|index| !used.contains(index)) {
-            servers.push(ServerAssignment { server: fresh, freq, vms: vec![vm] });
+            servers.push(ServerAssignment {
+                server: fresh,
+                freq,
+                vms: vec![vm],
+            });
             return;
         }
         let host = servers
@@ -214,7 +219,9 @@ impl PlacementDecision {
         }
         for &vm in active {
             if !seen.contains_key(&vm) {
-                return Err(Error::invalid_config(format!("{vm} is active but unplaced")));
+                return Err(Error::invalid_config(format!(
+                    "{vm} is active but unplaced"
+                )));
             }
         }
         if seen.len() != active.len() {
@@ -292,7 +299,11 @@ mod tests {
         let mut d = PlacementDecision::new(1);
         d.push(
             DcId(0),
-            ServerAssignment { server: 0, freq: FreqLevel(5), vms: vec![VmId(1)] },
+            ServerAssignment {
+                server: 0,
+                freq: FreqLevel(5),
+                vms: vec![VmId(1)],
+            },
         );
         assert!(d.validate(&active(&[1]), &[4], 2).is_err());
     }

@@ -30,7 +30,7 @@ use geoplace_network::response::evaluate_slot;
 use geoplace_network::topology::{DcSite, Topology};
 use geoplace_network::traffic::TrafficMatrix;
 use geoplace_types::time::{TimeSlot, TICKS_PER_SLOT, TICK_SECONDS};
-use geoplace_types::units::{EurosPerKwh, Gigabytes, GigabitsPerSecond, Seconds};
+use geoplace_types::units::{EurosPerKwh, GigabitsPerSecond, Gigabytes, Seconds};
 use geoplace_types::{DcId, Result, VmId};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::fleet::VmFleet;
@@ -85,8 +85,7 @@ impl Scenario {
                 )
             })
             .collect();
-        let topology =
-            Topology::new(sites, GigabitsPerSecond(10.0), GigabitsPerSecond(100.0))?;
+        let topology = Topology::new(sites, GigabitsPerSecond(10.0), GigabitsPerSecond(100.0))?;
         let ber = if config.error_free_network {
             BerDistribution::error_free()
         } else {
@@ -100,7 +99,13 @@ impl Scenario {
             .enumerate()
             .map(|(i, d)| DataCenter::build(DcId(i as u16), d.clone(), config.pue, config.seed))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Scenario { config: config.clone(), topology, latency, fleet, dcs })
+        Ok(Scenario {
+            config: config.clone(),
+            topology,
+            latency,
+            fleet,
+            dcs,
+        })
     }
 }
 
@@ -117,7 +122,11 @@ impl Simulator {
     /// runs are reproducible.
     pub fn new(scenario: Scenario) -> Self {
         let rng = StdRng::seed_from_u64(scenario.config.seed ^ 0x5137_AB1E);
-        Simulator { scenario, rng, green: GreenController::default() }
+        Simulator {
+            scenario,
+            rng,
+            green: GreenController::default(),
+        }
     }
 
     /// Disables the green controller's low-price arbitrage charging
@@ -135,8 +144,7 @@ impl Simulator {
     /// is a programming error in the policy, not a recoverable condition.
     pub fn run<P: GlobalPolicy>(mut self, policy: &mut P) -> SimulationReport {
         let n_dcs = self.scenario.dcs.len();
-        let server_counts: Vec<u32> =
-            self.scenario.dcs.iter().map(|d| d.config.servers).collect();
+        let server_counts: Vec<u32> = self.scenario.dcs.iter().map(|d| d.config.servers).collect();
         let dvfs_levels = self.scenario.dcs[0].power_model.levels().len();
         let budget = latency_constraint_for_qos(self.scenario.config.qos);
         let mut report = SimulationReport::new(policy.name(), n_dcs);
@@ -182,7 +190,10 @@ impl Simulator {
                 };
                 let decision = policy.decide(&snapshot);
                 if let Err(e) = decision.validate(&active, &server_counts, dvfs_levels) {
-                    panic!("policy {} returned an invalid decision at {slot}: {e}", policy.name());
+                    panic!(
+                        "policy {} returned an invalid decision at {slot}: {e}",
+                        policy.name()
+                    );
                 }
                 decision
             };
@@ -195,17 +206,27 @@ impl Simulator {
             // stays in its previous DC — whichever policy asked. Policies
             // that plan within the budget (Algorithm 2) are unaffected;
             // latency-blind chasers get clipped and pay the consequences.
-            let mut record = HourlyRecord { slot: slot_index, ..HourlyRecord::default() };
+            let mut record = HourlyRecord {
+                slot: slot_index,
+                ..HourlyRecord::default()
+            };
             let mut plan = MigrationPlan::new(n_dcs);
             let top_freq = crate::power::FreqLevel(dvfs_levels - 1);
             for &vm in &active {
-                let Some(&prev) = assignment.get(&vm) else { continue };
+                let Some(&prev) = assignment.get(&vm) else {
+                    continue;
+                };
                 let dest = new_dc[&vm];
                 if prev == dest {
                     continue;
                 }
                 let size = self.scenario.fleet.vm(vm).expect("active VM").memory();
-                let migration = Migration { vm, from: prev, to: dest, size };
+                let migration = Migration {
+                    vm,
+                    from: prev,
+                    to: dest,
+                    size,
+                };
                 if plan.try_add(migration, &self.scenario.latency, budget, &mut self.rng) {
                     record.migrations += 1;
                     record.migration_volume_gb += size.0;
@@ -240,9 +261,8 @@ impl Simulator {
                 // the PV the WCMA forecaster expects over the next 12 h,
                 // so cheap-hour grid charging cannot force daylight
                 // curtailment.
-                let pv_reserve: geoplace_types::units::Joules = (1..=12u32)
-                    .map(|k| dc.forecaster.forecast(slot + k))
-                    .sum();
+                let pv_reserve: geoplace_types::units::Joules =
+                    (1..=12u32).map(|k| dc.forecaster.forecast(slot + k)).sum();
                 for (k, tick) in slot.ticks().enumerate() {
                     let pv_power = dc.pv.power_at(tick);
                     pv_harvest += pv_power.0 * TICK_SECONDS;
@@ -264,7 +284,8 @@ impl Simulator {
                     battery_out += out.battery_to_load.0 * TICK_SECONDS;
                 }
                 let cost = cost_of_joules(price, grid_energy);
-                dc.forecaster.observe(slot, geoplace_types::units::Joules(pv_harvest));
+                dc.forecaster
+                    .observe(slot, geoplace_types::units::Joules(pv_harvest));
                 dc.last_it_energy = geoplace_types::units::Joules(it_energy);
                 dc.last_total_energy = geoplace_types::units::Joules(total_energy);
                 record.cost_eur += cost;
@@ -294,27 +315,38 @@ impl Simulator {
 
     /// Per-DC info block for the snapshot.
     fn dc_infos(&self, slot: TimeSlot) -> Vec<DcInfo> {
-        let prices: Vec<EurosPerKwh> =
-            self.scenario.dcs.iter().map(|d| d.price.price_at(slot)).collect();
+        let prices: Vec<EurosPerKwh> = self
+            .scenario
+            .dcs
+            .iter()
+            .map(|d| d.price.price_at(slot))
+            .collect();
         // Day-averaged tariffs, normalized over the fleet.
         let daily_avg: Vec<f64> = self
             .scenario
             .dcs
             .iter()
             .map(|d| {
-                (0..24u32).map(|h| d.price.price_at(TimeSlot(h)).0).sum::<f64>() / 24.0
+                (0..24u32)
+                    .map(|h| d.price.price_at(TimeSlot(h)).0)
+                    .sum::<f64>()
+                    / 24.0
             })
             .collect();
         let avg_min = daily_avg.iter().cloned().fold(f64::MAX, f64::min);
         let avg_max = daily_avg.iter().cloned().fold(0.0f64, f64::max);
         let avg_span = (avg_max - avg_min).max(1e-12);
-        let min_p = prices.iter().cloned().fold(EurosPerKwh(f64::MAX), |a, b| {
-            if b.0 < a.0 {
-                b
-            } else {
-                a
-            }
-        });
+        let min_p =
+            prices.iter().cloned().fold(
+                EurosPerKwh(f64::MAX),
+                |a, b| {
+                    if b.0 < a.0 {
+                        b
+                    } else {
+                        a
+                    }
+                },
+            );
         let max_p = prices
             .iter()
             .cloned()
@@ -330,9 +362,7 @@ impl Simulator {
                 battery_available: d.battery.available_energy(),
                 battery_headroom: d.battery.headroom(),
                 pv_forecast: d.forecaster.forecast(slot),
-                pv_forecast_day: (0..24u32)
-                    .map(|k| d.forecaster.forecast(slot + k))
-                    .sum(),
+                pv_forecast_day: (0..24u32).map(|k| d.forecaster.forecast(slot + k)).sum(),
                 battery_day: (d.battery.capacity() - d.battery.reserve_floor()) * 0.95,
                 price: d.price.price_at(slot),
                 price_level: d.price.level(slot),

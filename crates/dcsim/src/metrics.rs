@@ -111,8 +111,7 @@ impl SimulationReport {
         }
         let n = self.hourly.len().max(1) as f64;
         t.mean_active_servers /= n;
-        t.mean_response_s =
-            self.hourly.iter().map(|h| h.response_worst_s).sum::<f64>() / n;
+        t.mean_response_s = self.hourly.iter().map(|h| h.response_worst_s).sum::<f64>() / n;
         t.p95_response_s = percentile(&self.response_samples, 0.95);
         t
     }
@@ -240,7 +239,11 @@ impl Histogram {
             };
             counts[idx] += 1;
         }
-        Histogram { counts, max_value, total: samples.len() as u64 }
+        Histogram {
+            counts,
+            max_value,
+            total: samples.len() as u64,
+        }
     }
 
     /// Normalized bin probabilities (sum 1; all zeros for no samples).
@@ -248,13 +251,18 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Bin centers matching [`Histogram::pdf`].
     pub fn bin_centers(&self) -> Vec<f64> {
         let width = self.max_value / self.counts.len() as f64;
-        (0..self.counts.len()).map(|i| (i as f64 + 0.5) * width).collect()
+        (0..self.counts.len())
+            .map(|i| (i as f64 + 0.5) * width)
+            .collect()
     }
 
     /// Raw bin counts.

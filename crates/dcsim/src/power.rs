@@ -65,7 +65,9 @@ impl ServerPowerModel {
         }
         for pair in levels.windows(2) {
             if pair[0].ghz >= pair[1].ghz {
-                return Err(Error::invalid_config("DVFS table must be sorted by frequency"));
+                return Err(Error::invalid_config(
+                    "DVFS table must be sorted by frequency",
+                ));
             }
         }
         for point in &levels {
@@ -85,8 +87,16 @@ impl ServerPowerModel {
         ServerPowerModel::new(
             8,
             vec![
-                OperatingPoint { ghz: 2.0, idle: Watts(141.0), full: Watts(209.0) },
-                OperatingPoint { ghz: 2.3, idle: Watts(166.0), full: Watts(246.0) },
+                OperatingPoint {
+                    ghz: 2.0,
+                    idle: Watts(141.0),
+                    full: Watts(209.0),
+                },
+                OperatingPoint {
+                    ghz: 2.3,
+                    idle: Watts(166.0),
+                    full: Watts(246.0),
+                },
             ],
         )
         .expect("static table is valid")
@@ -145,7 +155,8 @@ impl ServerPowerModel {
     /// frequency that still covers the *peak* demand, because a lower
     /// operating point strictly dominates on power.
     pub fn dvfs_select(&self, peak_load_cores: f64) -> FreqLevel {
-        self.min_level_for(peak_load_cores, 1.0).unwrap_or(self.max_level())
+        self.min_level_for(peak_load_cores, 1.0)
+            .unwrap_or(self.max_level())
     }
 }
 
@@ -214,7 +225,11 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        let p = |ghz, idle, full| OperatingPoint { ghz, idle: Watts(idle), full: Watts(full) };
+        let p = |ghz, idle, full| OperatingPoint {
+            ghz,
+            idle: Watts(idle),
+            full: Watts(full),
+        };
         assert!(ServerPowerModel::new(0, vec![p(2.0, 100.0, 200.0)]).is_err());
         assert!(ServerPowerModel::new(8, vec![]).is_err());
         assert!(ServerPowerModel::new(8, vec![p(2.3, 1.0, 2.0), p(2.0, 1.0, 2.0)]).is_err());

@@ -67,7 +67,12 @@ pub struct PueModel {
 
 impl Default for PueModel {
     fn default() -> Self {
-        PueModel { base: 1.12, ramp: 0.18, threshold_c: 18.0, width_c: 4.0 }
+        PueModel {
+            base: 1.12,
+            ramp: 0.18,
+            threshold_c: 18.0,
+            width_c: 4.0,
+        }
     }
 }
 
@@ -97,7 +102,10 @@ mod tests {
         let pue = PueModel::default();
         for t in -30..50 {
             let v = pue.pue_at_temperature(t as f64);
-            assert!(v >= pue.base && v <= pue.base + pue.ramp, "PUE {v} at {t}°C");
+            assert!(
+                v >= pue.base && v <= pue.base + pue.ramp,
+                "PUE {v} at {t}°C"
+            );
         }
     }
 
@@ -115,8 +123,16 @@ mod tests {
     #[test]
     fn cold_site_beats_warm_site() {
         let pue = PueModel::default();
-        let helsinki = SiteClimate { mean_c: 7.0, amplitude_c: 5.0, timezone_offset_hours: 2 };
-        let lisbon = SiteClimate { mean_c: 19.0, amplitude_c: 6.0, timezone_offset_hours: 0 };
+        let helsinki = SiteClimate {
+            mean_c: 7.0,
+            amplitude_c: 5.0,
+            timezone_offset_hours: 2,
+        };
+        let lisbon = SiteClimate {
+            mean_c: 19.0,
+            amplitude_c: 6.0,
+            timezone_offset_hours: 0,
+        };
         let avg = |c: &SiteClimate| -> f64 {
             (0..24u32).map(|h| pue.pue(c, TimeSlot(h))).sum::<f64>() / 24.0
         };
@@ -125,7 +141,11 @@ mod tests {
 
     #[test]
     fn temperature_peaks_mid_afternoon_local() {
-        let site = SiteClimate { mean_c: 15.0, amplitude_c: 8.0, timezone_offset_hours: 0 };
+        let site = SiteClimate {
+            mean_c: 15.0,
+            amplitude_c: 8.0,
+            timezone_offset_hours: 0,
+        };
         let hottest = (0..24u32)
             .max_by(|&a, &b| {
                 site.temperature_c(TimeSlot(a))
@@ -139,7 +159,11 @@ mod tests {
     #[test]
     fn night_cooling_lowers_pue() {
         let pue = PueModel::default();
-        let site = SiteClimate { mean_c: 18.0, amplitude_c: 6.0, timezone_offset_hours: 0 };
+        let site = SiteClimate {
+            mean_c: 18.0,
+            amplitude_c: 6.0,
+            timezone_offset_hours: 0,
+        };
         let night = pue.pue(&site, TimeSlot(3));
         let afternoon = pue.pue(&site, TimeSlot(15));
         assert!(night < afternoon);

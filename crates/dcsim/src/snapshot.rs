@@ -109,7 +109,12 @@ impl<'a> SystemSnapshot<'a> {
     /// Peak load (core-equivalents) of the VM at a dense position.
     pub fn peak_load(&self, pos: usize) -> f64 {
         let cores = self.vm_cores[pos] as f64;
-        self.windows.row_at(pos).iter().copied().fold(0.0f32, f32::max) as f64 * cores
+        self.windows
+            .row_at(pos)
+            .iter()
+            .copied()
+            .fold(0.0f32, f32::max) as f64
+            * cores
     }
 
     /// Mean load (core-equivalents) of the VM at a dense position.
@@ -128,8 +133,8 @@ impl<'a> SystemSnapshot<'a> {
     pub fn vm_slot_energy(&self, pos: usize) -> Joules {
         let model = &self.dcs[0].power_model;
         let top = model.max_level();
-        let per_core = (model.levels()[top.0].full.0 - model.levels()[top.0].idle.0)
-            / model.cores() as f64;
+        let per_core =
+            (model.levels()[top.0].full.0 - model.levels()[top.0].idle.0) / model.cores() as f64;
         Joules(self.mean_load(pos) * per_core * 3600.0)
     }
 }

@@ -53,7 +53,9 @@ impl Battery {
             return Err(Error::invalid_config("battery capacity must be positive"));
         }
         if !(depth_of_discharge > 0.0 && depth_of_discharge <= 1.0) {
-            return Err(Error::invalid_config("depth of discharge must be in (0, 1]"));
+            return Err(Error::invalid_config(
+                "depth of discharge must be in (0, 1]",
+            ));
         }
         let capacity_j = capacity.to_joules();
         Ok(Battery {
@@ -107,9 +109,7 @@ impl Battery {
         }
         let accepted = power.min(self.max_power);
         // Power at which the headroom would be exactly filled.
-        let headroom_limited = Watts(
-            self.headroom().0 / (self.charge_efficiency * duration.0),
-        );
+        let headroom_limited = Watts(self.headroom().0 / (self.charge_efficiency * duration.0));
         let drawn = accepted.min(headroom_limited);
         self.soc += drawn.energy_over(duration) * self.charge_efficiency;
         self.soc = self.soc.min(self.capacity);
@@ -163,7 +163,10 @@ mod tests {
             total += b.discharge(Watts(1.0e6), Seconds(3600.0)).0 * 3600.0;
         }
         let usable = 720.0 * 3.6e6 * 0.5 * 0.95; // kWh→J × DoD × efficiency
-        assert!((total - usable).abs() / usable < 1e-6, "extracted {total} vs usable {usable}");
+        assert!(
+            (total - usable).abs() / usable < 1e-6,
+            "extracted {total} vs usable {usable}"
+        );
         assert!(b.state_of_charge() >= b.reserve_floor() - Joules(1.0));
         assert_eq!(b.available_energy(), Joules::ZERO);
     }

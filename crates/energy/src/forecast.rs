@@ -87,7 +87,10 @@ impl WcmaForecaster {
         if self.history.len() == self.days {
             self.history.remove(0);
         }
-        self.history.push(std::mem::replace(&mut self.today, vec![f64::NAN; SLOTS_PER_DAY]));
+        self.history.push(std::mem::replace(
+            &mut self.today,
+            vec![f64::NAN; SLOTS_PER_DAY],
+        ));
         self.full_days += 1;
     }
 

@@ -161,7 +161,13 @@ mod tests {
     fn surplus_charges_battery_before_curtailing() {
         let controller = GreenController::default();
         let mut b = drained_battery();
-        let out = controller.step(Watts(100_000.0), Watts(40_000.0), PriceLevel::Low, &mut b, DT);
+        let out = controller.step(
+            Watts(100_000.0),
+            Watts(40_000.0),
+            PriceLevel::Low,
+            &mut b,
+            DT,
+        );
         assert_eq!(out.grid, Watts::ZERO);
         assert_eq!(out.pv_used, Watts(40_000.0));
         assert!((out.pv_to_battery.0 - 60_000.0).abs() < 1e-6);
@@ -173,7 +179,13 @@ mod tests {
     fn full_battery_forces_curtailment() {
         let controller = GreenController::default();
         let mut b = battery(); // starts full
-        let out = controller.step(Watts(100_000.0), Watts(40_000.0), PriceLevel::Low, &mut b, DT);
+        let out = controller.step(
+            Watts(100_000.0),
+            Watts(40_000.0),
+            PriceLevel::Low,
+            &mut b,
+            DT,
+        );
         assert!((out.pv_curtailed.0 - 60_000.0).abs() < 1e-6);
         assert_eq!(out.pv_to_battery, Watts::ZERO);
     }
@@ -182,7 +194,13 @@ mod tests {
     fn high_price_discharges_battery_first() {
         let controller = GreenController::default();
         let mut b = battery();
-        let out = controller.step(Watts(10_000.0), Watts(60_000.0), PriceLevel::High, &mut b, DT);
+        let out = controller.step(
+            Watts(10_000.0),
+            Watts(60_000.0),
+            PriceLevel::High,
+            &mut b,
+            DT,
+        );
         assert_eq!(out.pv_used, Watts(10_000.0));
         assert!((out.battery_to_load.0 - 50_000.0).abs() < 1e-6);
         assert_eq!(out.grid, Watts::ZERO);
@@ -192,7 +210,13 @@ mod tests {
     fn high_price_with_empty_battery_buys_from_grid() {
         let controller = GreenController::default();
         let mut b = drained_battery();
-        let out = controller.step(Watts(10_000.0), Watts(60_000.0), PriceLevel::High, &mut b, DT);
+        let out = controller.step(
+            Watts(10_000.0),
+            Watts(60_000.0),
+            PriceLevel::High,
+            &mut b,
+            DT,
+        );
         assert_eq!(out.battery_to_load, Watts::ZERO);
         assert!((out.grid.0 - 50_000.0).abs() < 1e-6);
     }
@@ -211,7 +235,9 @@ mod tests {
 
     #[test]
     fn arbitrage_can_be_disabled() {
-        let controller = GreenController { disable_arbitrage: true };
+        let controller = GreenController {
+            disable_arbitrage: true,
+        };
         let mut b = drained_battery();
         let out = controller.step(Watts(0.0), Watts(30_000.0), PriceLevel::Low, &mut b, DT);
         assert_eq!(out.grid_to_battery, Watts::ZERO);
@@ -264,7 +290,11 @@ mod tests {
             (10_000.0, 90_000.0, PriceLevel::Low, false),
             (0.0, 50_000.0, PriceLevel::High, true),
         ] {
-            let mut b = if start_full { battery() } else { drained_battery() };
+            let mut b = if start_full {
+                battery()
+            } else {
+                drained_battery()
+            };
             let out = controller.step(Watts(pv), Watts(demand), level, &mut b, DT);
             // Demand must be met exactly from pv_used + battery + grid-for-load.
             let grid_for_load = out.grid - out.grid_to_battery;

@@ -71,7 +71,9 @@ impl PriceSchedule {
             return Err(Error::invalid_config("peak price below off-peak price"));
         }
         if peak_hours.start >= 24 || peak_hours.end > 24 || peak_hours.start >= peak_hours.end {
-            return Err(Error::invalid_config("peak window must satisfy 0 <= start < end <= 24"));
+            return Err(Error::invalid_config(
+                "peak window must satisfy 0 <= start < end <= 24",
+            ));
         }
         Ok(PriceSchedule {
             off_peak,

@@ -117,7 +117,8 @@ impl PvArray {
             return Watts::ZERO;
         }
         Watts(
-            self.capacity_kwp * 1000.0
+            self.capacity_kwp
+                * 1000.0
                 * self.performance_ratio
                 * irradiance
                 * self.cloud_factor(tick),
@@ -138,7 +139,14 @@ mod tests {
     use geoplace_types::time::SLOTS_PER_DAY;
 
     fn lisbon_array() -> PvArray {
-        PvArray::new(150.0, Site { latitude_deg: 38.7, timezone_offset_hours: 0 }, 42)
+        PvArray::new(
+            150.0,
+            Site {
+                latitude_deg: 38.7,
+                timezone_offset_hours: 0,
+            },
+            42,
+        )
     }
 
     #[test]
@@ -153,8 +161,9 @@ mod tests {
     #[test]
     fn peak_generation_near_noon() {
         let pv = lisbon_array();
-        let energy: Vec<f64> =
-            (0..SLOTS_PER_DAY as u32).map(|h| pv.slot_energy(TimeSlot(h)).0).collect();
+        let energy: Vec<f64> = (0..SLOTS_PER_DAY as u32)
+            .map(|h| pv.slot_energy(TimeSlot(h)).0)
+            .collect();
         let peak_hour = energy
             .iter()
             .enumerate()
@@ -176,18 +185,48 @@ mod tests {
 
     #[test]
     fn higher_latitude_yields_less_energy() {
-        let south = PvArray::new(100.0, Site { latitude_deg: 38.7, timezone_offset_hours: 0 }, 7);
-        let north = PvArray::new(100.0, Site { latitude_deg: 60.2, timezone_offset_hours: 0 }, 7);
+        let south = PvArray::new(
+            100.0,
+            Site {
+                latitude_deg: 38.7,
+                timezone_offset_hours: 0,
+            },
+            7,
+        );
+        let north = PvArray::new(
+            100.0,
+            Site {
+                latitude_deg: 60.2,
+                timezone_offset_hours: 0,
+            },
+            7,
+        );
         let day_energy = |pv: &PvArray| -> f64 {
-            (0..SLOTS_PER_DAY as u32).map(|h| pv.slot_energy(TimeSlot(h)).0).sum()
+            (0..SLOTS_PER_DAY as u32)
+                .map(|h| pv.slot_energy(TimeSlot(h)).0)
+                .sum()
         };
         assert!(day_energy(&south) > day_energy(&north));
     }
 
     #[test]
     fn timezone_shifts_the_peak() {
-        let utc = PvArray::new(100.0, Site { latitude_deg: 47.0, timezone_offset_hours: 0 }, 7);
-        let east = PvArray::new(100.0, Site { latitude_deg: 47.0, timezone_offset_hours: 2 }, 7);
+        let utc = PvArray::new(
+            100.0,
+            Site {
+                latitude_deg: 47.0,
+                timezone_offset_hours: 0,
+            },
+            7,
+        );
+        let east = PvArray::new(
+            100.0,
+            Site {
+                latitude_deg: 47.0,
+                timezone_offset_hours: 2,
+            },
+            7,
+        );
         // For a UTC+2 site, local noon occurs at 10:00 UTC. Clouds can move
         // the argmax by an hour, so compare generation *centroids* (both
         // arrays share the same seed and hence the same cloud series).
@@ -225,8 +264,7 @@ mod tests {
     fn slot_energy_equals_tick_integration() {
         let pv = lisbon_array();
         let slot = TimeSlot(12);
-        let manual: f64 =
-            slot.ticks().map(|t| pv.power_at(t).0 * TICK_SECONDS).sum();
+        let manual: f64 = slot.ticks().map(|t| pv.power_at(t).0 * TICK_SECONDS).sum();
         assert!((pv.slot_energy(slot).0 - manual).abs() < 1e-6);
     }
 }

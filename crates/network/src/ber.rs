@@ -38,9 +38,14 @@ impl BerDistribution {
     pub fn new(entries: Vec<(f64, f64)>) -> Self {
         assert!(!entries.is_empty(), "empty BER distribution");
         let total: f64 = entries.iter().map(|(_, p)| p).sum();
-        assert!((total - 1.0).abs() < 1e-9, "BER probabilities sum to {total}");
         assert!(
-            entries.iter().all(|&(b, p)| (0.0..=1.0).contains(&b) && p >= 0.0),
+            (total - 1.0).abs() < 1e-9,
+            "BER probabilities sum to {total}"
+        );
+        assert!(
+            entries
+                .iter()
+                .all(|&(b, p)| (0.0..=1.0).contains(&b) && p >= 0.0),
             "invalid BER entry"
         );
         BerDistribution { entries }

@@ -110,7 +110,9 @@ impl LatencyModel {
     /// Eq. 3 — local latency of destination DC `j` absorbing the total
     /// volume collected from all other DCs.
     pub fn destination_local_latency(&self, dc: DcId, total_incoming: Megabytes) -> Seconds {
-        self.topology.local_bandwidth(dc).transfer_time_mb(total_incoming)
+        self.topology
+            .local_bandwidth(dc)
+            .transfer_time_mb(total_incoming)
     }
 
     /// Propagation delay between two DCs (first term of Eq. 4).
@@ -120,11 +122,7 @@ impl LatencyModel {
 
     /// Algorithm 1 — data latency `L_e` of pushing `volume` across the
     /// backbone when every one-second step draws a fresh BER.
-    pub fn global_data_latency<R: Rng + ?Sized>(
-        &self,
-        volume: Megabytes,
-        rng: &mut R,
-    ) -> Seconds {
+    pub fn global_data_latency<R: Rng + ?Sized>(&self, volume: Megabytes, rng: &mut R) -> Seconds {
         let mut remaining = volume;
         let mut latency = Seconds::ZERO;
         if remaining.0 <= 0.0 {
@@ -132,8 +130,9 @@ impl LatencyModel {
         }
         loop {
             let ber = self.ber.sample(rng);
-            let effective =
-                self.bandwidth_model.effective(self.topology.backbone_bandwidth(), ber);
+            let effective = self
+                .bandwidth_model
+                .effective(self.topology.backbone_bandwidth(), ber);
             // Volume movable in one one-second step.
             let step_capacity = effective.megabytes_per_second();
             if step_capacity.0 <= 0.0 {
@@ -223,11 +222,17 @@ mod tests {
     use rand::SeedableRng;
 
     fn error_free_model() -> LatencyModel {
-        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+        LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::error_free(),
+        )
     }
 
     fn paper_model() -> LatencyModel {
-        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::paper_default())
+        LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::paper_default(),
+        )
     }
 
     #[test]
@@ -269,14 +274,20 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(2);
         let t_clean = clean.global_data_latency(vol, &mut rng1);
         let t_noisy = noisy.global_data_latency(vol, &mut rng2);
-        assert!(t_noisy.0 >= t_clean.0, "errors cannot speed transmission up");
+        assert!(
+            t_noisy.0 >= t_clean.0,
+            "errors cannot speed transmission up"
+        );
     }
 
     #[test]
     fn algorithm1_zero_volume_is_instant() {
         let m = paper_model();
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(m.global_data_latency(Megabytes::ZERO, &mut rng), Seconds::ZERO);
+        assert_eq!(
+            m.global_data_latency(Megabytes::ZERO, &mut rng),
+            Seconds::ZERO
+        );
     }
 
     #[test]
@@ -302,7 +313,10 @@ mod tests {
         // Worst chain: DC0's 10 + 1 + prop; destination drain:
         // 15,000 MB / 10 Gb/s = 12 s.
         let expected = (10.0 + 1.0 + prop01) + 12.0;
-        assert!((total.0 - expected).abs() < 1e-6, "total {total} vs {expected}");
+        assert!(
+            (total.0 - expected).abs() < 1e-6,
+            "total {total} vs {expected}"
+        );
     }
 
     #[test]

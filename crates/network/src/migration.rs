@@ -77,7 +77,10 @@ pub struct MigrationPlan {
 impl MigrationPlan {
     /// Creates an empty plan over `n_dcs` data centers.
     pub fn new(n_dcs: usize) -> Self {
-        MigrationPlan { migrations: Vec::new(), volumes: TrafficMatrix::new(n_dcs) }
+        MigrationPlan {
+            migrations: Vec::new(),
+            volumes: TrafficMatrix::new(n_dcs),
+        }
     }
 
     /// The migrations committed so far.
@@ -119,7 +122,8 @@ impl MigrationPlan {
         }
         let latency = self.latency_with(model, candidate, rng);
         if latency.0 <= budget.0 {
-            self.volumes.add(candidate.from, candidate.to, candidate.size.to_megabytes());
+            self.volumes
+                .add(candidate.from, candidate.to, candidate.size.to_megabytes());
             self.migrations.push(candidate);
             true
         } else {
@@ -147,11 +151,19 @@ mod tests {
     use rand::SeedableRng;
 
     fn model() -> LatencyModel {
-        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+        LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::error_free(),
+        )
     }
 
     fn mig(vm: u32, from: u16, to: u16, gb: f64) -> Migration {
-        Migration { vm: VmId(vm), from: DcId(from), to: DcId(to), size: Gigabytes(gb) }
+        Migration {
+            vm: VmId(vm),
+            from: DcId(from),
+            to: DcId(to),
+            size: Gigabytes(gb),
+        }
     }
 
     #[test]
@@ -166,7 +178,12 @@ mod tests {
         let m = model();
         let mut plan = MigrationPlan::new(3);
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(plan.try_add(mig(0, 0, 1, 8.0), &m, latency_constraint_for_qos(0.98), &mut rng));
+        assert!(plan.try_add(
+            mig(0, 0, 1, 8.0),
+            &m,
+            latency_constraint_for_qos(0.98),
+            &mut rng
+        ));
     }
 
     #[test]
@@ -174,9 +191,10 @@ mod tests {
         let m = model();
         let mut plan = MigrationPlan::new(3);
         let mut rng = StdRng::seed_from_u64(2);
-        let budget = latency_constraint_for_qos(0.98); // 72 s
-        // Each 8 GB VM costs ≈ 6.4 s on the shared 10 Gb/s local links
-        // (source + destination) plus backbone time; the budget saturates.
+        // QoS 0.98 ⇒ a 72 s budget. Each 8 GB VM costs ≈ 6.4 s on the
+        // shared 10 Gb/s local links (source + destination) plus backbone
+        // time; the budget saturates.
+        let budget = latency_constraint_for_qos(0.98);
         let mut accepted = 0;
         for vm in 0..100u32 {
             if plan.try_add(mig(vm, 0, 1, 8.0), &m, budget, &mut rng) {

@@ -27,7 +27,10 @@ impl SlotResponse {
     /// bound ("DC providers typically consider worst-case response time in
     /// their SLAs").
     pub fn worst(&self) -> Seconds {
-        self.per_dc.iter().map(|&(_, t)| t).fold(Seconds::ZERO, Seconds::max)
+        self.per_dc
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(Seconds::ZERO, Seconds::max)
     }
 
     /// Mean response time across destinations.
@@ -84,7 +87,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn model() -> LatencyModel {
-        LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+        LatencyModel::new(
+            Topology::paper_default().unwrap(),
+            BerDistribution::error_free(),
+        )
     }
 
     #[test]

@@ -67,12 +67,17 @@ impl DcSite {
 
     /// Great-circle distance to another site.
     pub fn distance_km(&self, other: &DcSite) -> f64 {
-        let (lat1, lon1) = (self.latitude_deg.to_radians(), self.longitude_deg.to_radians());
-        let (lat2, lon2) = (other.latitude_deg.to_radians(), other.longitude_deg.to_radians());
+        let (lat1, lon1) = (
+            self.latitude_deg.to_radians(),
+            self.longitude_deg.to_radians(),
+        );
+        let (lat2, lon2) = (
+            other.latitude_deg.to_radians(),
+            other.longitude_deg.to_radians(),
+        );
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 }
@@ -127,7 +132,9 @@ impl Topology {
         backbone_bandwidth: GigabitsPerSecond,
     ) -> Result<Self> {
         if sites.len() < 2 {
-            return Err(Error::invalid_config("a geo-distributed system needs >= 2 sites"));
+            return Err(Error::invalid_config(
+                "a geo-distributed system needs >= 2 sites",
+            ));
         }
         if local_bandwidth.0 <= 0.0 || backbone_bandwidth.0 <= 0.0 {
             return Err(Error::invalid_config("bandwidths must be positive"));
@@ -140,7 +147,12 @@ impl Topology {
             }
         }
         let local_bandwidth = vec![local_bandwidth; n];
-        Ok(Topology { sites, local_bandwidth, backbone_bandwidth, distances_km })
+        Ok(Topology {
+            sites,
+            local_bandwidth,
+            backbone_bandwidth,
+            distances_km,
+        })
     }
 
     /// The paper's setup: Lisbon/Zurich/Helsinki, 10 Gb/s local links,
@@ -150,7 +162,11 @@ impl Topology {
     ///
     /// Never fails in practice; the signature keeps construction uniform.
     pub fn paper_default() -> Result<Self> {
-        Topology::new(paper_sites(), GigabitsPerSecond(10.0), GigabitsPerSecond(100.0))
+        Topology::new(
+            paper_sites(),
+            GigabitsPerSecond(10.0),
+            GigabitsPerSecond(100.0),
+        )
     }
 
     /// Overrides one DC's local-link bandwidth `B_L^i` — Eq. 2/3 are
@@ -160,11 +176,7 @@ impl Topology {
     ///
     /// Returns [`Error::InvalidConfig`] for an unknown DC or non-positive
     /// bandwidth.
-    pub fn set_local_bandwidth(
-        &mut self,
-        dc: DcId,
-        bandwidth: GigabitsPerSecond,
-    ) -> Result<()> {
+    pub fn set_local_bandwidth(&mut self, dc: DcId, bandwidth: GigabitsPerSecond) -> Result<()> {
         if dc.index() >= self.sites.len() {
             return Err(Error::unknown_entity(dc));
         }
@@ -238,9 +250,7 @@ mod tests {
         for i in topo.dc_ids() {
             assert_eq!(topo.distance_km(i, i), 0.0);
             for j in topo.dc_ids() {
-                assert!(
-                    (topo.distance_km(i, j) - topo.distance_km(j, i)).abs() < 1e-9
-                );
+                assert!((topo.distance_km(i, j) - topo.distance_km(j, i)).abs() < 1e-9);
             }
         }
     }
@@ -250,8 +260,9 @@ mod tests {
         let one = vec![DcSite::new("x", 0.0, 0.0, 0)];
         assert!(Topology::new(one, GigabitsPerSecond(1.0), GigabitsPerSecond(1.0)).is_err());
         let two = paper_sites();
-        assert!(Topology::new(two.clone(), GigabitsPerSecond(0.0), GigabitsPerSecond(1.0))
-            .is_err());
+        assert!(
+            Topology::new(two.clone(), GigabitsPerSecond(0.0), GigabitsPerSecond(1.0)).is_err()
+        );
         assert!(Topology::new(two, GigabitsPerSecond(1.0), GigabitsPerSecond(-5.0)).is_err());
     }
 
@@ -265,10 +276,13 @@ mod tests {
     #[test]
     fn heterogeneous_local_links() {
         let mut topo = Topology::paper_default().unwrap();
-        topo.set_local_bandwidth(DcId(2), GigabitsPerSecond(40.0)).unwrap();
+        topo.set_local_bandwidth(DcId(2), GigabitsPerSecond(40.0))
+            .unwrap();
         assert_eq!(topo.local_bandwidth(DcId(2)).0, 40.0);
         assert_eq!(topo.local_bandwidth(DcId(0)).0, 10.0, "others untouched");
-        assert!(topo.set_local_bandwidth(DcId(9), GigabitsPerSecond(1.0)).is_err());
+        assert!(topo
+            .set_local_bandwidth(DcId(9), GigabitsPerSecond(1.0))
+            .is_err());
         assert!(topo
             .set_local_bandwidth(DcId(0), GigabitsPerSecond(0.0))
             .is_err());

@@ -31,7 +31,10 @@ pub struct TrafficMatrix {
 impl TrafficMatrix {
     /// Creates an all-zero matrix over `n` DCs.
     pub fn new(n: usize) -> Self {
-        TrafficMatrix { n, volumes: vec![Megabytes::ZERO; n * n] }
+        TrafficMatrix {
+            n,
+            volumes: vec![Megabytes::ZERO; n * n],
+        }
     }
 
     /// Number of DCs.
@@ -51,7 +54,10 @@ impl TrafficMatrix {
     ///
     /// Panics if either id is out of range.
     pub fn add(&mut self, from: DcId, to: DcId, volume: Megabytes) {
-        assert!(from.index() < self.n && to.index() < self.n, "dc id out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "dc id out of range"
+        );
         self.volumes[from.index() * self.n + to.index()] += volume;
     }
 

@@ -13,11 +13,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn paper_model() -> LatencyModel {
-    LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::paper_default())
+    LatencyModel::new(
+        Topology::paper_default().unwrap(),
+        BerDistribution::paper_default(),
+    )
 }
 
 fn clean_model() -> LatencyModel {
-    LatencyModel::new(Topology::paper_default().unwrap(), BerDistribution::error_free())
+    LatencyModel::new(
+        Topology::paper_default().unwrap(),
+        BerDistribution::error_free(),
+    )
 }
 
 proptest! {

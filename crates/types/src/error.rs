@@ -51,12 +51,16 @@ pub enum Error {
 impl Error {
     /// Shorthand constructor for [`Error::InvalidConfig`].
     pub fn invalid_config(reason: impl Into<String>) -> Self {
-        Error::InvalidConfig { reason: reason.into() }
+        Error::InvalidConfig {
+            reason: reason.into(),
+        }
     }
 
     /// Shorthand constructor for [`Error::UnknownEntity`].
     pub fn unknown_entity(entity: impl fmt::Display) -> Self {
-        Error::UnknownEntity { entity: entity.to_string() }
+        Error::UnknownEntity {
+            entity: entity.to_string(),
+        }
     }
 }
 
@@ -65,7 +69,11 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             Error::UnknownEntity { entity } => write!(f, "unknown entity: {entity}"),
-            Error::CapacityExceeded { resource, requested, available } => write!(
+            Error::CapacityExceeded {
+                resource,
+                requested,
+                available,
+            } => write!(
                 f,
                 "capacity exceeded on {resource}: requested {requested}, available {available}"
             ),

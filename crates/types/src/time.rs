@@ -168,7 +168,13 @@ impl Sub for TimeSlot {
 
 impl fmt::Display for TimeSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "slot {} (day {}, {:02}:00)", self.0, self.day(), self.hour_of_day())
+        write!(
+            f,
+            "slot {} (day {}, {:02}:00)",
+            self.0,
+            self.day(),
+            self.hour_of_day()
+        )
     }
 }
 

@@ -70,11 +70,15 @@ impl ArrivalConfig {
         }
         let (lo, hi) = self.group_size_range;
         if lo == 0 || lo > hi {
-            return Err(Error::invalid_config("group_size_range must satisfy 1 <= lo <= hi"));
+            return Err(Error::invalid_config(
+                "group_size_range must satisfy 1 <= lo <= hi",
+            ));
         }
         let (w, b, h) = self.profile_weights;
         if w < 0.0 || b < 0.0 || h < 0.0 || w + b + h <= 0.0 {
-            return Err(Error::invalid_config("profile_weights must be non-negative, not all zero"));
+            return Err(Error::invalid_config(
+                "profile_weights must be non-negative, not all zero",
+            ));
         }
         Ok(())
     }
@@ -205,7 +209,14 @@ impl ArrivalProcess {
         let kind = *self.profiles.sample(&mut self.rng);
         let params = TraceParams::sample(kind, &mut self.rng);
         let trace_seed = self.rng.gen();
-        VmSpec::new(id, group, memory, arrival, lifetime, VmTrace::new(params, trace_seed))
+        VmSpec::new(
+            id,
+            group,
+            memory,
+            arrival,
+            lifetime,
+            VmTrace::new(params, trace_seed),
+        )
     }
 }
 
@@ -252,7 +263,11 @@ mod tests {
         }
         let ids: HashSet<u32> = all.iter().map(|vm| vm.id().0).collect();
         assert_eq!(ids.len(), all.len(), "duplicate VmIds");
-        assert_eq!(*ids.iter().max().unwrap() as usize, all.len() - 1, "ids not dense");
+        assert_eq!(
+            *ids.iter().max().unwrap() as usize,
+            all.len() - 1,
+            "ids not dense"
+        );
     }
 
     #[test]

@@ -45,9 +45,7 @@ pub struct CpuCorrelationMatrix {
 }
 
 /// Which pairwise statistic the repulsion force uses.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum CorrelationMetric {
     /// The paper's worst-case peak-coincidence ratio (default).
     #[default]
@@ -69,18 +67,14 @@ impl CpuCorrelationMatrix {
     pub fn compute_with(windows: &UtilizationWindows, metric: CorrelationMetric) -> Self {
         let n = windows.len();
         let mut values = vec![0.0f32; n * n];
-        let peaks: Vec<f32> =
-            (0..n).map(|i| peak_of(windows.row_at(i))).collect();
+        let peaks: Vec<f32> = (0..n).map(|i| peak_of(windows.row_at(i))).collect();
         for i in 0..n {
             values[i * n + i] = 1.0;
             for j in (i + 1)..n {
                 let c = match metric {
-                    CorrelationMetric::PeakCoincidence => peak_coincidence(
-                        windows.row_at(i),
-                        windows.row_at(j),
-                        peaks[i],
-                        peaks[j],
-                    ),
+                    CorrelationMetric::PeakCoincidence => {
+                        peak_coincidence(windows.row_at(i), windows.row_at(j), peaks[i], peaks[j])
+                    }
                     CorrelationMetric::Pearson => {
                         // Map [-1, 1] → (0, 1]: anti-correlated pairs repel
                         // least, perfectly correlated ones most.
@@ -92,7 +86,11 @@ impl CpuCorrelationMatrix {
                 values[j * n + i] = c;
             }
         }
-        CpuCorrelationMatrix { ids: windows.ids().to_vec(), values, n }
+        CpuCorrelationMatrix {
+            ids: windows.ids().to_vec(),
+            values,
+            n,
+        }
     }
 
     /// Number of VMs covered.
@@ -266,7 +264,10 @@ mod tests {
             (VmId(1), vec![0.8, 0.6, 0.1, 0.2]), // same phase as vm0
             (VmId(2), vec![0.1, 0.2, 0.8, 0.9]), // anti-phase
         ]);
-        for metric in [CorrelationMetric::PeakCoincidence, CorrelationMetric::Pearson] {
+        for metric in [
+            CorrelationMetric::PeakCoincidence,
+            CorrelationMetric::Pearson,
+        ] {
             let m = CpuCorrelationMatrix::compute_with(&windows, metric);
             assert!(
                 m.at(0, 1) > m.at(0, 2),
@@ -299,10 +300,12 @@ mod tests {
     fn peak_coincidence_tracks_pearson_ordering() {
         // For smooth loads the two metrics must agree on which pair is the
         // "worse" co-location candidate.
-        let phase: Vec<f32> =
-            (0..64).map(|t| 0.5 + 0.4 * ((t as f32) * 0.2).sin()).collect();
-        let same: Vec<f32> =
-            (0..64).map(|t| 0.5 + 0.3 * ((t as f32) * 0.2).sin()).collect();
+        let phase: Vec<f32> = (0..64)
+            .map(|t| 0.5 + 0.4 * ((t as f32) * 0.2).sin())
+            .collect();
+        let same: Vec<f32> = (0..64)
+            .map(|t| 0.5 + 0.3 * ((t as f32) * 0.2).sin())
+            .collect();
         let anti: Vec<f32> = (0..64)
             .map(|t| 0.5 + 0.4 * ((t as f32) * 0.2 + std::f32::consts::PI).sin())
             .collect();

@@ -94,7 +94,10 @@ pub struct DataCorrelation {
 impl DataCorrelation {
     /// Creates an empty traffic map.
     pub fn new(config: DataCorrelationConfig) -> Self {
-        DataCorrelation { config, pairs: BTreeMap::new() }
+        DataCorrelation {
+            config,
+            pairs: BTreeMap::new(),
+        }
     }
 
     /// The generator configuration.
@@ -146,7 +149,8 @@ impl DataCorrelation {
             return;
         }
         let gone: std::collections::HashSet<VmId> = departed.iter().copied().collect();
-        self.pairs.retain(|(a, b), _| !gone.contains(a) && !gone.contains(b));
+        self.pairs
+            .retain(|(a, b), _| !gone.contains(a) && !gone.contains(b));
     }
 
     /// Applies the per-slot runtime drift: each direction's rate moves by a
@@ -169,16 +173,19 @@ impl DataCorrelation {
         let Some(traffic) = self.pairs.get(&key(from, to)) else {
             return Megabytes::ZERO;
         };
-        let rate =
-            if from < to { traffic.lo_to_hi } else { traffic.hi_to_lo };
+        let rate = if from < to {
+            traffic.lo_to_hi
+        } else {
+            traffic.hi_to_lo
+        };
         Megabytes(rate * TICKS_PER_SLOT as f64)
     }
 
     /// Total bidirectional volume of a pair over one slot.
     pub fn pair_slot_volume(&self, a: VmId, b: VmId) -> Megabytes {
-        self.pairs
-            .get(&key(a, b))
-            .map_or(Megabytes::ZERO, |t| Megabytes(t.total() * TICKS_PER_SLOT as f64))
+        self.pairs.get(&key(a, b)).map_or(Megabytes::ZERO, |t| {
+            Megabytes(t.total() * TICKS_PER_SLOT as f64)
+        })
     }
 
     /// Iterates `(lower_vm, higher_vm, traffic)` over all pairs.
@@ -199,26 +206,33 @@ impl DataCorrelation {
     /// normalized amount of data the pair exchanges, negated. Pairs with no
     /// traffic get 0 (no attraction).
     pub fn attraction(&self, a: VmId, b: VmId) -> f64 {
-        let Some(max) = self.max_total_rate() else { return 0.0 };
+        let Some(max) = self.max_total_rate() else {
+            return 0.0;
+        };
         if max <= 0.0 {
             return 0.0;
         }
-        let total =
-            self.pairs.get(&key(a, b)).map_or(0.0, PairTraffic::total);
+        let total = self.pairs.get(&key(a, b)).map_or(0.0, PairTraffic::total);
         -(total / max)
     }
 
     /// Directed attraction `F_a^{i→j}` (bidirectional correlation makes the
     /// force from i to j differ from j to i; Sect. IV-B of the paper).
     pub fn directed_attraction(&self, from: VmId, to: VmId) -> f64 {
-        let Some(max) = self.max_total_rate() else { return 0.0 };
+        let Some(max) = self.max_total_rate() else {
+            return 0.0;
+        };
         if max <= 0.0 {
             return 0.0;
         }
         let Some(traffic) = self.pairs.get(&key(from, to)) else {
             return 0.0;
         };
-        let rate = if from < to { traffic.lo_to_hi } else { traffic.hi_to_lo };
+        let rate = if from < to {
+            traffic.lo_to_hi
+        } else {
+            traffic.hi_to_lo
+        };
         // Normalize by the max *total* rate so directed values stay
         // comparable with the symmetric attraction.
         -(rate / max).clamp(0.0, 1.0)
@@ -232,12 +246,13 @@ impl DataCorrelation {
     pub fn directed_attraction_matrix(&self, ids: &[VmId]) -> Vec<f64> {
         let n = ids.len();
         let mut matrix = vec![0.0f64; n * n];
-        let Some(max) = self.max_total_rate() else { return matrix };
+        let Some(max) = self.max_total_rate() else {
+            return matrix;
+        };
         if max <= 0.0 {
             return matrix;
         }
-        let index: HashMap<VmId, usize> =
-            ids.iter().enumerate().map(|(i, &vm)| (vm, i)).collect();
+        let index: HashMap<VmId, usize> = ids.iter().enumerate().map(|(i, &vm)| (vm, i)).collect();
         for (lo, hi, traffic) in self.iter() {
             let (Some(&i), Some(&j)) = (index.get(&lo), index.get(&hi)) else {
                 continue;
@@ -259,7 +274,11 @@ impl DataCorrelation {
         };
         let lo_to_hi = direction(rng);
         let hi_to_lo = direction(rng);
-        PairTraffic { lo_to_hi, hi_to_lo, anchor: lo_to_hi + hi_to_lo }
+        PairTraffic {
+            lo_to_hi,
+            hi_to_lo,
+            anchor: lo_to_hi + hi_to_lo,
+        }
     }
 }
 
@@ -302,7 +321,10 @@ mod tests {
         assert!(corr.pair_count() >= 18, "pairs {}", corr.pair_count());
         // Any two same-group VMs must communicate.
         let a = &vms[0];
-        let b = vms.iter().find(|v| v.group() == a.group() && v.id() != a.id()).unwrap();
+        let b = vms
+            .iter()
+            .find(|v| v.group() == a.group() && v.id() != a.id())
+            .unwrap();
         assert!(corr.pair_slot_volume(a.id(), b.id()).0 > 0.0);
     }
 
@@ -379,11 +401,14 @@ mod tests {
             ..DataCorrelationConfig::default()
         });
         corr.connect_arrivals(&vms, &vms, &mut rng);
-        let mean: f64 = corr.iter().map(|(_, _, t)| t.lo_to_hi).sum::<f64>()
-            / corr.pair_count() as f64;
+        let mean: f64 =
+            corr.iter().map(|(_, _, t)| t.lo_to_hi).sum::<f64>() / corr.pair_count() as f64;
         // Log-normal with log-variance up to 4 has heavy tails: accept a
         // generous band around 10.
-        assert!((4.0..25.0).contains(&mean), "mean per-direction rate {mean}");
+        assert!(
+            (4.0..25.0).contains(&mean),
+            "mean per-direction rate {mean}"
+        );
     }
 
     #[test]

@@ -91,8 +91,7 @@ impl Normal {
     ///
     /// Returns `None` on invalid parameters.
     pub fn new(mean: f64, sigma: f64) -> Option<Self> {
-        (sigma >= 0.0 && sigma.is_finite() && mean.is_finite())
-            .then_some(Normal { mean, sigma })
+        (sigma >= 0.0 && sigma.is_finite() && mean.is_finite()).then_some(Normal { mean, sigma })
     }
 
     /// Draws one variate.
@@ -134,8 +133,7 @@ impl LogNormal {
     ///
     /// Returns `None` if `sigma` is negative or parameters are non-finite.
     pub fn new(mu: f64, sigma: f64) -> Option<Self> {
-        (sigma >= 0.0 && sigma.is_finite() && mu.is_finite())
-            .then_some(LogNormal { mu, sigma })
+        (sigma >= 0.0 && sigma.is_finite() && mu.is_finite()).then_some(LogNormal { mu, sigma })
     }
 
     /// Creates a sampler whose *arithmetic* mean is `mean`, with log-space

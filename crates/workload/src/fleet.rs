@@ -149,7 +149,8 @@ impl VmFleet {
                 .iter()
                 .map(|&id| self.vms[self.by_id[&id]].clone())
                 .collect();
-            self.data.connect_arrivals(&newcomers, &population, &mut self.rng);
+            self.data
+                .connect_arrivals(&newcomers, &population, &mut self.rng);
             for vm in newcomers {
                 delta.arrived.push(vm.id());
                 self.register(vm);

@@ -93,7 +93,7 @@ impl TraceParams {
                 // Two dominant service populations: business-hours peak and
                 // evening peak; a shared phase is what creates CPU-load
                 // correlated VM pairs.
-                phase_hours: [10.0, 14.0, 20.0][rng.gen_range(0..3)]
+                phase_hours: [10.0, 14.0, 20.0][rng.gen_range(0..3usize)]
                     + rng.gen_range(-1.0..1.0),
                 noise_sigma: rng.gen_range(0.02..0.06),
                 burst_duty: 0.0,
@@ -151,7 +151,11 @@ impl VmTrace {
         for factor in &mut factors {
             *factor /= mean;
         }
-        VmTrace { params, seed, day_factors: factors }
+        VmTrace {
+            params,
+            seed,
+            day_factors: factors,
+        }
     }
 
     /// The trace parameters.
@@ -163,8 +167,7 @@ impl VmTrace {
     pub fn utilization_at(&self, tick: Tick) -> f64 {
         let slot = tick.slot();
         let day = (slot.day() as usize) % TRACE_DAYS;
-        let hour = slot.hour_of_day() as f64
-            + tick.tick_in_slot() as f64 / TICKS_PER_SLOT as f64;
+        let hour = slot.hour_of_day() as f64 + tick.tick_in_slot() as f64 / TICKS_PER_SLOT as f64;
 
         let template = match self.params.kind {
             TraceKind::WebServing => {
@@ -178,8 +181,7 @@ impl VmTrace {
                 // pseudo-randomly with probability `burst_duty`.
                 const WINDOW_TICKS: u64 = 180; // 15 min
                 let window = tick.0 / WINDOW_TICKS;
-                let active = hash_to_unit(self.seed ^ 0xB0B5_7E11, window)
-                    < self.params.burst_duty;
+                let active = hash_to_unit(self.seed ^ 0xB0B5_7E11, window) < self.params.burst_duty;
                 if active {
                     self.params.burst_level
                 } else {
@@ -209,7 +211,9 @@ impl VmTrace {
     /// which is what the correlation analyses and the allocation fit checks
     /// consume.
     pub fn window(&self, slot: TimeSlot) -> Vec<f32> {
-        slot.ticks().map(|t| self.utilization_at(t) as f32).collect()
+        slot.ticks()
+            .map(|t| self.utilization_at(t) as f32)
+            .collect()
     }
 
     /// Mean utilization over one slot.
@@ -220,7 +224,9 @@ impl VmTrace {
 
     /// Peak utilization over one slot.
     pub fn slot_peak(&self, slot: TimeSlot) -> f64 {
-        slot.ticks().map(|t| self.utilization_at(t)).fold(0.0, f64::max)
+        slot.ticks()
+            .map(|t| self.utilization_at(t))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -342,8 +348,10 @@ mod tests {
         let trace = VmTrace::new(params, 88);
         let window = trace.window(TimeSlot(5));
         let mean: f32 = window.iter().sum::<f32>() / window.len() as f32;
-        let max_dev =
-            window.iter().map(|u| (u - mean).abs()).fold(0.0f32, f32::max);
+        let max_dev = window
+            .iter()
+            .map(|u| (u - mean).abs())
+            .fold(0.0f32, f32::max);
         assert!(mean > 0.45, "hpc mean {mean}");
         assert!(max_dev < 0.15, "hpc deviation {max_dev}");
     }

@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 /// VMs of the same cloud application (a web-search tier, a MapReduce job…)
 /// arrive together and exchange data heavily — data correlation in the
 /// paper's sense lives mostly inside groups.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GroupId(pub u32);
 
 /// Immutable description of one VM for its whole lifetime.
@@ -144,7 +142,14 @@ mod tests {
             },
             1,
         );
-        VmSpec::new(VmId(1), GroupId(0), Gigabytes(2.0), TimeSlot(arrival), lifetime, trace)
+        VmSpec::new(
+            VmId(1),
+            GroupId(0),
+            Gigabytes(2.0),
+            TimeSlot(arrival),
+            lifetime,
+            trace,
+        )
     }
 
     #[test]

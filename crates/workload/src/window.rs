@@ -52,7 +52,12 @@ impl UtilizationWindows {
             ids.push(vm);
             samples.extend_from_slice(&row);
         }
-        UtilizationWindows { ids, index, samples, width }
+        UtilizationWindows {
+            ids,
+            index,
+            samples,
+            width,
+        }
     }
 
     /// Number of VMs.
@@ -154,19 +159,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent window width")]
     fn inconsistent_widths_panic() {
-        let _ = UtilizationWindows::from_rows(vec![
-            (VmId(0), vec![0.1]),
-            (VmId(1), vec![0.1, 0.2]),
-        ]);
+        let _ =
+            UtilizationWindows::from_rows(vec![(VmId(0), vec![0.1]), (VmId(1), vec![0.1, 0.2])]);
     }
 
     #[test]
     #[should_panic(expected = "duplicate window row")]
     fn duplicate_ids_panic() {
-        let _ = UtilizationWindows::from_rows(vec![
-            (VmId(0), vec![0.1]),
-            (VmId(0), vec![0.2]),
-        ]);
+        let _ = UtilizationWindows::from_rows(vec![(VmId(0), vec![0.1]), (VmId(0), vec![0.2])]);
     }
 
     #[test]

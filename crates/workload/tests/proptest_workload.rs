@@ -4,7 +4,7 @@
 use geoplace_types::time::{Tick, TimeSlot, TICKS_PER_SLOT};
 use geoplace_types::VmId;
 use geoplace_workload::arrivals::{ArrivalConfig, ArrivalProcess};
-use geoplace_workload::cpucorr::{pearson, peak_coincidence, CpuCorrelationMatrix};
+use geoplace_workload::cpucorr::{peak_coincidence, pearson, CpuCorrelationMatrix};
 use geoplace_workload::datacorr::{DataCorrelation, DataCorrelationConfig};
 use geoplace_workload::distributions::{Exponential, LogNormal, Normal, Poisson, WeightedChoice};
 use geoplace_workload::fleet::{FleetConfig, VmFleet};

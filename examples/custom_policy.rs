@@ -64,7 +64,11 @@ impl GlobalPolicy for GreedyGreen {
         if !current.is_empty() {
             decision.push(
                 best.id,
-                ServerAssignment { server, freq: model.max_level(), vms: current },
+                ServerAssignment {
+                    server,
+                    freq: model.max_level(),
+                    vms: current,
+                },
             );
         }
         decision

@@ -12,7 +12,14 @@ use geoplace::types::units::{EurosPerKwh, KilowattHours, Seconds, Watts};
 
 fn main() -> Result<(), geoplace::types::Error> {
     // Lisbon's array from Table I: 150 kWp, battery 960 kWh at 50 % DoD.
-    let pv = PvArray::new(150.0, Site { latitude_deg: 38.72, timezone_offset_hours: 0 }, 9);
+    let pv = PvArray::new(
+        150.0,
+        Site {
+            latitude_deg: 38.72,
+            timezone_offset_hours: 0,
+        },
+        9,
+    );
     let mut battery = Battery::new(KilowattHours(960.0), 0.5)?;
     let tariff = PriceSchedule::new(EurosPerKwh(0.12), EurosPerKwh(0.26), 8..22, 0)?;
     let controller = GreenController::default();
@@ -24,7 +31,10 @@ fn main() -> Result<(), geoplace::types::Error> {
     let mut grid_energy_kwh = 0.0;
     let mut pv_energy_kwh = 0.0;
 
-    println!("{:>5} {:>12} {:>12} {:>12} {:>10} {:>12}", "hour", "pv kW", "forecast kW", "grid kW", "soc %", "tariff");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "hour", "pv kW", "forecast kW", "grid kW", "soc %", "tariff"
+    );
     for slot_index in 0..72u32 {
         let slot = TimeSlot(slot_index);
         let forecast = forecaster.forecast(slot);
@@ -33,8 +43,13 @@ fn main() -> Result<(), geoplace::types::Error> {
         for tick_in_slot in 0..TICKS_PER_SLOT as u64 {
             let tick = Tick(u64::from(slot_index) * TICKS_PER_SLOT as u64 + tick_in_slot);
             let pv_power = pv.power_at(tick);
-            let outcome =
-                controller.step(pv_power, demand, tariff.level(slot), &mut battery, Seconds(TICK_SECONDS));
+            let outcome = controller.step(
+                pv_power,
+                demand,
+                tariff.level(slot),
+                &mut battery,
+                Seconds(TICK_SECONDS),
+            );
             slot_pv += pv_power.0 * TICK_SECONDS;
             slot_grid += outcome.grid.0 * TICK_SECONDS;
         }

@@ -5,8 +5,8 @@
 //! cargo run --release --example policy_comparison
 //! ```
 
-use geoplace::prelude::*;
 use geoplace::core::ProposedConfig;
+use geoplace::prelude::*;
 
 fn main() -> Result<(), geoplace::types::Error> {
     let mut config = ScenarioConfig::scaled(7);
@@ -37,13 +37,22 @@ fn main() -> Result<(), geoplace::types::Error> {
     run("Proposed", Simulator::new(scenario).run(&mut proposed));
 
     let scenario = Scenario::build(&config)?;
-    run("Ener-aware", Simulator::new(scenario).run(&mut EnerAwarePolicy::new()));
+    run(
+        "Ener-aware",
+        Simulator::new(scenario).run(&mut EnerAwarePolicy::new()),
+    );
 
     let scenario = Scenario::build(&config)?;
-    run("Pri-aware", Simulator::new(scenario).run(&mut PriAwarePolicy::new()));
+    run(
+        "Pri-aware",
+        Simulator::new(scenario).run(&mut PriAwarePolicy::new()),
+    );
 
     let scenario = Scenario::build(&config)?;
-    run("Net-aware", Simulator::new(scenario).run(&mut NetAwarePolicy::new()));
+    run(
+        "Net-aware",
+        Simulator::new(scenario).run(&mut NetAwarePolicy::new()),
+    );
 
     println!();
     println!("Expected shape (paper, Figs. 1-6): Proposed cheapest; Ener-aware");

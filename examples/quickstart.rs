@@ -25,7 +25,10 @@ fn main() -> Result<(), geoplace::types::Error> {
     println!("total energy       : {:.3} GJ", totals.energy_gj);
     println!("grid energy        : {:.3} GJ", totals.grid_energy_gj);
     println!("worst response time: {:.1} s", totals.worst_response_s);
-    println!("migrations         : {} ({} over budget)", totals.migrations, totals.migration_overruns);
+    println!(
+        "migrations         : {} ({} over budget)",
+        totals.migrations, totals.migration_overruns
+    );
     println!("mean servers on    : {:.1}", totals.mean_active_servers);
 
     // The per-hour series behind the paper's Fig. 1 and Fig. 2.

@@ -19,7 +19,10 @@ fn main() -> Result<(), geoplace::types::Error> {
     );
     for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let scenario = Scenario::build(&config)?;
-        let mut policy = ProposedPolicy::new(ProposedConfig { alpha, ..ProposedConfig::default() });
+        let mut policy = ProposedPolicy::new(ProposedConfig {
+            alpha,
+            ..ProposedConfig::default()
+        });
         let report = Simulator::new(scenario).run(&mut policy);
         let totals = report.totals();
         println!(

@@ -21,7 +21,10 @@ fn proposed_runs_a_full_day() {
     let totals = report.totals();
     assert!(totals.energy_gj > 0.0);
     assert!(totals.cost_eur > 0.0);
-    assert_eq!(totals.migration_overruns, 0, "Algorithm 2 must respect the QoS budget");
+    assert_eq!(
+        totals.migration_overruns, 0,
+        "Algorithm 2 must respect the QoS budget"
+    );
 }
 
 #[test]
@@ -46,7 +49,11 @@ fn different_seeds_differ() {
         let mut policy = ProposedPolicy::new(ProposedConfig::default());
         Simulator::new(scenario).run(&mut policy).totals()
     };
-    assert_ne!(run(1), run(2), "different worlds must yield different numbers");
+    assert_ne!(
+        run(1),
+        run(2),
+        "different worlds must yield different numbers"
+    );
 }
 
 #[test]
@@ -63,7 +70,11 @@ fn all_four_policies_complete_the_same_scenario() {
     drop(scenario);
     for report in &reports {
         assert_eq!(report.hourly.len(), 8, "{} incomplete", report.policy);
-        assert!(report.totals().energy_gj > 0.0, "{} burned no energy", report.policy);
+        assert!(
+            report.totals().energy_gj > 0.0,
+            "{} burned no energy",
+            report.policy
+        );
     }
     // Same workload ⇒ same VM-hours ⇒ comparable energy ballpark (within
     // 2× of each other).
@@ -118,7 +129,10 @@ fn response_samples_cover_every_slot_and_dc() {
     let mut policy = ProposedPolicy::new(ProposedConfig::default());
     let report = Simulator::new(scenario).run(&mut policy);
     assert_eq!(report.response_samples.len(), 10 * 3);
-    assert!(report.response_samples.iter().all(|s| s.is_finite() && *s >= 0.0));
+    assert!(report
+        .response_samples
+        .iter()
+        .all(|s| s.is_finite() && *s >= 0.0));
 }
 
 #[test]

@@ -26,7 +26,11 @@ impl GlobalPolicy for PingPong {
         for (i, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
             decision.push(
                 dc,
-                ServerAssignment { server: i as u32, freq: FreqLevel(1), vms: chunk.to_vec() },
+                ServerAssignment {
+                    server: i as u32,
+                    freq: FreqLevel(1),
+                    vms: chunk.to_vec(),
+                },
             );
         }
         decision

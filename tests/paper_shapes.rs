@@ -83,14 +83,20 @@ fn fig2_consolidators_beat_spreaders_on_energy() {
     let pri = totals_of(&reports, "Pri-aware").energy_gj;
     let net = totals_of(&reports, "Net-aware").energy_gj;
     // The two correlation-aware consolidators are the efficient pair…
-    assert!(proposed < net && ener < net, "Net-aware must be the energy worst");
+    assert!(
+        proposed < net && ener < net,
+        "Net-aware must be the energy worst"
+    );
     // …and Proposed stays within a few percent of the specialist
     // (the paper: 3 %; allow 10 % slack for the scaled scenario).
     assert!(
         proposed < ener * 1.10,
         "Proposed ({proposed:.2}) must track Ener-aware ({ener:.2}) within 10%"
     );
-    assert!(pri > proposed.min(ener) * 0.99, "plain packing cannot beat correlation-aware");
+    assert!(
+        pri > proposed.min(ener) * 0.99,
+        "plain packing cannot beat correlation-aware"
+    );
 }
 
 #[test]
@@ -104,7 +110,10 @@ fn fig3_spread_policies_win_worst_case_response() {
         proposed < ener && proposed < pri,
         "Proposed ({proposed:.0}s) must beat the packers (E={ener:.0}s, Pri={pri:.0}s)"
     );
-    assert!(net <= proposed * 1.05, "Net-aware is the response-time specialist");
+    assert!(
+        net <= proposed * 1.05,
+        "Net-aware is the response-time specialist"
+    );
 }
 
 #[test]
@@ -133,6 +142,10 @@ fn green_controller_harvests_renewables_for_everyone() {
         assert!(pv > 0.0, "{} used no PV at all", report.policy);
         let total: f64 = report.hourly.iter().map(|h| h.total_energy_j).sum();
         // Supply adequacy at week scale.
-        assert!(grid + pv > total * 0.5, "{} energy books look broken", report.policy);
+        assert!(
+            grid + pv > total * 0.5,
+            "{} energy books look broken",
+            report.policy
+        );
     }
 }

@@ -2,7 +2,9 @@
 //! randomized inputs.
 
 use geoplace::core::{ProposedConfig, ProposedPolicy};
-use geoplace::network::{latency_constraint_for_qos, BerDistribution, LatencyModel, Topology, TrafficMatrix};
+use geoplace::network::{
+    latency_constraint_for_qos, BerDistribution, LatencyModel, Topology, TrafficMatrix,
+};
 use geoplace::prelude::*;
 use geoplace::types::units::Megabytes;
 use geoplace::types::DcId;

@@ -1,0 +1,62 @@
+//! Fast cross-policy smoke test: every shipped policy must complete a
+//! tiny 2-slot scenario and produce finite, positive energy totals, and
+//! same-seed runs must be bit-identical.
+
+use geoplace::core::{ProposedConfig, ProposedPolicy};
+use geoplace::prelude::*;
+
+/// 2-slot scaled scenario, kept minimal so this test stays fast.
+fn two_slot_config(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::scaled(seed);
+    config.horizon_slots = 2;
+    config
+}
+
+fn run_policy(mut policy: &mut dyn GlobalPolicy, seed: u64) -> SimulationReport {
+    let scenario = Scenario::build(&two_slot_config(seed)).expect("valid config");
+    Simulator::new(scenario).run(&mut policy)
+}
+
+#[test]
+fn all_policies_produce_finite_positive_energy() {
+    let mut proposed = ProposedPolicy::new(ProposedConfig::default());
+    let mut pri = PriAwarePolicy::new();
+    let mut ener = EnerAwarePolicy::new();
+    let mut net = NetAwarePolicy::new();
+    let policies: Vec<&mut dyn GlobalPolicy> = vec![&mut proposed, &mut pri, &mut ener, &mut net];
+    for policy in policies {
+        let report = run_policy(policy, 11);
+        let totals = report.totals();
+        assert_eq!(
+            report.hourly.len(),
+            2,
+            "{} did not finish both slots",
+            report.policy
+        );
+        assert!(
+            totals.energy_gj.is_finite() && totals.energy_gj > 0.0,
+            "{} energy not finite-positive: {}",
+            report.policy,
+            totals.energy_gj
+        );
+        assert!(
+            totals.cost_eur.is_finite() && totals.cost_eur > 0.0,
+            "{} cost not finite-positive: {}",
+            report.policy,
+            totals.cost_eur
+        );
+    }
+}
+
+#[test]
+fn same_seed_runs_have_identical_totals() {
+    let totals = |seed| {
+        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        run_policy(&mut policy, seed).totals()
+    };
+    assert_eq!(
+        totals(7),
+        totals(7),
+        "same seed must reproduce identical totals"
+    );
+}

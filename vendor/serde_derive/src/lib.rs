@@ -1,0 +1,137 @@
+//! Offline vendored stub of `serde_derive`.
+//!
+//! Emits empty marker impls of the stub `serde::Serialize` /
+//! `serde::Deserialize` traits. Parses the item header by hand (no
+//! `syn`/`quote` available offline): skips attributes and visibility,
+//! reads the `struct`/`enum` name and any generic parameter names.
+
+use proc_macro::{TokenStream, TokenTree};
+
+struct Header {
+    name: String,
+    /// Generic parameter names only (`'a`, `T`, `N`), no bounds/defaults.
+    params: Vec<String>,
+    /// Full parameter declarations (bounds kept, defaults stripped).
+    decls: Vec<String>,
+}
+
+fn parse_header(input: TokenStream) -> Header {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (#[...]) and visibility / doc tokens until `struct`/`enum`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    let mut params = Vec::new();
+    let mut decls = Vec::new();
+    // Optional generics: `<` ... `>` immediately after the name.
+    if matches!(&tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 1usize;
+        let mut j = i + 3;
+        let mut current: Vec<String> = Vec::new();
+        let mut bound_depth: Option<usize> = None;
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            push_param(&mut params, &mut decls, &current);
+                        }
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    push_param(&mut params, &mut decls, &current);
+                    current.clear();
+                    bound_depth = None;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                    // Start of bounds: keep collecting raw tokens for the decl
+                    // but remember where the bare name ends.
+                    if bound_depth.is_none() {
+                        bound_depth = Some(current.len());
+                    }
+                    current.push(":".into());
+                }
+                tt => current.push(tt.to_string()),
+            }
+            j += 1;
+        }
+    }
+    Header {
+        name,
+        params,
+        decls,
+    }
+}
+
+fn push_param(params: &mut Vec<String>, decls: &mut Vec<String>, raw: &[String]) {
+    // raw is e.g. ["'", "a"], ["T"], ["T", ":", "Clone"], ["const", "N", ":", "usize"].
+    let decl: String = {
+        // Drop a trailing `= default` if present.
+        let cut = raw.iter().position(|t| t == "=").unwrap_or(raw.len());
+        raw[..cut].join(" ")
+    };
+    let name = if raw.first().map(String::as_str) == Some("'") {
+        format!("'{}", raw.get(1).cloned().unwrap_or_default())
+    } else if raw.first().map(String::as_str) == Some("const") {
+        raw.get(1).cloned().unwrap_or_default()
+    } else {
+        raw.first().cloned().unwrap_or_default()
+    };
+    params.push(name);
+    decls.push(decl.replace("' ", "'"));
+}
+
+fn impl_for(input: TokenStream, make: impl Fn(&Header) -> String) -> TokenStream {
+    let header = parse_header(input);
+    make(&header)
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for(input, |h| {
+        let args = if h.params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", h.params.join(", "))
+        };
+        let decls = if h.decls.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", h.decls.join(", "))
+        };
+        format!("impl{decls} ::serde::Serialize for {}{args} {{}}", h.name)
+    })
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for(input, |h| {
+        let args = if h.params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", h.params.join(", "))
+        };
+        let decls = if h.decls.is_empty() {
+            "<'de_stub>".to_string()
+        } else {
+            format!("<'de_stub, {}>", h.decls.join(", "))
+        };
+        format!(
+            "impl{decls} ::serde::Deserialize<'de_stub> for {}{args} {{}}",
+            h.name
+        )
+    })
+}
