@@ -54,19 +54,15 @@ impl GlobalPolicy for NetAwarePolicy {
         if n == 0 {
             return decision;
         }
-        let ids = snapshot.vm_ids();
-        let index: HashMap<_, _> = ids.iter().enumerate().map(|(i, &vm)| (vm, i)).collect();
-
         // Communication components: union VMs joined by pairs whose total
         // rate clears the mean (filters the thin cross-application links,
-        // keeps the heavy intra-application mesh).
+        // keeps the heavy intra-application mesh). The arena-indexed CSR
+        // traffic graph already carries each pair once with both rates —
+        // no per-policy id→index map needed.
         let mut pairs: Vec<(usize, usize, f64)> = snapshot
-            .data
-            .iter()
-            .filter_map(|(a, b, traffic)| match (index.get(&a), index.get(&b)) {
-                (Some(&i), Some(&j)) => Some((i, j, traffic.total())),
-                _ => None,
-            })
+            .traffic
+            .pairs(snapshot.arena)
+            .map(|(i, edge)| (i as usize, edge.target as usize, edge.total()))
             .collect();
         pairs.sort_by(|a, b| {
             a.0.cmp(&b.0).then(a.1.cmp(&b.1)) // deterministic union order

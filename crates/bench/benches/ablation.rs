@@ -3,7 +3,7 @@
 //! green controller's arbitrage rule.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use geoplace_bench::{run_proposed_with, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, Scale};
 use geoplace_core::ProposedConfig;
 use geoplace_core::ProposedPolicy;
 use geoplace_dcsim::engine::{Scenario, Simulator};
@@ -26,7 +26,7 @@ fn bench_alpha(c: &mut Criterion) {
                     &config,
                     ProposedConfig {
                         alpha,
-                        ..ProposedConfig::default()
+                        ..proposed_config_for(&config)
                     },
                 )
             })
@@ -69,7 +69,7 @@ fn bench_green_arbitrage(c: &mut Criterion) {
             |b, &disable| {
                 b.iter(|| {
                     let scenario = Scenario::build(&config).expect("valid");
-                    let mut policy = ProposedPolicy::new(ProposedConfig::default());
+                    let mut policy = ProposedPolicy::new(proposed_config_for(&config));
                     Simulator::new(scenario)
                         .with_green_controller(GreenController {
                             disable_arbitrage: disable,

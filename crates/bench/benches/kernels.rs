@@ -12,9 +12,10 @@ use geoplace_dcsim::engine::Scenario;
 use geoplace_network::{BerDistribution, LatencyModel, Topology, TrafficMatrix};
 use geoplace_types::time::TimeSlot;
 use geoplace_types::units::{Gigabytes, Joules, Megabytes, Seconds};
-use geoplace_types::DcId;
+use geoplace_types::{DcId, VmArena};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::fleet::{FleetConfig, VmFleet};
+use geoplace_workload::sparsity::SparsityConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,14 +46,58 @@ fn bench_force_layout(c: &mut Criterion) {
     for groups in [20u32, 60] {
         let fleet = fleet_of(groups);
         let windows = fleet.windows(TimeSlot(0));
+        let arena = VmArena::from_ids(windows.ids());
         let cpu = CpuCorrelationMatrix::compute(&windows);
+        let traffic = fleet.data_correlation().traffic_graph(&arena);
         group.bench_with_input(
             BenchmarkId::from_parameter(windows.len()),
             &windows,
-            |b, w| {
+            |b, _| {
                 b.iter(|| {
                     let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
-                    layout.update(w.ids(), &cpu, fleet.data_correlation())
+                    layout.update(&arena, &cpu, &traffic).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The full correlation + layout slot step, dense vs sparse, at the
+/// repro (~400), paper (~1,200) and stress (~10,000) fleet sizes. The
+/// dense variant is skipped at 10,000 — its n² matrices are exactly the
+/// wall this pipeline removes (≈400 MB and ~10¹¹ window ops per slot).
+fn bench_slot_step_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_step");
+    for (label, groups) in [("400", 133u32), ("1200", 400), ("10000", 3333)] {
+        let fleet = fleet_of(groups);
+        let windows = fleet.windows(TimeSlot(0));
+        let n = windows.len();
+        let arena = VmArena::from_ids(windows.ids());
+        let sparsity = SparsityConfig::default();
+        if n < 2_000 {
+            group.bench_with_input(
+                BenchmarkId::new("dense", format!("{label}(n={n})")),
+                &windows,
+                |b, w| {
+                    b.iter(|| {
+                        let cpu = CpuCorrelationMatrix::compute(w);
+                        let traffic = fleet.data_correlation().traffic_graph(&arena);
+                        let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+                        layout.update(&arena, &cpu, &traffic).len()
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("{label}(n={n})")),
+            &windows,
+            |b, w| {
+                b.iter(|| {
+                    let cpu = CpuCorrelationMatrix::compute_sparse(w, &sparsity);
+                    let traffic = fleet.data_correlation().traffic_graph(&arena);
+                    let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
+                    layout.update(&arena, &cpu, &traffic).len()
                 })
             },
         );
@@ -63,9 +108,11 @@ fn bench_force_layout(c: &mut Criterion) {
 fn bench_kmeans(c: &mut Criterion) {
     let fleet = fleet_of(60);
     let windows = fleet.windows(TimeSlot(0));
+    let arena = VmArena::from_ids(windows.ids());
     let cpu = CpuCorrelationMatrix::compute(&windows);
+    let traffic = fleet.data_correlation().traffic_graph(&arena);
     let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 1);
-    let points = layout.update(windows.ids(), &cpu, fleet.data_correlation());
+    let points = layout.update(&arena, &cpu, &traffic).to_vec();
     let loads: Vec<Joules> = (0..points.len()).map(|i| Joules(1.0 + i as f64)).collect();
     let caps = vec![Joules(1e5); 3];
     c.bench_function("kmeans_capacity_capped", |b| {
@@ -187,6 +234,7 @@ criterion_group!(
     kernels,
     bench_correlation,
     bench_force_layout,
+    bench_slot_step_dense_vs_sparse,
     bench_kmeans,
     bench_local_allocation,
     bench_algorithm1_latency,

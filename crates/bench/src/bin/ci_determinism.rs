@@ -1,0 +1,57 @@
+//! CI determinism gate: runs the bench-scale scenario twice with the same
+//! seed — once per policy under test, once with the sparse pipeline
+//! forced — and fails loudly if any pair of reports differs anywhere
+//! (totals, hourly records, per-DC energy).
+//!
+//! Same-seed bitwise reproducibility is a hard project invariant (every
+//! repro figure and the dense↔sparse agreement bounds depend on it), and
+//! this is the gate that keeps refactors honest.
+
+use geoplace_bench::scenario::{run_policy, run_proposed_with, stress_proposed_config};
+use geoplace_bench::{seed_from_args, PolicyKind, Scale};
+use geoplace_dcsim::metrics::SimulationReport;
+
+fn check(label: &str, a: &SimulationReport, b: &SimulationReport) -> bool {
+    if a == b {
+        let totals = a.totals();
+        println!(
+            "ok   {label:<24} cost {:.2} EUR, energy {:.3} GJ, worst rt {:.1} s",
+            totals.cost_eur, totals.energy_gj, totals.worst_response_s
+        );
+        true
+    } else {
+        eprintln!("FAIL {label}: same-seed runs differ");
+        if a.totals() != b.totals() {
+            eprintln!("  first totals:  {:?}", a.totals());
+            eprintln!("  second totals: {:?}", b.totals());
+        } else {
+            eprintln!("  totals match but hourly/per-DC series differ");
+        }
+        false
+    }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let config = Scale::Bench.config(seed);
+    let mut ok = true;
+
+    for kind in PolicyKind::ALL {
+        let first = run_policy(&config, kind);
+        let second = run_policy(&config, kind);
+        ok &= check(kind.name(), &first, &second);
+    }
+
+    // The sparse pipeline must be deterministic too: force it at bench
+    // scale (Auto would stay dense down here).
+    let mut sparse_config = config;
+    sparse_config.sparsity = sparse_config.sparsity.sparse();
+    let first = run_proposed_with(&sparse_config, stress_proposed_config());
+    let second = run_proposed_with(&sparse_config, stress_proposed_config());
+    ok &= check("Proposed (sparse)", &first, &second);
+
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("determinism gate passed (seed {seed})");
+}

@@ -1,7 +1,7 @@
 //! Diagnostic: sweep the caps knobs (grid share weighting, free-energy
 //! emphasis) to locate the cost optimum of the Proposed policy.
 
-use geoplace_bench::{run_proposed_with, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, Scale};
 use geoplace_core::{CapsConfig, ProposedConfig};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
                 free_energy_scale: free,
                 grid_scale: grid,
             },
-            ..ProposedConfig::default()
+            ..proposed_config_for(&config)
         };
         let report = run_proposed_with(&config, proposed);
         let totals = report.totals();

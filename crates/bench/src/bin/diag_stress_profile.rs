@@ -1,0 +1,57 @@
+//! Diagnostic: wall-time breakdown of one stress-scale slot step —
+//! windows materialization, arena build, sparse correlation graph,
+//! traffic CSR, and the force layout. The numbers that justify (or
+//! indict) every knob in [`geoplace_workload::sparsity::SparsityConfig`].
+
+use geoplace_bench::Scale;
+use geoplace_dcsim::engine::Scenario;
+use geoplace_types::time::TimeSlot;
+use geoplace_types::VmArena;
+use geoplace_workload::cpucorr::CpuCorrelationMatrix;
+use std::time::Instant;
+
+fn main() {
+    let config = Scale::Stress.config(42);
+    let scenario = Scenario::build(&config).expect("stress scenario must be valid");
+
+    let t = Instant::now();
+    let windows = scenario.fleet.windows(TimeSlot(0));
+    println!(
+        "windows          {:>12.2?}  (n = {})",
+        t.elapsed(),
+        windows.len()
+    );
+
+    let t = Instant::now();
+    let arena = VmArena::from_ids(windows.ids());
+    println!("arena            {:>12.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let cpu = CpuCorrelationMatrix::compute_auto(&windows, &config.sparsity);
+    println!(
+        "cpu correlation  {:>12.2?}  (sparse = {}, {} edges, baseline {:.3})",
+        t.elapsed(),
+        cpu.is_sparse(),
+        cpu.edge_count(),
+        cpu.baseline()
+    );
+
+    let t = Instant::now();
+    let traffic = scenario.fleet.data_correlation().traffic_graph(&arena);
+    println!(
+        "traffic graph    {:>12.2?}  ({} edges)",
+        t.elapsed(),
+        traffic.edge_count()
+    );
+
+    let t = Instant::now();
+    let mut layout =
+        geoplace_core::ForceLayout::new(geoplace_core::ForceLayoutConfig::default(), 1);
+    let points = layout.update(&arena, &cpu, &traffic).len();
+    println!(
+        "force layout     {:>12.2?}  ({} points, {} iterations)",
+        t.elapsed(),
+        points,
+        layout.last_iterations()
+    );
+}

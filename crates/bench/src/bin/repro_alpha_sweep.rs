@@ -2,7 +2,7 @@
 //! trade-off knob of the force layout.
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::{run_proposed_with, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, Scale};
 use geoplace_core::ProposedConfig;
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
             &config,
             ProposedConfig {
                 alpha,
-                ..ProposedConfig::default()
+                ..proposed_config_for(&config)
             },
         );
         let totals = report.totals();

@@ -3,8 +3,8 @@
 //! grid energy").
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::Scale;
-use geoplace_core::{ProposedConfig, ProposedPolicy};
+use geoplace_bench::{proposed_config_for, Scale};
+use geoplace_core::ProposedPolicy;
 use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_energy::green::GreenController;
 
@@ -13,7 +13,7 @@ fn main() {
     let mut rows = Vec::new();
     for (label, disable) in [("arbitrage ON (paper)", false), ("arbitrage OFF", true)] {
         let scenario = Scenario::build(&config).expect("valid config");
-        let mut policy = ProposedPolicy::new(ProposedConfig::default());
+        let mut policy = ProposedPolicy::new(proposed_config_for(&config));
         let report = Simulator::new(scenario)
             .with_green_controller(GreenController {
                 disable_arbitrage: disable,

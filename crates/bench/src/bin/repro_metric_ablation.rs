@@ -2,7 +2,7 @@
 //! peak-coincidence ratio vs. a Pearson-correlation variant (DESIGN.md §5).
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::{run_proposed_with, seed_from_args, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, seed_from_args, Scale};
 use geoplace_core::ProposedConfig;
 use geoplace_workload::cpucorr::CorrelationMetric;
 
@@ -20,7 +20,7 @@ fn main() {
             &config,
             ProposedConfig {
                 repulsion_metric: metric,
-                ..ProposedConfig::default()
+                ..proposed_config_for(&config)
             },
         );
         let totals = report.totals();

@@ -2,8 +2,7 @@
 //! latency budget (paper: 98 % → 72 s of the hour).
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::{run_proposed_with, Scale};
-use geoplace_core::ProposedConfig;
+use geoplace_bench::{proposed_config_for, run_proposed_with, Scale};
 use geoplace_network::latency_constraint_for_qos;
 
 fn main() {
@@ -11,7 +10,7 @@ fn main() {
     for qos in [0.90, 0.95, 0.98, 0.99, 0.999] {
         let mut config = Scale::from_args().config(42);
         config.qos = qos;
-        let report = run_proposed_with(&config, ProposedConfig::default());
+        let report = run_proposed_with(&config, proposed_config_for(&config));
         let totals = report.totals();
         rows.push(vec![
             format!("{:.1}%", qos * 100.0),

@@ -1,0 +1,58 @@
+//! Stress-scale smoke: drives the ≈10,000-VM, 3-site scenario through the
+//! sparse slot pipeline and reports per-slot wall time. `--slots N` clips
+//! the horizon (CI runs a few slots; the default is the full day).
+
+use geoplace_bench::scenario::stress_proposed_config;
+use geoplace_bench::{flag_from_args, seed_from_args, Scale};
+use geoplace_core::ProposedPolicy;
+use geoplace_dcsim::engine::{Scenario, Simulator};
+use std::time::Instant;
+
+fn main() {
+    let seed = seed_from_args();
+    let mut config = Scale::Stress.config(seed);
+    if let Some(slots) = flag_from_args::<u32>("--slots") {
+        config.horizon_slots = slots.max(1);
+    }
+    let build_start = Instant::now();
+    let scenario = Scenario::build(&config).expect("stress scenario must be valid");
+    let initial_vms = scenario.fleet.active().len();
+    println!(
+        "stress world built in {:.2?}: {} initial VMs, {} servers, {} slots",
+        build_start.elapsed(),
+        initial_vms,
+        config.dcs.iter().map(|d| d.servers).sum::<u32>(),
+        config.horizon_slots
+    );
+
+    let run_start = Instant::now();
+    let mut policy = ProposedPolicy::new(stress_proposed_config());
+    let report = Simulator::new(scenario).run(&mut policy);
+    let elapsed = run_start.elapsed();
+    let totals = report.totals();
+    println!(
+        "ran {} slots in {:.2?} ({:.2?}/slot)",
+        report.hourly.len(),
+        elapsed,
+        elapsed / report.hourly.len().max(1) as u32
+    );
+    println!(
+        "cost {:.2} EUR, energy {:.3} GJ, migrations {}, worst rt {:.1} s, \
+         peak active VMs {}",
+        totals.cost_eur,
+        totals.energy_gj,
+        totals.migrations,
+        totals.worst_response_s,
+        report
+            .hourly
+            .iter()
+            .map(|h| h.active_vms)
+            .max()
+            .unwrap_or(0)
+    );
+    assert!(
+        totals.energy_gj.is_finite() && totals.energy_gj > 0.0,
+        "stress run produced non-finite energy"
+    );
+    println!("stress smoke passed (seed {seed})");
+}

@@ -17,11 +17,20 @@
 //! | `repro_qos_sweep` | ablation: Algorithm 2's QoS budget |
 //! | `repro_green_ablation` | ablation: green-controller arbitrage |
 //!
-//! All binaries accept `--paper` (Table I scale) and `--bench` (one-day
-//! mini scale); the default is the 1/5-fleet weekly "repro" scale.
+//! Plus the scaling/CI harness: `stress_smoke` (≈10k-VM sparse-pipeline
+//! run), `ci_determinism` (same-seed double-run gate),
+//! `diag_pipeline_agreement` (dense↔sparse paired-mean comparison) and
+//! `diag_stress_profile` (slot-step wall-time breakdown).
+//!
+//! All binaries accept `--paper` (Table I scale), `--bench` (one-day
+//! mini scale) and `--stress` (≈10k-VM one-day scale); the default is
+//! the 1/5-fleet weekly "repro" scale.
 
 pub mod figures;
 pub mod scenario;
 pub mod table;
 
-pub use scenario::{run_all, run_policy, run_proposed_with, seed_from_args, PolicyKind, Scale};
+pub use scenario::{
+    flag_from_args, parse_seed, proposed_config_for, run_all, run_policy, run_proposed_with,
+    seed_from_args, stress_proposed_config, PolicyKind, Scale,
+};

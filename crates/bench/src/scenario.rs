@@ -9,14 +9,15 @@
 //! * **repro** (default) — the same three sites at 1/5 fleet size and the
 //!   full one-week horizon (~400 VMs), which preserves every diurnal
 //!   price/PV/PUE interaction while finishing in tens of seconds;
-//! * **bench** — a one-day, ~100-VM configuration for Criterion.
+//! * **bench** — a one-day, ~100-VM configuration for Criterion;
+//! * **stress** — the same three sites grown to ≈10,000 concurrent VMs
+//!   over one day, exercising the sparse slot pipeline.
 
 use geoplace_baselines::{EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy};
 use geoplace_core::{ProposedConfig, ProposedPolicy};
 use geoplace_dcsim::config::ScenarioConfig;
 use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_dcsim::metrics::SimulationReport;
-use geoplace_dcsim::policy::GlobalPolicy;
 
 /// Scale of a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,29 +28,55 @@ pub enum Scale {
     Repro,
     /// 1/10 fleet; one day (Criterion).
     Bench,
+    /// ≈10,000 concurrent VMs, 3 sites, one day — the sparse-pipeline
+    /// scaling scenario.
+    Stress,
 }
 
 /// Parses `--seed N` from the process arguments, defaulting to 42 —
 /// every `repro_*` binary accepts it so robustness across worlds is one
 /// flag away.
+///
+/// A present-but-unparsable `--seed` terminates the process with a clear
+/// error (exit code 2) instead of silently running the default world: a
+/// sweep script with a typoed seed must fail loudly, not produce
+/// plausible-looking numbers for the wrong scenario.
 pub fn seed_from_args() -> u64 {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42)
+    match parse_seed(&args) {
+        Ok(seed) => seed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Pure parsing behind [`seed_from_args`]: `Ok(42)` when `--seed` is
+/// absent, the parsed value when well-formed, and `Err` when the flag is
+/// present without a valid u64.
+pub fn parse_seed(args: &[String]) -> Result<u64, String> {
+    let Some(position) = args.iter().position(|a| a == "--seed") else {
+        return Ok(42);
+    };
+    let Some(raw) = args.get(position + 1) else {
+        return Err("--seed requires a value (e.g. --seed 7)".into());
+    };
+    raw.parse()
+        .map_err(|_| format!("--seed expects an unsigned integer, got {raw:?}"))
 }
 
 impl Scale {
-    /// Parses process arguments: `--paper` or `--bench` select the
-    /// respective scales; default is [`Scale::Repro`].
+    /// Parses process arguments: `--paper`, `--bench` or `--stress`
+    /// select the respective scales; default is [`Scale::Repro`].
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         if args.iter().any(|a| a == "--paper") {
             Scale::Paper
         } else if args.iter().any(|a| a == "--bench") {
             Scale::Bench
+        } else if args.iter().any(|a| a == "--stress") {
+            Scale::Stress
         } else {
             Scale::Repro
         }
@@ -75,8 +102,36 @@ impl Scale {
                 config.horizon_slots = 24;
                 config
             }
+            Scale::Stress => ScenarioConfig::stress(seed),
         }
     }
+}
+
+/// Window-probe bound the local packer uses at sparse-pipeline fleet
+/// scales (the exact first-fit scan is O(n·servers·w) and intractable
+/// at 10k VMs).
+const SPARSE_SCALE_PROBE_LIMIT: usize = 32;
+
+/// The [`ProposedConfig`] matching a scenario: identical placement
+/// logic everywhere, but fleets large enough for the sparse pipeline
+/// (per the scenario's own crossover) also bound the local packer's
+/// window probes so the per-slot cost stays O(n·(servers + limit·w)).
+/// Every harness entry point (`run_policy`, `run_all`, the repro
+/// binaries' `--stress`/`--paper` scales) routes through this.
+pub fn proposed_config_for(config: &ScenarioConfig) -> ProposedConfig {
+    let mut proposed = ProposedConfig::default();
+    let expected = config.fleet.arrivals.expected_population() as usize;
+    if config.sparsity.use_sparse(expected) {
+        proposed.local.probe_limit = SPARSE_SCALE_PROBE_LIMIT;
+    }
+    proposed
+}
+
+/// The [`ProposedConfig`] stress runs use (probe-bounded local packer).
+pub fn stress_proposed_config() -> ProposedConfig {
+    let mut config = ProposedConfig::default();
+    config.local.probe_limit = SPARSE_SCALE_PROBE_LIMIT;
+    config
 }
 
 /// The four compared policies.
@@ -123,7 +178,7 @@ pub fn run_policy(config: &ScenarioConfig, kind: PolicyKind) -> SimulationReport
     let simulator = Simulator::new(scenario);
     match kind {
         PolicyKind::Proposed => {
-            let mut policy = ProposedPolicy::new(ProposedConfig::default());
+            let mut policy = ProposedPolicy::new(proposed_config_for(config));
             simulator.run(&mut policy)
         }
         PolicyKind::PriAware => simulator.run(&mut PriAwarePolicy::new()),
@@ -149,13 +204,23 @@ pub fn run_all(config: &ScenarioConfig) -> Vec<SimulationReport> {
         .collect()
 }
 
-/// Convenience: a boxed instance of each policy (used by generic tests).
-pub fn make_policy(kind: PolicyKind) -> Box<dyn GlobalPolicy> {
-    match kind {
-        PolicyKind::Proposed => Box::new(ProposedPolicy::new(ProposedConfig::default())),
-        PolicyKind::PriAware => Box::new(PriAwarePolicy::new()),
-        PolicyKind::EnerAware => Box::new(EnerAwarePolicy::new()),
-        PolicyKind::NetAware => Box::new(NetAwarePolicy::new()),
+/// Value of `--<name>` from the process arguments, parsed as `T`.
+/// `None` when the flag is absent; a present-but-missing or unparsable
+/// value terminates the process with a clear error (exit code 2), the
+/// convention every harness flag follows (see [`seed_from_args`]).
+pub fn flag_from_args<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let position = args.iter().position(|a| a == name)?;
+    let Some(raw) = args.get(position + 1) else {
+        eprintln!("error: {name} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!("error: {name} got unparsable value {raw:?}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -165,9 +230,46 @@ mod tests {
 
     #[test]
     fn scales_build_valid_configs() {
-        for scale in [Scale::Paper, Scale::Repro, Scale::Bench] {
+        for scale in [Scale::Paper, Scale::Repro, Scale::Bench, Scale::Stress] {
             assert!(scale.config(1).validate().is_ok(), "{scale:?}");
         }
+    }
+
+    #[test]
+    fn parse_seed_handles_all_shapes() {
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(parse_seed(&args(&["bin"])), Ok(42));
+        assert_eq!(parse_seed(&args(&["bin", "--seed", "7"])), Ok(7));
+        assert_eq!(parse_seed(&args(&["bin", "--paper", "--seed", "0"])), Ok(0));
+        assert!(parse_seed(&args(&["bin", "--seed"])).is_err());
+        assert!(parse_seed(&args(&["bin", "--seed", "banana"])).is_err());
+        assert!(parse_seed(&args(&["bin", "--seed", "-3"])).is_err());
+    }
+
+    #[test]
+    fn stress_scale_uses_sparse_pipeline() {
+        let config = Scale::Stress.config(1);
+        assert!(config
+            .sparsity
+            .use_sparse(config.fleet.arrivals.expected_population() as usize));
+        assert_eq!(config.horizon_slots, 24);
+        assert!(stress_proposed_config().local.probe_limit < usize::MAX);
+    }
+
+    #[test]
+    fn proposed_config_bounds_probes_only_at_sparse_scales() {
+        // Dense-scale scenarios keep the exact first-fit scan; sparse-
+        // scale ones (stress, paper) get the bounded probe budget — via
+        // run_policy, so every repro binary's --stress is covered.
+        let bench = Scale::Bench.config(1);
+        assert_eq!(proposed_config_for(&bench).local.probe_limit, usize::MAX);
+        let stress = Scale::Stress.config(1);
+        assert_eq!(
+            proposed_config_for(&stress).local.probe_limit,
+            stress_proposed_config().local.probe_limit
+        );
+        let paper = Scale::Paper.config(1);
+        assert!(proposed_config_for(&paper).local.probe_limit < usize::MAX);
     }
 
     #[test]

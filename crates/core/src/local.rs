@@ -26,12 +26,22 @@ pub struct LocalAllocConfig {
     /// Fraction of a server's top-frequency capacity the combined peak may
     /// use (safety margin against observation error).
     pub utilization_threshold: f64,
+    /// Cap on *window-scan* fit probes per VM. A candidate server whose
+    /// resident peak plus the VM's peak fits the capacity is accepted
+    /// without scanning (sum of peaks bounds the combined peak from
+    /// above); only servers failing that cheap test cost a full window
+    /// scan, and after `probe_limit` of those the remaining candidates
+    /// are judged on the cheap bound alone. `usize::MAX` reproduces the
+    /// exact first-fit behavior; stress-scale runs bound it to stay
+    /// O(n·(servers + limit·w)).
+    pub probe_limit: usize,
 }
 
 impl Default for LocalAllocConfig {
     fn default() -> Self {
         LocalAllocConfig {
             utilization_threshold: 0.9,
+            probe_limit: usize::MAX,
         }
     }
 }
@@ -76,10 +86,24 @@ pub fn allocate(
     });
 
     let mut servers: Vec<OpenServer> = Vec::new();
-    for &(pos, _) in &order {
+    for &(pos, vm_peak) in &order {
         let load = snapshot.load_window(pos);
         let mut chosen: Option<usize> = None;
+        let mut probes = 0usize;
         for (index, server) in servers.iter().enumerate() {
+            // Sum of peaks bounds the combined window peak from above: if
+            // it fits, the window scan would accept too — take it free.
+            if f64::from(server.peak) + vm_peak <= capacity {
+                chosen = Some(index);
+                break;
+            }
+            // Peak sums overlap the capacity: only a full window scan can
+            // tell whether the peaks actually coincide — the expensive
+            // probe the limit meters.
+            if probes >= config.probe_limit {
+                continue;
+            }
+            probes += 1;
             let combined_peak = server
                 .aggregate
                 .iter()

@@ -46,6 +46,8 @@ pub struct ProposedConfig {
     pub alpha: f64,
     /// Force-layout iteration cap.
     pub max_force_iterations: usize,
+    /// Far-field grid resolution of the sparse force layout (per axis).
+    pub layout_grid_dim: usize,
     /// Capacity-cap tuning.
     pub caps: CapsConfig,
     /// k-means tuning.
@@ -67,6 +69,7 @@ impl Default for ProposedConfig {
         ProposedConfig {
             alpha: 0.5,
             max_force_iterations: 50,
+            layout_grid_dim: ForceLayoutConfig::default().grid_dim,
             caps: CapsConfig::default(),
             kmeans: KMeansConfig::default(),
             local: LocalAllocConfig::default(),
@@ -106,6 +109,7 @@ impl ProposedPolicy {
         let layout_config = ForceLayoutConfig {
             alpha: config.alpha,
             max_iterations: config.max_force_iterations,
+            grid_dim: config.layout_grid_dim,
             ..ForceLayoutConfig::default()
         };
         ProposedPolicy {
@@ -141,17 +145,28 @@ impl GlobalPolicy for ProposedPolicy {
             return decision;
         }
 
-        // Phase 1, step 1: attraction/repulsion layout.
+        // Phase 1, step 1: attraction/repulsion layout over the arena.
         let points = match self.config.repulsion_metric {
             CorrelationMetric::PeakCoincidence => {
-                self.layout.update(ids, snapshot.cpu_corr, snapshot.data)
+                self.layout
+                    .update(snapshot.arena, snapshot.cpu_corr, snapshot.traffic)
             }
             CorrelationMetric::Pearson => {
-                let pearson_matrix = CpuCorrelationMatrix::compute_with(
-                    snapshot.windows,
-                    CorrelationMetric::Pearson,
-                );
-                self.layout.update(ids, &pearson_matrix, snapshot.data)
+                // Mirror the engine's dense/sparse choice so the ablation
+                // compares metrics, not representations.
+                let pearson_matrix = match snapshot.cpu_corr.sparsity() {
+                    Some(sparsity) => CpuCorrelationMatrix::compute_sparse_with(
+                        snapshot.windows,
+                        CorrelationMetric::Pearson,
+                        sparsity,
+                    ),
+                    None => CpuCorrelationMatrix::compute_with(
+                        snapshot.windows,
+                        CorrelationMetric::Pearson,
+                    ),
+                };
+                self.layout
+                    .update(snapshot.arena, &pearson_matrix, snapshot.traffic)
             }
         };
 
@@ -172,7 +187,7 @@ impl GlobalPolicy for ProposedPolicy {
             }
         }
         let clustering = kmeans(
-            &points,
+            points,
             &loads,
             &caps,
             self.prev_centroids.as_deref(),

@@ -9,9 +9,10 @@ use geoplace_network::latency::LatencyModel;
 use geoplace_network::topology::Topology;
 use geoplace_types::time::TimeSlot;
 use geoplace_types::units::{EurosPerKwh, Gigabytes, Joules, Seconds};
-use geoplace_types::{DcId, VmId};
+use geoplace_types::{DcId, VmArena, VmId};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::datacorr::{DataCorrelation, DataCorrelationConfig};
+use geoplace_workload::graph::TrafficGraph;
 use geoplace_workload::window::UtilizationWindows;
 use std::collections::HashMap;
 
@@ -20,10 +21,12 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct SnapshotFixture {
     windows: UtilizationWindows,
+    arena: VmArena,
     cores: Vec<u32>,
     memory: Vec<Gigabytes>,
     cpu: CpuCorrelationMatrix,
     data: DataCorrelation,
+    traffic: TrafficGraph,
     prev: HashMap<VmId, DcId>,
     dcs: Vec<DcInfo>,
     latency: LatencyModel,
@@ -39,7 +42,10 @@ impl SnapshotFixture {
         assert_eq!(rows.len(), cores.len(), "rows/cores mismatch");
         let windows =
             UtilizationWindows::from_rows(rows.into_iter().map(|(id, w)| (VmId(id), w)).collect());
+        let arena = VmArena::from_ids(windows.ids());
         let cpu = CpuCorrelationMatrix::compute(&windows);
+        let data = DataCorrelation::new(DataCorrelationConfig::default());
+        let traffic = data.traffic_graph(&arena);
         let memory = cores.iter().map(|&c| Gigabytes(f64::from(c))).collect();
         let dcs = (0..3u16)
             .map(|i| DcInfo {
@@ -62,10 +68,12 @@ impl SnapshotFixture {
             .collect();
         SnapshotFixture {
             windows,
+            arena,
             cores,
             memory,
             cpu,
-            data: DataCorrelation::new(DataCorrelationConfig::default()),
+            data,
+            traffic,
             prev: HashMap::new(),
             dcs,
             latency: LatencyModel::new(
@@ -83,10 +91,23 @@ impl SnapshotFixture {
         self
     }
 
-    /// Replaces the traffic structure.
+    /// Replaces the traffic structure (and rebuilds the slot graph).
     pub fn with_data(mut self, data: DataCorrelation) -> Self {
+        self.traffic = data.traffic_graph(&self.arena);
         self.data = data;
         self
+    }
+
+    /// Replaces the CPU-correlation structure (e.g. with a sparse top-k
+    /// build over the same windows).
+    pub fn with_cpu(mut self, cpu: CpuCorrelationMatrix) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// The windows the fixture was built over.
+    pub fn windows(&self) -> &UtilizationWindows {
+        &self.windows
     }
 
     /// Overrides one DC's relative price (instantaneous and day-averaged).
@@ -128,9 +149,11 @@ impl SnapshotFixture {
         SystemSnapshot {
             slot: self.slot,
             windows: &self.windows,
+            arena: &self.arena,
             vm_cores: &self.cores,
             vm_memory: &self.memory,
             cpu_corr: &self.cpu,
+            traffic: &self.traffic,
             data: &self.data,
             prev_dc: &self.prev,
             dcs: &self.dcs,

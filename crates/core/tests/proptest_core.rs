@@ -9,7 +9,7 @@ use geoplace_network::ber::BerDistribution;
 use geoplace_network::latency::LatencyModel;
 use geoplace_network::topology::Topology;
 use geoplace_types::units::{Gigabytes, Joules, Seconds};
-use geoplace_types::{DcId, VmId};
+use geoplace_types::{DcId, VmArena, VmId};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::datacorr::{DataCorrelation, DataCorrelationConfig};
 use geoplace_workload::window::UtilizationWindows;
@@ -32,9 +32,11 @@ proptest! {
         );
         let cpu = CpuCorrelationMatrix::compute(&windows);
         let data = DataCorrelation::new(DataCorrelationConfig::default());
+        let arena = VmArena::from_ids(windows.ids());
+        let traffic = data.traffic_graph(&arena);
         let config = ForceLayoutConfig { alpha, ..ForceLayoutConfig::default() };
         let mut layout = ForceLayout::new(config, seed);
-        let points = layout.update(windows.ids(), &cpu, &data);
+        let points = layout.update(&arena, &cpu, &traffic).to_vec();
         for p in &points {
             prop_assert!(p.x.is_finite() && p.y.is_finite());
         }

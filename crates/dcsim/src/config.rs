@@ -4,6 +4,7 @@
 use crate::pue::{PueModel, SiteClimate};
 use geoplace_types::{Error, Result};
 use geoplace_workload::fleet::FleetConfig;
+use geoplace_workload::sparsity::SparsityConfig;
 use serde::{Deserialize, Serialize};
 
 /// Static description of one data center.
@@ -79,6 +80,14 @@ pub struct ScenarioConfig {
     pub error_free_network: bool,
     /// PUE curve shared by all DCs.
     pub pue: PueModel,
+    /// Dense↔sparse selection and approximation knobs of the per-slot
+    /// correlation pipeline.
+    pub sparsity: SparsityConfig,
+    /// Multiplier on the paper's link capacities (10 Gb/s local,
+    /// 100 Gb/s backbone). Scaled-up fleets ship proportionally more
+    /// inter-DC data; without fatter pipes the response-time model
+    /// saturates into meaninglessness.
+    pub link_scale: f64,
 }
 
 impl ScenarioConfig {
@@ -101,7 +110,35 @@ impl ScenarioConfig {
             seed,
             error_free_network: false,
             pue: PueModel::default(),
+            sparsity: SparsityConfig::default(),
+            link_scale: 1.0,
         }
+    }
+
+    /// The scaling stress setup: the same three sites grown ~8× to
+    /// ≈10,000 concurrently active VMs over one simulated day. Only
+    /// tractable through the sparse slot pipeline (which
+    /// [`SparsityMode::Auto`](geoplace_workload::sparsity::SparsityMode)
+    /// selects at this fleet size).
+    pub fn stress(seed: u64) -> Self {
+        let mut config = ScenarioConfig::paper(seed);
+        for dc in &mut config.dcs {
+            dc.servers *= 8;
+            dc.pv_kwp *= 8.0;
+            dc.battery_kwh *= 8.0;
+        }
+        config.horizon_slots = 24;
+        // Steady state ≈ groups/slot × mean group size (3.5) × mean
+        // lifetime (48) ≈ 10,000 VMs.
+        config.fleet.arrivals.groups_per_slot = 59.0;
+        config.fleet.arrivals.initial_groups = 2857;
+        config.link_scale = 8.0;
+        // Leaner approximation knobs: at n ≈ 10⁴ the exact-probe budget
+        // dominates the slot step; 64 candidates per VM still cover the
+        // peak-coincident neighborhood.
+        config.sparsity.top_k = 24;
+        config.sparsity.candidates_per_vm = 64;
+        config
     }
 
     /// A laptop-scale variant for tests and Criterion benches: the same
@@ -155,6 +192,9 @@ impl ScenarioConfig {
                     dc.name
                 )));
             }
+        }
+        if self.link_scale <= 0.0 || !self.link_scale.is_finite() {
+            return Err(Error::invalid_config("link_scale must be finite positive"));
         }
         self.fleet.arrivals.validate()
     }
@@ -270,6 +310,22 @@ mod tests {
         let mut c = ScenarioConfig::scaled(0);
         c.dcs[1].price_peak = 0.01;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stress_config_targets_ten_thousand_vms() {
+        let c = ScenarioConfig::stress(0);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.dcs[0].servers, 12_000);
+        assert_eq!(c.horizon_slots, 24);
+        let expected = c.fleet.arrivals.expected_population();
+        assert!(
+            (9_000.0..11_500.0).contains(&expected),
+            "expected ≈10k VMs, got {expected}"
+        );
+        // The stress fleet must sit above the dense crossover so Auto
+        // picks the sparse pipeline.
+        assert!(c.sparsity.use_sparse(expected as usize));
     }
 
     #[test]

@@ -31,7 +31,7 @@ use geoplace_network::topology::{DcSite, Topology};
 use geoplace_network::traffic::TrafficMatrix;
 use geoplace_types::time::{TimeSlot, TICKS_PER_SLOT, TICK_SECONDS};
 use geoplace_types::units::{EurosPerKwh, GigabitsPerSecond, Gigabytes, Seconds};
-use geoplace_types::{DcId, Result, VmId};
+use geoplace_types::{DcId, Result, VmArena, VmId};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::fleet::VmFleet;
 use rand::rngs::StdRng;
@@ -85,7 +85,11 @@ impl Scenario {
                 )
             })
             .collect();
-        let topology = Topology::new(sites, GigabitsPerSecond(10.0), GigabitsPerSecond(100.0))?;
+        let topology = Topology::new(
+            sites,
+            GigabitsPerSecond(10.0 * config.link_scale),
+            GigabitsPerSecond(100.0 * config.link_scale),
+        )?;
         let ber = if config.error_free_network {
             BerDistribution::error_free()
         } else {
@@ -161,7 +165,10 @@ impl Simulator {
             // --- Observation phase: the previous interval's data.
             let obs_slot = slot.prev().unwrap_or(slot);
             let windows = self.scenario.fleet.windows(obs_slot);
-            let cpu_corr = CpuCorrelationMatrix::compute(&windows);
+            let arena = VmArena::from_ids(windows.ids());
+            let cpu_corr =
+                CpuCorrelationMatrix::compute_auto(&windows, &self.scenario.config.sparsity);
+            let traffic = self.scenario.fleet.data_correlation().traffic_graph(&arena);
             let vm_cores: Vec<u32> = windows
                 .ids()
                 .iter()
@@ -179,9 +186,11 @@ impl Simulator {
                 let snapshot = SystemSnapshot {
                     slot,
                     windows: &windows,
+                    arena: &arena,
                     vm_cores: &vm_cores,
                     vm_memory: &vm_memory,
                     cpu_corr: &cpu_corr,
+                    traffic: &traffic,
                     data: self.scenario.fleet.data_correlation(),
                     prev_dc: &assignment,
                     dcs: &dc_infos,

@@ -11,9 +11,10 @@ use geoplace_energy::price::PriceLevel;
 use geoplace_network::latency::LatencyModel;
 use geoplace_types::time::TimeSlot;
 use geoplace_types::units::{EurosPerKwh, Gigabytes, Joules, Seconds};
-use geoplace_types::{DcId, VmId};
+use geoplace_types::{DcId, VmArena, VmId};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::datacorr::DataCorrelation;
+use geoplace_workload::graph::TrafficGraph;
 use geoplace_workload::window::UtilizationWindows;
 use std::collections::HashMap;
 
@@ -64,13 +65,20 @@ pub struct SystemSnapshot<'a> {
     /// Observed 5 s utilization windows of interval `[T−1, T)` for every
     /// active VM (for slot 0: the slot-0 window as bootstrap estimate).
     pub windows: &'a UtilizationWindows,
+    /// Dense per-slot index of the active VM set, in `windows` row order —
+    /// built once at slot assembly so every policy shares one id→index
+    /// mapping.
+    pub arena: &'a VmArena,
     /// vCPU count per VM, aligned with `windows` rows.
     pub vm_cores: &'a [u32],
     /// Memory (= migration image size) per VM, aligned with `windows` rows.
     pub vm_memory: &'a [Gigabytes],
-    /// Pairwise CPU-load correlation over the observation window.
+    /// Pairwise CPU-load correlation over the observation window (dense
+    /// or sparse top-k, per the scenario's sparsity configuration).
     pub cpu_corr: &'a CpuCorrelationMatrix,
-    /// Pairwise bidirectional traffic structure.
+    /// Arena-indexed CSR adjacency of the slot's communicating pairs.
+    pub traffic: &'a TrafficGraph,
+    /// Pairwise bidirectional traffic structure (id-keyed volume queries).
     pub data: &'a DataCorrelation,
     /// Where each VM ran during the previous slot (absent for new VMs and
     /// at slot 0).

@@ -1,0 +1,137 @@
+//! Dense per-slot indexing of the active VM set.
+//!
+//! Every slot the controllers look at the same active VM set many times:
+//! correlation matrices, force layout, k-means, migration revision and the
+//! local packers all address VMs by *position*. [`VmArena`] performs the
+//! `VmId → u32` mapping exactly once per slot; every downstream structure
+//! then works on dense `u32` slot indices and flat slices instead of
+//! re-deriving `HashMap` lookups (or, worse, `Vec::position` scans) on
+//! every access.
+//!
+//! The arena is immutable for the duration of a slot — it is rebuilt at
+//! the next slot boundary from the then-active set.
+
+use crate::ids::VmId;
+use std::collections::HashMap;
+
+/// Immutable per-slot mapping between [`VmId`]s and dense `u32` indices.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_types::arena::VmArena;
+/// use geoplace_types::VmId;
+///
+/// let arena = VmArena::from_ids(&[VmId(7), VmId(3), VmId(9)]);
+/// assert_eq!(arena.len(), 3);
+/// assert_eq!(arena.index_of(VmId(3)), Some(1));
+/// assert_eq!(arena.id(1), VmId(3));
+/// assert_eq!(arena.index_of(VmId(100)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VmArena {
+    ids: Vec<VmId>,
+    index: HashMap<VmId, u32>,
+}
+
+impl VmArena {
+    /// Builds the arena over `ids`, preserving their order (index `i`
+    /// maps to `ids[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` contains a duplicate or more than `u32::MAX` VMs.
+    pub fn from_ids(ids: &[VmId]) -> Self {
+        assert!(ids.len() <= u32::MAX as usize, "arena overflow");
+        let mut index = HashMap::with_capacity(ids.len());
+        for (i, &vm) in ids.iter().enumerate() {
+            let prior = index.insert(vm, i as u32);
+            assert!(prior.is_none(), "duplicate VM {vm} in arena");
+        }
+        VmArena {
+            ids: ids.to_vec(),
+            index,
+        }
+    }
+
+    /// Number of VMs in the arena.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the arena holds no VMs.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The VM ids in index order.
+    pub fn ids(&self) -> &[VmId] {
+        &self.ids
+    }
+
+    /// The VM at a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn id(&self, index: u32) -> VmId {
+        self.ids[index as usize]
+    }
+
+    /// Dense index of a VM, if it is active this slot.
+    pub fn index_of(&self, vm: VmId) -> Option<u32> {
+        self.index.get(&vm).copied()
+    }
+
+    /// True when `vm` is part of this slot's active set.
+    pub fn contains(&self, vm: VmId) -> bool {
+        self.index.contains_key(&vm)
+    }
+
+    /// Iterates `(index, id)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, VmId)> + '_ {
+        self.ids.iter().enumerate().map(|(i, &vm)| (i as u32, vm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_ids_and_indices() {
+        let ids = [VmId(10), VmId(2), VmId(33)];
+        let arena = VmArena::from_ids(&ids);
+        assert_eq!(arena.len(), 3);
+        assert!(!arena.is_empty());
+        assert_eq!(arena.ids(), &ids);
+        for (i, &vm) in ids.iter().enumerate() {
+            assert_eq!(arena.index_of(vm), Some(i as u32));
+            assert_eq!(arena.id(i as u32), vm);
+            assert!(arena.contains(vm));
+        }
+        assert!(!arena.contains(VmId(999)));
+        assert_eq!(arena.index_of(VmId(999)), None);
+    }
+
+    #[test]
+    fn empty_arena() {
+        let arena = VmArena::from_ids(&[]);
+        assert!(arena.is_empty());
+        assert_eq!(arena.len(), 0);
+        assert_eq!(arena.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_yields_index_order() {
+        let arena = VmArena::from_ids(&[VmId(5), VmId(1)]);
+        let pairs: Vec<(u32, VmId)> = arena.iter().collect();
+        assert_eq!(pairs, vec![(0, VmId(5)), (1, VmId(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate VM")]
+    fn duplicate_ids_panic() {
+        let _ = VmArena::from_ids(&[VmId(1), VmId(1)]);
+    }
+}

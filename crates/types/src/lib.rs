@@ -17,11 +17,13 @@
 //! assert_eq!(TimeSlot(2).start_tick(), Tick(2 * TICKS_PER_SLOT as u64));
 //! ```
 
+pub mod arena;
 pub mod error;
 pub mod ids;
 pub mod time;
 pub mod units;
 
+pub use arena::VmArena;
 pub use error::{Error, Result};
 pub use ids::{DcId, ServerId, VmId};
 pub use time::{Tick, TimeSlot};

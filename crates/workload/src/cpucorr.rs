@@ -14,11 +14,30 @@
 //! as low as 0.5 for equal peaks — when the loads are perfectly
 //! anti-coincident. A classic Pearson correlation is also provided for
 //! comparison and testing.
+//!
+//! # Dense and sparse representations
+//!
+//! [`CpuCorrelationMatrix::compute`] materializes the exact `n × n`
+//! matrix — O(n²·w) time and O(n²) memory, fine up to a few hundred VMs
+//! and the ground truth for tests. Above the
+//! [`SparsityConfig::dense_crossover`] the same type switches to a sparse
+//! *top-k neighbor graph*: per VM only the `k` most-correlated partners
+//! are stored exactly (CSR-style adjacency), and every other pair is
+//! approximated by a single *baseline* correlation estimated from a
+//! deterministic pair sample. Candidates for the top-k search come from a
+//! peak-time screen: VMs are bucketed by the tick of their window peak,
+//! and only VMs in nearby buckets — the ones whose peaks can coincide —
+//! are evaluated exactly. Both representations sit behind the same
+//! accessor API ([`CpuCorrelationMatrix::at`] et al.).
 
+use crate::sparsity::SparsityConfig;
 use crate::window::{peak_of, UtilizationWindows};
 use geoplace_types::VmId;
 
-/// Symmetric matrix of pairwise CPU-load correlations in `(0, 1]`.
+/// Symmetric pairwise CPU-load correlation structure in `(0, 1]`.
+///
+/// Dense (exact matrix) or sparse (top-k neighbor graph + far-field
+/// baseline) behind one API; see the module docs.
 ///
 /// # Examples
 ///
@@ -39,9 +58,23 @@ use geoplace_types::VmId;
 #[derive(Debug, Clone, PartialEq)]
 pub struct CpuCorrelationMatrix {
     ids: Vec<VmId>,
-    /// Row-major `n × n` symmetric matrix; diagonal is 1.0.
-    values: Vec<f32>,
     n: usize,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
+    /// Row-major `n × n` symmetric matrix; diagonal is 1.0.
+    Dense { values: Vec<f32> },
+    /// CSR top-k adjacency: row `i`'s neighbors live in
+    /// `neighbors[offsets[i]..offsets[i+1]]`, sorted by neighbor VM id.
+    /// Pairs outside every retained list read as `baseline`.
+    Sparse {
+        offsets: Vec<u32>,
+        neighbors: Vec<(u32, f32)>,
+        baseline: f32,
+        config: SparsityConfig,
+    },
 }
 
 /// Which pairwise statistic the repulsion force uses.
@@ -57,13 +90,14 @@ pub enum CorrelationMetric {
 }
 
 impl CpuCorrelationMatrix {
-    /// Computes the peak-coincidence correlation for every VM pair.
+    /// Computes the exact dense peak-coincidence matrix for every VM pair.
     pub fn compute(windows: &UtilizationWindows) -> Self {
         Self::compute_with(windows, CorrelationMetric::PeakCoincidence)
     }
 
-    /// Computes the pairwise matrix under the chosen metric; both yield
-    /// values in `(0, 1]` with 1.0 meaning "worst co-location candidate".
+    /// Computes the exact dense pairwise matrix under the chosen metric;
+    /// both yield values in `(0, 1]` with 1.0 meaning "worst co-location
+    /// candidate".
     pub fn compute_with(windows: &UtilizationWindows, metric: CorrelationMetric) -> Self {
         let n = windows.len();
         let mut values = vec![0.0f32; n * n];
@@ -71,25 +105,172 @@ impl CpuCorrelationMatrix {
         for i in 0..n {
             values[i * n + i] = 1.0;
             for j in (i + 1)..n {
-                let c = match metric {
-                    CorrelationMetric::PeakCoincidence => {
-                        peak_coincidence(windows.row_at(i), windows.row_at(j), peaks[i], peaks[j])
-                    }
-                    CorrelationMetric::Pearson => {
-                        // Map [-1, 1] → (0, 1]: anti-correlated pairs repel
-                        // least, perfectly correlated ones most.
-                        let r = pearson(windows.row_at(i), windows.row_at(j));
-                        ((r + 1.0) / 2.0).clamp(f32::EPSILON, 1.0)
-                    }
-                };
+                let c = pair_metric(windows, &peaks, i, j, metric);
                 values[i * n + j] = c;
                 values[j * n + i] = c;
             }
         }
         CpuCorrelationMatrix {
             ids: windows.ids().to_vec(),
-            values,
             n,
+            repr: Repr::Dense { values },
+        }
+    }
+
+    /// Computes the representation [`SparsityConfig`] selects for this
+    /// fleet size: exact dense below the crossover, sparse top-k above.
+    pub fn compute_auto(windows: &UtilizationWindows, sparsity: &SparsityConfig) -> Self {
+        Self::compute_auto_with(windows, CorrelationMetric::PeakCoincidence, sparsity)
+    }
+
+    /// [`CpuCorrelationMatrix::compute_auto`] under an explicit metric.
+    pub fn compute_auto_with(
+        windows: &UtilizationWindows,
+        metric: CorrelationMetric,
+        sparsity: &SparsityConfig,
+    ) -> Self {
+        if sparsity.use_sparse(windows.len()) {
+            Self::compute_sparse_with(windows, metric, sparsity)
+        } else {
+            Self::compute_with(windows, metric)
+        }
+    }
+
+    /// Computes the sparse top-k neighbor graph (peak-bucket candidate
+    /// screen, exact weights on retained edges, sampled far-field
+    /// baseline). Permutation invariant: the same fleet presented in a
+    /// different row order yields the same per-VM neighbor sets and
+    /// weights.
+    pub fn compute_sparse(windows: &UtilizationWindows, sparsity: &SparsityConfig) -> Self {
+        Self::compute_sparse_with(windows, CorrelationMetric::PeakCoincidence, sparsity)
+    }
+
+    /// [`CpuCorrelationMatrix::compute_sparse`] under an explicit metric.
+    pub fn compute_sparse_with(
+        windows: &UtilizationWindows,
+        metric: CorrelationMetric,
+        sparsity: &SparsityConfig,
+    ) -> Self {
+        let n = windows.len();
+        let ids = windows.ids().to_vec();
+        let width = windows.width().max(1);
+        let peaks: Vec<f32> = (0..n).map(|i| peak_of(windows.row_at(i))).collect();
+
+        // Peak-time screen: bucket rows by the tick of their first window
+        // peak; coincident peaks land in the same or adjacent buckets.
+        let n_buckets = sparsity.peak_buckets.clamp(1, width);
+        let bucket_of = |i: usize| -> usize {
+            let row = windows.row_at(i);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .fold(
+                    (0usize, f32::MIN),
+                    |(bt, bv), (t, &v)| {
+                        if v > bv {
+                            (t, v)
+                        } else {
+                            (bt, bv)
+                        }
+                    },
+                )
+                .0;
+            argmax * n_buckets / width
+        };
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_buckets];
+        let mut row_bucket = vec![0usize; n];
+        for (i, slot) in row_bucket.iter_mut().enumerate() {
+            *slot = bucket_of(i);
+            buckets[*slot].push(i as u32);
+        }
+        // Bucket membership in VM-id order so the candidate sequence —
+        // and with it the retained edge set — does not depend on how the
+        // caller enumerated the fleet.
+        for bucket in &mut buckets {
+            bucket.sort_unstable_by_key(|&i| ids[i as usize]);
+        }
+
+        let top_k = sparsity.top_k.max(1);
+        let budget = sparsity.candidates_per_vm.max(top_k);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors: Vec<(u32, f32)> = Vec::with_capacity(n * top_k.min(n));
+        let mut candidates: Vec<(u32, f32)> = Vec::with_capacity(budget + n_buckets);
+        offsets.push(0u32);
+        for (i, &home) in row_bucket.iter().enumerate() {
+            candidates.clear();
+            // Ring walk outward from the row's own bucket.
+            'ring: for d in 0..=(n_buckets / 2) {
+                let lo = (home + n_buckets - d) % n_buckets;
+                let hi = (home + d) % n_buckets;
+                let sides: [usize; 2] = [lo, hi];
+                let take = if lo == hi { 1 } else { 2 };
+                for &b in sides.iter().take(take) {
+                    for &j in &buckets[b] {
+                        if j as usize == i {
+                            continue;
+                        }
+                        let w = pair_metric(windows, &peaks, i, j as usize, metric);
+                        candidates.push((j, w));
+                        // The cap must bite *inside* a bucket: a popular
+                        // diurnal phase can hold thousands of VMs, and
+                        // evaluating a whole bucket would reintroduce the
+                        // quadratic wall this screen exists to remove.
+                        if candidates.len() >= budget {
+                            break 'ring;
+                        }
+                    }
+                }
+            }
+            // Strongest first; equal weights break on VM id so the graph
+            // is independent of enumeration order.
+            candidates.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("correlations are finite")
+                    .then_with(|| ids[a.0 as usize].cmp(&ids[b.0 as usize]))
+            });
+            candidates.truncate(top_k);
+            candidates.sort_unstable_by_key(|&(j, _)| ids[j as usize]);
+            neighbors.extend_from_slice(&candidates);
+            offsets.push(neighbors.len() as u32);
+        }
+
+        let all_mean = sample_baseline(windows, &peaks, &ids, metric, sparsity.baseline_samples);
+        // The sampled mean covers *all* pairs, but the far field only
+        // applies to pairs outside the retained lists — and those lists
+        // hold exactly the strongest correlations, so the raw mean
+        // over-repels the far field. Subtract the (exactly known)
+        // retained mass: mean_far = (mean_all·P − Σ_ret) / (P − P_ret)
+        // over directed pairs. Rows are summed in VM-id order (each row
+        // is already id-sorted internally): f32 addition is not
+        // associative, and arena-row order would leak the caller's
+        // enumeration into the baseline.
+        let directed_pairs = (n * n.saturating_sub(1)) as f32;
+        let mut row_order: Vec<u32> = (0..n as u32).collect();
+        row_order.sort_unstable_by_key(|&i| ids[i as usize]);
+        let retained: f32 = row_order
+            .iter()
+            .map(|&i| {
+                neighbors[offsets[i as usize] as usize..offsets[i as usize + 1] as usize]
+                    .iter()
+                    .map(|&(_, w)| w)
+                    .sum::<f32>()
+            })
+            .sum();
+        let baseline = if directed_pairs > neighbors.len() as f32 {
+            ((all_mean * directed_pairs - retained) / (directed_pairs - neighbors.len() as f32))
+                .clamp(f32::EPSILON, 1.0)
+        } else {
+            all_mean
+        };
+        CpuCorrelationMatrix {
+            ids,
+            n,
+            repr: Repr::Sparse {
+                offsets,
+                neighbors,
+                baseline,
+                config: *sparsity,
+            },
         }
     }
 
@@ -108,6 +289,50 @@ impl CpuCorrelationMatrix {
         &self.ids
     }
 
+    /// True for the sparse top-k representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse { .. })
+    }
+
+    /// The sparsity configuration the sparse representation was built
+    /// with; `None` for dense.
+    pub fn sparsity(&self) -> Option<&SparsityConfig> {
+        match &self.repr {
+            Repr::Dense { .. } => None,
+            Repr::Sparse { config, .. } => Some(config),
+        }
+    }
+
+    /// Retained `(neighbor_index, weight)` list of one row, sorted by
+    /// neighbor VM id. Empty for the dense representation (every pair is
+    /// exact there — use [`CpuCorrelationMatrix::at`]).
+    pub fn neighbors(&self, i: usize) -> &[(u32, f32)] {
+        match &self.repr {
+            Repr::Dense { .. } => &[],
+            Repr::Sparse {
+                offsets, neighbors, ..
+            } => &neighbors[offsets[i] as usize..offsets[i + 1] as usize],
+        }
+    }
+
+    /// Far-field correlation estimate for pairs outside every retained
+    /// top-k list (0.0 for the dense representation, which has no far
+    /// field).
+    pub fn baseline(&self) -> f32 {
+        match &self.repr {
+            Repr::Dense { .. } => 0.0,
+            Repr::Sparse { baseline, .. } => *baseline,
+        }
+    }
+
+    /// Total number of retained directed edges (diagnostic; 0 for dense).
+    pub fn edge_count(&self) -> usize {
+        match &self.repr {
+            Repr::Dense { .. } => 0,
+            Repr::Sparse { neighbors, .. } => neighbors.len(),
+        }
+    }
+
     /// Correlation between two VMs by id.
     pub fn get(&self, a: VmId, b: VmId) -> Option<f32> {
         let i = self.ids.iter().position(|&v| v == a)?;
@@ -115,14 +340,99 @@ impl CpuCorrelationMatrix {
         Some(self.at(i, j))
     }
 
-    /// Correlation between two VMs by dense position.
+    /// Correlation between two VMs by dense position. Exact under the
+    /// dense representation; under the sparse one, pairs outside both
+    /// rows' retained lists read as the far-field baseline.
     ///
     /// # Panics
     ///
     /// Panics if either position is out of range.
     pub fn at(&self, i: usize, j: usize) -> f32 {
-        self.values[i * self.n + j]
+        match &self.repr {
+            Repr::Dense { values } => values[i * self.n + j],
+            Repr::Sparse { baseline, .. } => {
+                if i == j {
+                    assert!(i < self.n, "position {i} out of range");
+                    return 1.0;
+                }
+                // Top-k lists are per-row, so the edge may survive in
+                // either endpoint's list; checking both keeps the view
+                // symmetric.
+                self.lookup(i, j)
+                    .or_else(|| self.lookup(j, i))
+                    .unwrap_or(*baseline)
+            }
+        }
     }
+
+    fn lookup(&self, i: usize, j: usize) -> Option<f32> {
+        self.neighbors(i)
+            .iter()
+            .find(|&&(idx, _)| idx as usize == j)
+            .map(|&(_, w)| w)
+    }
+}
+
+/// One pairwise statistic under the chosen metric.
+fn pair_metric(
+    windows: &UtilizationWindows,
+    peaks: &[f32],
+    i: usize,
+    j: usize,
+    metric: CorrelationMetric,
+) -> f32 {
+    match metric {
+        CorrelationMetric::PeakCoincidence => {
+            peak_coincidence(windows.row_at(i), windows.row_at(j), peaks[i], peaks[j])
+        }
+        CorrelationMetric::Pearson => {
+            // Map [-1, 1] → (0, 1]: anti-correlated pairs repel least,
+            // perfectly correlated ones most.
+            let r = pearson(windows.row_at(i), windows.row_at(j));
+            ((r + 1.0) / 2.0).clamp(f32::EPSILON, 1.0)
+        }
+    }
+}
+
+/// Mean correlation of a deterministic pseudo-random pair sample — the
+/// sparse representation's far-field value. Pairs are drawn in VM-id
+/// order so the estimate is permutation invariant.
+fn sample_baseline(
+    windows: &UtilizationWindows,
+    peaks: &[f32],
+    ids: &[VmId],
+    metric: CorrelationMetric,
+    samples: usize,
+) -> f32 {
+    let n = ids.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| ids[i as usize]);
+    let mut sum = 0.0f64;
+    let mut count = 0u32;
+    for t in 0..samples.max(1) as u64 {
+        let h = splitmix(t);
+        let a = order[(h % n as u64) as usize] as usize;
+        let b = order[((h >> 32) % n as u64) as usize] as usize;
+        if a == b {
+            continue;
+        }
+        sum += f64::from(pair_metric(windows, peaks, a, b, metric));
+        count += 1;
+    }
+    if count == 0 {
+        return 1.0;
+    }
+    ((sum / f64::from(count)) as f32).clamp(f32::EPSILON, 1.0)
+}
+
+fn splitmix(n: u64) -> u64 {
+    let mut x = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Worst-case peak-coincidence ratio of two utilization windows, in
@@ -134,11 +444,23 @@ pub fn peak_coincidence(a: &[f32], b: &[f32], peak_a: f32, peak_b: f32) -> f32 {
     if denominator <= f32::EPSILON {
         return 1.0;
     }
-    let combined_peak = a
-        .iter()
-        .zip(b.iter())
-        .map(|(x, y)| x + y)
-        .fold(0.0f32, f32::max);
+    // Eight independent max lanes: a straight `fold(max)` carries a
+    // serial dependency the compiler cannot vectorize, and this runs for
+    // every candidate pair of every slot. The result is exact — max is
+    // order-independent.
+    const LANES: usize = 8;
+    let mut lanes = [0.0f32; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for l in 0..LANES {
+            lanes[l] = lanes[l].max(ca[l] + cb[l]);
+        }
+    }
+    let mut combined_peak = lanes.iter().copied().fold(0.0f32, f32::max);
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        combined_peak = combined_peak.max(x + y);
+    }
     (combined_peak / denominator).clamp(f32::EPSILON, 1.0)
 }
 
@@ -313,5 +635,161 @@ mod tests {
         let c_anti = peak_coincidence(&phase, &anti, peak_of(&phase), peak_of(&anti));
         assert!(c_same > c_anti);
         assert!(pearson(&phase, &same) > pearson(&phase, &anti));
+    }
+
+    // --- sparse representation ---
+
+    fn phased_rows(n: u32, width: usize) -> Vec<(VmId, Vec<f32>)> {
+        (0..n)
+            .map(|i| {
+                let phase = (i as usize * 5) % width;
+                let row = (0..width)
+                    .map(|t| {
+                        let x = ((t + width - phase) % width) as f32;
+                        0.1 + 0.8 * (-(x - width as f32 / 2.0).powi(2) / 24.0).exp()
+                    })
+                    .collect();
+                (VmId(i), row)
+            })
+            .collect()
+    }
+
+    fn small_sparsity() -> SparsityConfig {
+        SparsityConfig {
+            top_k: 4,
+            peak_buckets: 8,
+            candidates_per_vm: 12,
+            baseline_samples: 256,
+            ..SparsityConfig::default()
+        }
+    }
+
+    #[test]
+    fn sparse_retains_top_k_with_exact_weights() {
+        let windows = UtilizationWindows::from_rows(phased_rows(24, 48));
+        let dense = CpuCorrelationMatrix::compute(&windows);
+        let sparse = CpuCorrelationMatrix::compute_sparse(&windows, &small_sparsity());
+        assert!(sparse.is_sparse());
+        assert!(!dense.is_sparse());
+        assert!(sparse.edge_count() > 0);
+        for i in 0..sparse.len() {
+            let row = sparse.neighbors(i);
+            assert!(row.len() <= 4);
+            for &(j, w) in row {
+                assert!((w - dense.at(i, j as usize)).abs() < 1e-6, "edge weight");
+                assert!(w > 0.0 && w <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_with_full_coverage_selects_true_top_k() {
+        // Candidate budget ≥ n: the screen sees every pair, so the
+        // retained set must be the exact per-row top-k of the dense
+        // matrix.
+        let windows = UtilizationWindows::from_rows(phased_rows(16, 48));
+        let dense = CpuCorrelationMatrix::compute(&windows);
+        let config = SparsityConfig {
+            top_k: 3,
+            candidates_per_vm: 64,
+            peak_buckets: 8,
+            ..SparsityConfig::default()
+        };
+        let sparse = CpuCorrelationMatrix::compute_sparse(&windows, &config);
+        for i in 0..dense.len() {
+            let mut truth: Vec<(usize, f32)> = (0..dense.len())
+                .filter(|&j| j != i)
+                .map(|j| (j, dense.at(i, j)))
+                .collect();
+            truth.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap()
+                    .then(windows.ids()[a.0].cmp(&windows.ids()[b.0]))
+            });
+            truth.truncate(3);
+            let mut expected: Vec<usize> = truth.iter().map(|&(j, _)| j).collect();
+            expected.sort_unstable();
+            let mut got: Vec<usize> = sparse
+                .neighbors(i)
+                .iter()
+                .map(|&(j, _)| j as usize)
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, expected, "row {i}");
+        }
+    }
+
+    #[test]
+    fn sparse_view_is_symmetric_with_unit_diagonal() {
+        let windows = UtilizationWindows::from_rows(phased_rows(20, 48));
+        let sparse = CpuCorrelationMatrix::compute_sparse(&windows, &small_sparsity());
+        for i in 0..sparse.len() {
+            assert_eq!(sparse.at(i, i), 1.0);
+            for j in 0..sparse.len() {
+                assert_eq!(sparse.at(i, j), sparse.at(j, i), "({i},{j})");
+                let v = sparse.at(i, j);
+                assert!(v > 0.0 && v <= 1.0);
+            }
+        }
+        assert!(sparse.baseline() > 0.0 && sparse.baseline() <= 1.0);
+    }
+
+    #[test]
+    fn sparse_build_is_permutation_invariant() {
+        let rows = phased_rows(24, 48);
+        let mut shuffled = rows.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 11);
+        let a = CpuCorrelationMatrix::compute_sparse(
+            &UtilizationWindows::from_rows(rows),
+            &small_sparsity(),
+        );
+        let b = CpuCorrelationMatrix::compute_sparse(
+            &UtilizationWindows::from_rows(shuffled),
+            &small_sparsity(),
+        );
+        assert_eq!(a.baseline(), b.baseline());
+        for &vm in a.ids() {
+            let i_a = a.ids().iter().position(|&v| v == vm).unwrap();
+            let i_b = b.ids().iter().position(|&v| v == vm).unwrap();
+            let row_a: Vec<(VmId, f32)> = a
+                .neighbors(i_a)
+                .iter()
+                .map(|&(j, w)| (a.ids()[j as usize], w))
+                .collect();
+            let row_b: Vec<(VmId, f32)> = b
+                .neighbors(i_b)
+                .iter()
+                .map(|&(j, w)| (b.ids()[j as usize], w))
+                .collect();
+            assert_eq!(row_a, row_b, "{vm}");
+        }
+    }
+
+    #[test]
+    fn auto_picks_repr_by_crossover() {
+        let windows = UtilizationWindows::from_rows(phased_rows(12, 24));
+        let mut config = SparsityConfig {
+            dense_crossover: 100,
+            ..small_sparsity()
+        };
+        assert!(!CpuCorrelationMatrix::compute_auto(&windows, &config).is_sparse());
+        config.dense_crossover = 4;
+        let sparse = CpuCorrelationMatrix::compute_auto(&windows, &config);
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.sparsity(), Some(&config));
+    }
+
+    #[test]
+    fn sparse_handles_tiny_fleets() {
+        let windows = UtilizationWindows::from_rows(vec![(VmId(0), vec![0.5, 0.5])]);
+        let sparse = CpuCorrelationMatrix::compute_sparse(&windows, &small_sparsity());
+        assert_eq!(sparse.len(), 1);
+        assert!(sparse.neighbors(0).is_empty());
+        assert_eq!(sparse.at(0, 0), 1.0);
+
+        let empty = UtilizationWindows::from_rows(vec![]);
+        let sparse = CpuCorrelationMatrix::compute_sparse(&empty, &small_sparsity());
+        assert!(sparse.is_empty());
     }
 }

@@ -10,9 +10,11 @@
 //!   arrivals with exponential lifetimes, and the evolving population;
 //! * [`window`] — dense per-slot utilization windows;
 //! * [`cpucorr`] — CPU-load correlation (worst-case peak coincidence,
-//!   plus Pearson for comparison);
+//!   plus Pearson for comparison), dense or sparse top-k;
 //! * [`datacorr`] — bidirectional, runtime-varying data-exchange volumes
-//!   (log-normal, mean 10 MB, log-variance uniform in [1,4]).
+//!   (log-normal, mean 10 MB, log-variance uniform in [1,4]);
+//! * [`graph`] — arena-indexed CSR adjacency over the traffic pairs;
+//! * [`sparsity`] — the dense↔sparse crossover and approximation knobs.
 //!
 //! # Examples
 //!
@@ -33,6 +35,8 @@ pub mod cpucorr;
 pub mod datacorr;
 pub mod distributions;
 pub mod fleet;
+pub mod graph;
+pub mod sparsity;
 pub mod trace;
 pub mod vm;
 pub mod window;
@@ -41,6 +45,8 @@ pub use arrivals::{ArrivalConfig, ArrivalProcess};
 pub use cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
 pub use datacorr::{DataCorrelation, DataCorrelationConfig};
 pub use fleet::{FleetConfig, FleetDelta, VmFleet};
+pub use graph::{TrafficEdge, TrafficGraph};
+pub use sparsity::{SparsityConfig, SparsityMode};
 pub use trace::{TraceKind, TraceParams, VmTrace};
 pub use vm::{GroupId, VmSpec};
 pub use window::UtilizationWindows;

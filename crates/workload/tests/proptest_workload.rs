@@ -2,12 +2,13 @@
 #![allow(clippy::field_reassign_with_default)]
 
 use geoplace_types::time::{Tick, TimeSlot, TICKS_PER_SLOT};
-use geoplace_types::VmId;
+use geoplace_types::{VmArena, VmId};
 use geoplace_workload::arrivals::{ArrivalConfig, ArrivalProcess};
 use geoplace_workload::cpucorr::{peak_coincidence, pearson, CpuCorrelationMatrix};
 use geoplace_workload::datacorr::{DataCorrelation, DataCorrelationConfig};
 use geoplace_workload::distributions::{Exponential, LogNormal, Normal, Poisson, WeightedChoice};
 use geoplace_workload::fleet::{FleetConfig, VmFleet};
+use geoplace_workload::sparsity::SparsityConfig;
 use geoplace_workload::trace::{TraceKind, TraceParams, VmTrace};
 use geoplace_workload::window::UtilizationWindows;
 use proptest::prelude::*;
@@ -175,6 +176,114 @@ proptest! {
             for j in 0..m.len() {
                 prop_assert!((m.at(i, j) - m.at(j, i)).abs() < 1e-6);
                 prop_assert!((0.0..=1.0).contains(&m.at(i, j)));
+            }
+        }
+    }
+
+    /// The sparse view keeps every dense invariant: symmetry, unit
+    /// diagonal, values in (0, 1] — and every retained edge carries the
+    /// exact dense weight.
+    #[test]
+    fn sparse_correlation_invariants_hold(
+        rows in proptest::collection::vec(proptest::collection::vec(0.02f32..1.0, 16), 3..16),
+        top_k in 1usize..6,
+        peak_buckets in 2usize..10,
+        candidates in 6usize..24,
+    ) {
+        let windows = UtilizationWindows::from_rows(
+            rows.into_iter().enumerate().map(|(i, w)| (VmId(i as u32 * 3), w)).collect(),
+        );
+        let dense = CpuCorrelationMatrix::compute(&windows);
+        let config = SparsityConfig {
+            top_k,
+            peak_buckets,
+            candidates_per_vm: candidates,
+            baseline_samples: 256,
+            ..SparsityConfig::default()
+        };
+        let sparse = CpuCorrelationMatrix::compute_sparse(&windows, &config);
+        let n = sparse.len();
+        prop_assert!(sparse.is_sparse());
+        prop_assert!(sparse.baseline() > 0.0 && sparse.baseline() <= 1.0);
+        for i in 0..n {
+            prop_assert!((sparse.at(i, i) - 1.0).abs() < 1e-6);
+            prop_assert!(sparse.neighbors(i).len() <= top_k);
+            for j in 0..n {
+                let v = sparse.at(i, j);
+                prop_assert!(v > 0.0 && v <= 1.0, "({i},{j}) = {v}");
+                prop_assert!((v - sparse.at(j, i)).abs() < 1e-9, "asymmetric at ({i},{j})");
+            }
+            for &(j, w) in sparse.neighbors(i) {
+                prop_assert!(
+                    (w - dense.at(i, j as usize)).abs() < 1e-6,
+                    "retained edge ({i},{j}) disagrees with dense: {w} vs {}",
+                    dense.at(i, j as usize)
+                );
+            }
+        }
+    }
+
+    /// With the candidate budget covering the whole fleet and k ≥ n−1,
+    /// the sparse graph degenerates to the dense matrix exactly.
+    #[test]
+    fn sparse_with_full_budget_equals_dense(
+        rows in proptest::collection::vec(proptest::collection::vec(0.02f32..1.0, 12), 2..10),
+    ) {
+        let n = rows.len();
+        let windows = UtilizationWindows::from_rows(
+            rows.into_iter().enumerate().map(|(i, w)| (VmId(i as u32), w)).collect(),
+        );
+        let dense = CpuCorrelationMatrix::compute(&windows);
+        let config = SparsityConfig {
+            top_k: n,
+            candidates_per_vm: n * n,
+            peak_buckets: 4,
+            baseline_samples: 64,
+            ..SparsityConfig::default()
+        };
+        let sparse = CpuCorrelationMatrix::compute_sparse(&windows, &config);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(
+                    (sparse.at(i, j) - dense.at(i, j)).abs() < 1e-6,
+                    "({i},{j}): {} vs {}", sparse.at(i, j), dense.at(i, j)
+                );
+            }
+        }
+    }
+
+    /// The arena-indexed traffic CSR agrees with the dense directed
+    /// attraction matrix on every stored edge, and rows never reference
+    /// VMs outside the arena.
+    #[test]
+    fn traffic_graph_agrees_with_dense_attraction(
+        groups in 1u32..6,
+        size in 2u32..5,
+        seed in 0u64..100,
+    ) {
+        let mut config = ArrivalConfig::default();
+        config.initial_groups = groups;
+        config.group_size_range = (size, size);
+        config.seed = seed;
+        let mut process = ArrivalProcess::new(config).unwrap();
+        let vms = process.initial_population();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = DataCorrelation::new(DataCorrelationConfig::default());
+        data.connect_arrivals(&vms, &vms, &mut rng);
+        let ids: Vec<VmId> = vms.iter().map(|v| v.id()).collect();
+        let arena = VmArena::from_ids(&ids);
+        let graph = data.traffic_graph(&arena);
+        let n = ids.len();
+        let dense = data.directed_attraction_matrix(&ids);
+        prop_assert_eq!(graph.edge_count(), data.pair_count() * 2);
+        for i in 0..n {
+            for edge in graph.row(i) {
+                let j = edge.target as usize;
+                prop_assert!(j < n);
+                prop_assert!(
+                    (graph.attraction_in(edge) - dense[j * n + i]).abs() < 1e-12,
+                    "edge ({i},{j})"
+                );
             }
         }
     }
