@@ -12,7 +12,7 @@ use geoplace_dcsim::engine::Scenario;
 use geoplace_network::{BerDistribution, LatencyModel, Topology, TrafficMatrix};
 use geoplace_types::time::TimeSlot;
 use geoplace_types::units::{Gigabytes, Joules, Megabytes, Seconds};
-use geoplace_types::{DcId, VmArena};
+use geoplace_types::{DcId, Exec, Parallelism, VmArena};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::fleet::{FleetConfig, VmFleet};
 use geoplace_workload::sparsity::SparsityConfig;
@@ -101,6 +101,46 @@ fn bench_slot_step_dense_vs_sparse(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+}
+
+/// Multi-core scaling of the sparse slot step (CSR correlation build +
+/// traffic graph + force layout) at the paper (~1,200) and stress
+/// (~10,000) fleet sizes, at 1/2/4/8 worker threads. The determinism
+/// contract makes every row compute the identical result — only the
+/// wall clock may move. The acceptance bar: ≥ 2.5× at 8 threads for
+/// n = 10,000 on an 8-core host.
+fn bench_slot_step_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_step_threads");
+    for (label, groups) in [("1200", 400u32), ("10000", 3333)] {
+        let fleet = fleet_of(groups);
+        let windows = fleet.windows(TimeSlot(0));
+        let n = windows.len();
+        let arena = VmArena::from_ids(windows.ids());
+        let sparsity = SparsityConfig::default();
+        for threads in [1usize, 2, 4, 8] {
+            let exec = Exec::new(Parallelism::Threads(threads));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{threads}t"), format!("{label}(n={n})")),
+                &windows,
+                |b, w| {
+                    b.iter(|| {
+                        let cpu =
+                            geoplace_workload::cpucorr::CpuCorrelationMatrix::compute_sparse_exec(
+                                w,
+                                geoplace_workload::cpucorr::CorrelationMetric::PeakCoincidence,
+                                &sparsity,
+                                exec,
+                            );
+                        let traffic = fleet.data_correlation().traffic_graph_exec(&arena, exec);
+                        let mut layout =
+                            ForceLayout::new(ForceLayoutConfig::default(), 1).with_exec(exec);
+                        layout.update(&arena, &cpu, &traffic).len()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -235,6 +275,7 @@ criterion_group!(
     bench_correlation,
     bench_force_layout,
     bench_slot_step_dense_vs_sparse,
+    bench_slot_step_thread_scaling,
     bench_kmeans,
     bench_local_allocation,
     bench_algorithm1_latency,

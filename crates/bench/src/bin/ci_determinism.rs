@@ -1,7 +1,10 @@
 //! CI determinism gate: runs the bench-scale scenario twice with the same
 //! seed — once per policy under test, once with the sparse pipeline
 //! forced — and fails loudly if any pair of reports differs anywhere
-//! (totals, hourly records, per-DC energy).
+//! (totals, hourly records, per-DC energy). A second gate sweeps the
+//! executor: the same seed at 1, 2 and 8 worker threads (dense and
+//! sparse paths) must produce bit-identical reports — the determinism
+//! contract of `geoplace_types::exec` enforced end to end.
 //!
 //! Same-seed bitwise reproducibility is a hard project invariant (every
 //! repro figure and the dense↔sparse agreement bounds depend on it), and
@@ -9,7 +12,10 @@
 
 use geoplace_bench::scenario::{run_policy, run_proposed_with, stress_proposed_config};
 use geoplace_bench::{seed_from_args, PolicyKind, Scale};
+use geoplace_core::ProposedConfig;
+use geoplace_dcsim::config::ScenarioConfig;
 use geoplace_dcsim::metrics::SimulationReport;
+use geoplace_types::Parallelism;
 
 fn check(label: &str, a: &SimulationReport, b: &SimulationReport) -> bool {
     if a == b {
@@ -31,6 +37,27 @@ fn check(label: &str, a: &SimulationReport, b: &SimulationReport) -> bool {
     }
 }
 
+/// Runs `config` under the Proposed policy with both the engine's and
+/// the policy's kernels pinned to `threads` workers.
+fn run_at(config: &ScenarioConfig, proposed: ProposedConfig, threads: usize) -> SimulationReport {
+    let mut config = config.clone();
+    config.parallelism = Parallelism::Threads(threads);
+    let mut proposed = proposed;
+    proposed.parallelism = Parallelism::Threads(threads);
+    run_proposed_with(&config, proposed)
+}
+
+/// The multi-thread gate: `threads ∈ {1, 2, 8}` must be bit-identical.
+fn check_thread_sweep(label: &str, config: &ScenarioConfig, proposed: ProposedConfig) -> bool {
+    let reference = run_at(config, proposed, 1);
+    let mut ok = true;
+    for threads in [2usize, 8] {
+        let report = run_at(config, proposed, threads);
+        ok &= check(&format!("{label} @{threads}t ≡ @1t"), &reference, &report);
+    }
+    ok
+}
+
 fn main() {
     let seed = seed_from_args();
     let config = Scale::Bench.config(seed);
@@ -44,14 +71,23 @@ fn main() {
 
     // The sparse pipeline must be deterministic too: force it at bench
     // scale (Auto would stay dense down here).
-    let mut sparse_config = config;
+    let mut sparse_config = config.clone();
     sparse_config.sparsity = sparse_config.sparsity.sparse();
     let first = run_proposed_with(&sparse_config, stress_proposed_config());
     let second = run_proposed_with(&sparse_config, stress_proposed_config());
     ok &= check("Proposed (sparse)", &first, &second);
 
+    // Thread-count invariance, dense and sparse: any worker count must
+    // reproduce the single-threaded report bit for bit.
+    ok &= check_thread_sweep("Proposed (dense)", &config, ProposedConfig::default());
+    ok &= check_thread_sweep(
+        "Proposed (sparse)",
+        &sparse_config,
+        stress_proposed_config(),
+    );
+
     if !ok {
         std::process::exit(1);
     }
-    println!("determinism gate passed (seed {seed})");
+    println!("determinism gate passed (seed {seed}, threads {{1, 2, 8}})");
 }

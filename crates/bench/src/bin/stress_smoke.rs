@@ -1,11 +1,17 @@
 //! Stress-scale smoke: drives the ≈10,000-VM, 3-site scenario through the
-//! sparse slot pipeline and reports per-slot wall time. `--slots N` clips
-//! the horizon (CI runs a few slots; the default is the full day).
+//! sparse slot pipeline once per worker-thread count and reports per-slot
+//! wall time for each, so slot-step perf regressions are visible straight
+//! in CI logs. The per-thread reports must be bit-identical (the executor
+//! determinism contract at stress scale). `--slots N` clips the horizon
+//! (CI runs a few slots; the default is the full day); `--threads N` pins
+//! a single worker count instead of the default {1, 2, 8} sweep.
 
 use geoplace_bench::scenario::stress_proposed_config;
 use geoplace_bench::{flag_from_args, seed_from_args, Scale};
 use geoplace_core::ProposedPolicy;
 use geoplace_dcsim::engine::{Scenario, Simulator};
+use geoplace_dcsim::metrics::SimulationReport;
+use geoplace_types::Parallelism;
 use std::time::Instant;
 
 fn main() {
@@ -14,28 +20,51 @@ fn main() {
     if let Some(slots) = flag_from_args::<u32>("--slots") {
         config.horizon_slots = slots.max(1);
     }
-    let build_start = Instant::now();
-    let scenario = Scenario::build(&config).expect("stress scenario must be valid");
-    let initial_vms = scenario.fleet.active().len();
-    println!(
-        "stress world built in {:.2?}: {} initial VMs, {} servers, {} slots",
-        build_start.elapsed(),
-        initial_vms,
-        config.dcs.iter().map(|d| d.servers).sum::<u32>(),
-        config.horizon_slots
-    );
+    let thread_counts: Vec<usize> = match flag_from_args::<usize>("--threads") {
+        Some(threads) => vec![threads.max(1)],
+        None => vec![1, 2, 8],
+    };
 
-    let run_start = Instant::now();
-    let mut policy = ProposedPolicy::new(stress_proposed_config());
-    let report = Simulator::new(scenario).run(&mut policy);
-    let elapsed = run_start.elapsed();
-    let totals = report.totals();
-    println!(
-        "ran {} slots in {:.2?} ({:.2?}/slot)",
-        report.hourly.len(),
-        elapsed,
-        elapsed / report.hourly.len().max(1) as u32
-    );
+    let mut reports: Vec<(usize, SimulationReport)> = Vec::new();
+    for (index, &threads) in thread_counts.iter().enumerate() {
+        let mut run_config = config.clone();
+        run_config.parallelism = Parallelism::Threads(threads);
+        let mut proposed = stress_proposed_config();
+        proposed.parallelism = Parallelism::Threads(threads);
+        let build_start = Instant::now();
+        let scenario = Scenario::build(&run_config).expect("stress scenario must be valid");
+        if index == 0 {
+            println!(
+                "stress world built in {:.2?}: {} initial VMs, {} servers, {} slots",
+                build_start.elapsed(),
+                scenario.fleet.active().len(),
+                run_config.dcs.iter().map(|d| d.servers).sum::<u32>(),
+                run_config.horizon_slots
+            );
+        }
+        let run_start = Instant::now();
+        let mut policy = ProposedPolicy::new(proposed);
+        let report = Simulator::new(scenario).run(&mut policy);
+        let elapsed = run_start.elapsed();
+        println!(
+            "threads {threads}: ran {} slots in {:.2?} ({:.2?}/slot)",
+            report.hourly.len(),
+            elapsed,
+            elapsed / report.hourly.len().max(1) as u32
+        );
+        reports.push((threads, report));
+    }
+
+    let (_, reference) = &reports[0];
+    for (threads, report) in &reports[1..] {
+        assert_eq!(
+            report, reference,
+            "stress run at {threads} threads diverged from {} threads",
+            reports[0].0
+        );
+    }
+
+    let totals = reference.totals();
     println!(
         "cost {:.2} EUR, energy {:.3} GJ, migrations {}, worst rt {:.1} s, \
          peak active VMs {}",
@@ -43,7 +72,7 @@ fn main() {
         totals.energy_gj,
         totals.migrations,
         totals.worst_response_s,
-        report
+        reference
             .hourly
             .iter()
             .map(|h| h.active_vms)
@@ -54,5 +83,8 @@ fn main() {
         totals.energy_gj.is_finite() && totals.energy_gj > 0.0,
         "stress run produced non-finite energy"
     );
+    if thread_counts.len() > 1 {
+        println!("per-thread reports bit-identical across {thread_counts:?} workers");
+    }
     println!("stress smoke passed (seed {seed})");
 }

@@ -116,10 +116,15 @@ const SPARSE_SCALE_PROBE_LIMIT: usize = 32;
 /// logic everywhere, but fleets large enough for the sparse pipeline
 /// (per the scenario's own crossover) also bound the local packer's
 /// window probes so the per-slot cost stays O(n·(servers + limit·w)).
-/// Every harness entry point (`run_policy`, `run_all`, the repro
-/// binaries' `--stress`/`--paper` scales) routes through this.
+/// The scenario's [`Parallelism`](geoplace_types::Parallelism) setting
+/// carries over so the engine's and the policy's kernels share one
+/// thread budget. Every harness entry point (`run_policy`, `run_all`,
+/// the repro binaries' `--stress`/`--paper` scales) routes through this.
 pub fn proposed_config_for(config: &ScenarioConfig) -> ProposedConfig {
-    let mut proposed = ProposedConfig::default();
+    let mut proposed = ProposedConfig {
+        parallelism: config.parallelism,
+        ..ProposedConfig::default()
+    };
     let expected = config.fleet.arrivals.expected_population() as usize;
     if config.sparsity.use_sparse(expected) {
         proposed.local.probe_limit = SPARSE_SCALE_PROBE_LIMIT;

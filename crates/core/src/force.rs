@@ -47,7 +47,7 @@
 //! VM ids, so the layout is invariant to how the caller enumerated the
 //! fleet.
 
-use geoplace_types::{VmArena, VmId};
+use geoplace_types::{Exec, VmArena, VmId};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::graph::TrafficGraph;
 use serde::{Deserialize, Serialize};
@@ -126,6 +126,9 @@ struct Scratch {
     cell_sum_x: Vec<f64>,
     cell_sum_y: Vec<f64>,
     cell_of: Vec<u32>,
+    /// Per-VM clamped displacements of one iteration — filled by the
+    /// parallel force workers (disjoint per-VM writes), applied serially.
+    steps: Vec<(f64, f64)>,
 }
 
 /// One undirected Eq. 7 edge with its combined force weight
@@ -189,10 +192,12 @@ pub struct ForceLayout {
     /// Iterations executed by the most recent [`ForceLayout::update`].
     last_iterations: usize,
     scratch: Scratch,
+    exec: Exec,
 }
 
 impl ForceLayout {
     /// Creates an empty layout; `seed` scatters the initial positions.
+    /// Kernels run single-threaded — see [`ForceLayout::with_exec`].
     pub fn new(config: ForceLayoutConfig, seed: u64) -> Self {
         ForceLayout {
             config,
@@ -200,7 +205,18 @@ impl ForceLayout {
             seed,
             last_iterations: 0,
             scratch: Scratch::default(),
+            exec: Exec::serial(),
         }
+    }
+
+    /// Fans the per-VM force accumulation out over an execution context.
+    /// Each VM's resultant is an independent pure function of the
+    /// previous iteration's positions (the update is Jacobi-style), and
+    /// the Eq. 7 stopping sums stay on the calling thread, so every
+    /// thread count walks the identical iteration trajectory.
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The configuration.
@@ -281,6 +297,9 @@ impl ForceLayout {
         let ids = arena.ids();
         let n = ids.len();
         let alpha = self.config.alpha;
+        let seed = self.seed;
+        let max_step = self.config.max_step;
+        let exec = self.exec;
         let scratch = &mut self.scratch;
         let pairs = n * (n - 1) / 2;
         scratch.pair_dist.clear();
@@ -289,42 +308,59 @@ impl ForceLayout {
         scratch.pair_dist_next.resize(pairs, 0.0);
 
         fill_pair_distances(&scratch.points, &mut scratch.pair_dist);
+        scratch.steps.clear();
+        scratch.steps.resize(n, (0.0, 0.0));
         let mut prev_cost: Option<f64> = None;
         let scale = displacement_scale(&self.config, n);
         let mut iterations = 0;
         for k in 0..self.config.max_iterations {
             iterations = k + 1;
+            // Per-VM resultants fan out across the workers into the
+            // reusable steps scratch (disjoint per-VM writes); each VM
+            // reads only the previous iteration's positions, so this is a
+            // pure map and thread-count invariant — and allocation-free
+            // in steady state.
+            {
+                let Scratch {
+                    points,
+                    order,
+                    steps,
+                    ..
+                } = &mut *scratch;
+                let points = &*points;
+                let order = &*order;
+                exec.map_mut(steps, |i, step| {
+                    let here = points[i];
+                    let id_i = ids[i];
+                    let mut fx = 0.0;
+                    let mut fy = 0.0;
+                    // Repulsion from every other VM (Eq. 5, weight
+                    // (1−α)·Corr_cpu), summed in VM-id order.
+                    for &jj in order {
+                        let j = jj as usize;
+                        if j == i {
+                            continue;
+                        }
+                        let f = (1.0 - alpha) * f64::from(cpu_corr.at(i, j));
+                        let (dx, dy) = direction(points[j], here, seed, pair_tie(id_i, ids[j]));
+                        fx += f * dx;
+                        fy += f * dy;
+                    }
+                    // Attraction only from communicating partners (rows
+                    // are id-sorted already).
+                    for edge in traffic.row(i) {
+                        let j = edge.target as usize;
+                        let f = alpha * traffic.attraction_in(edge);
+                        let (dx, dy) = direction(points[j], here, seed, pair_tie(id_i, ids[j]));
+                        fx += f * dx;
+                        fy += f * dy;
+                    }
+                    *step = clamp_step(fx * scale, fy * scale, max_step);
+                });
+            }
             scratch.next.clear();
             scratch.next.extend_from_slice(&scratch.points);
-            for i in 0..n {
-                let here = scratch.points[i];
-                let id_i = ids[i];
-                let mut fx = 0.0;
-                let mut fy = 0.0;
-                // Repulsion from every other VM (Eq. 5, weight
-                // (1−α)·Corr_cpu), summed in VM-id order.
-                for &jj in &scratch.order {
-                    let j = jj as usize;
-                    if j == i {
-                        continue;
-                    }
-                    let f = (1.0 - alpha) * f64::from(cpu_corr.at(i, j));
-                    let (dx, dy) =
-                        direction(scratch.points[j], here, self.seed, pair_tie(id_i, ids[j]));
-                    fx += f * dx;
-                    fy += f * dy;
-                }
-                // Attraction only from communicating partners (rows are
-                // id-sorted already).
-                for edge in traffic.row(i) {
-                    let j = edge.target as usize;
-                    let f = alpha * traffic.attraction_in(edge);
-                    let (dx, dy) =
-                        direction(scratch.points[j], here, self.seed, pair_tie(id_i, ids[j]));
-                    fx += f * dx;
-                    fy += f * dy;
-                }
-                let (step_x, step_y) = clamp_step(fx * scale, fy * scale, self.config.max_step);
+            for (i, &(step_x, step_y)) in scratch.steps.iter().enumerate() {
                 scratch.next[i].x += step_x;
                 scratch.next[i].y += step_y;
             }
@@ -373,6 +409,9 @@ impl ForceLayout {
         let ids = arena.ids();
         let n = ids.len();
         let alpha = self.config.alpha;
+        let seed = self.seed;
+        let max_step = self.config.max_step;
+        let exec = self.exec;
         let baseline = f64::from(cpu_corr.baseline());
         let grid_dim = self.config.grid_dim.max(1);
         let cells = grid_dim * grid_dim;
@@ -435,6 +474,8 @@ impl ForceLayout {
         scratch.cell_sum_x.resize(cells, 0.0);
         scratch.cell_sum_y.resize(cells, 0.0);
         scratch.cell_of.resize(n, 0);
+        scratch.steps.clear();
+        scratch.steps.resize(n, (0.0, 0.0));
 
         let mut prev_cost: Option<f64> = None;
         let scale = displacement_scale(&self.config, n);
@@ -468,58 +509,80 @@ impl ForceLayout {
                 scratch.cell_sum_y[cell] += p.y;
             }
 
+            // Per-VM resultants fan out across the workers into the
+            // reusable steps scratch (pure map over the previous
+            // positions and the frozen grid — thread-count invariant,
+            // see `update_dense` — and allocation-free in steady state).
+            {
+                let Scratch {
+                    points,
+                    cell_count,
+                    cell_sum_x,
+                    cell_sum_y,
+                    cell_of,
+                    steps,
+                    ..
+                } = &mut *scratch;
+                let points = &*points;
+                let cell_count = &*cell_count;
+                let cell_sum_x = &*cell_sum_x;
+                let cell_sum_y = &*cell_sum_y;
+                let cell_of = &*cell_of;
+                exec.map_mut(steps, |i, step| {
+                    let here = points[i];
+                    let id_i = ids[i];
+                    let mut fx = 0.0;
+                    let mut fy = 0.0;
+                    // Far field: every VM repels from each populated
+                    // cell's centroid at the baseline correlation (own
+                    // contribution excluded from the home cell).
+                    for cell in 0..cells {
+                        let mut count = cell_count[cell];
+                        let mut sum_x = cell_sum_x[cell];
+                        let mut sum_y = cell_sum_y[cell];
+                        if cell_of[i] as usize == cell {
+                            count -= 1;
+                            sum_x -= here.x;
+                            sum_y -= here.y;
+                        }
+                        if count == 0 {
+                            continue;
+                        }
+                        let centroid = Point {
+                            x: sum_x / f64::from(count),
+                            y: sum_y / f64::from(count),
+                        };
+                        let f = (1.0 - alpha) * baseline * f64::from(count);
+                        let tie = (u64::from(id_i.0) << 32) | cell as u64;
+                        let (dx, dy) = direction(centroid, here, seed, tie);
+                        fx += f * dx;
+                        fy += f * dy;
+                    }
+                    // Near field: the retained top-k neighbors, corrected
+                    // for the baseline the far field already applied to
+                    // them.
+                    for &(j, w) in cpu_corr.neighbors(i) {
+                        let f = (1.0 - alpha) * (f64::from(w) - baseline);
+                        let there = points[j as usize];
+                        let (dx, dy) =
+                            direction(there, here, seed, pair_tie(id_i, ids[j as usize]));
+                        fx += f * dx;
+                        fy += f * dy;
+                    }
+                    // Attraction from communicating partners.
+                    for edge in traffic.row(i) {
+                        let j = edge.target as usize;
+                        let f = alpha * traffic.attraction_in(edge);
+                        let (dx, dy) = direction(points[j], here, seed, pair_tie(id_i, ids[j]));
+                        fx += f * dx;
+                        fy += f * dy;
+                    }
+                    *step = clamp_step(fx * scale, fy * scale, max_step);
+                });
+            }
             scratch.next.clear();
             scratch.next.extend_from_slice(&scratch.points);
-            for i in 0..n {
-                let here = scratch.points[i];
-                let id_i = ids[i];
-                let mut fx = 0.0;
-                let mut fy = 0.0;
-                // Far field: every VM repels from each populated cell's
-                // centroid at the baseline correlation (own contribution
-                // excluded from the home cell).
-                for cell in 0..cells {
-                    let mut count = scratch.cell_count[cell];
-                    let mut sum_x = scratch.cell_sum_x[cell];
-                    let mut sum_y = scratch.cell_sum_y[cell];
-                    if scratch.cell_of[i] as usize == cell {
-                        count -= 1;
-                        sum_x -= here.x;
-                        sum_y -= here.y;
-                    }
-                    if count == 0 {
-                        continue;
-                    }
-                    let centroid = Point {
-                        x: sum_x / f64::from(count),
-                        y: sum_y / f64::from(count),
-                    };
-                    let f = (1.0 - alpha) * baseline * f64::from(count);
-                    let tie = (u64::from(id_i.0) << 32) | cell as u64;
-                    let (dx, dy) = direction(centroid, here, self.seed, tie);
-                    fx += f * dx;
-                    fy += f * dy;
-                }
-                // Near field: the retained top-k neighbors, corrected for
-                // the baseline the far field already applied to them.
-                for &(j, w) in cpu_corr.neighbors(i) {
-                    let f = (1.0 - alpha) * (f64::from(w) - baseline);
-                    let there = scratch.points[j as usize];
-                    let (dx, dy) =
-                        direction(there, here, self.seed, pair_tie(id_i, ids[j as usize]));
-                    fx += f * dx;
-                    fy += f * dy;
-                }
-                // Attraction from communicating partners.
-                for edge in traffic.row(i) {
-                    let j = edge.target as usize;
-                    let f = alpha * traffic.attraction_in(edge);
-                    let (dx, dy) =
-                        direction(scratch.points[j], here, self.seed, pair_tie(id_i, ids[j]));
-                    fx += f * dx;
-                    fy += f * dy;
-                }
-                let (step_x, step_y) = clamp_step(fx * scale, fy * scale, self.config.max_step);
+            for (i, &(step_x, step_y)) in scratch.steps.iter().enumerate() {
                 scratch.next[i].x += step_x;
                 scratch.next[i].y += step_y;
             }
@@ -870,6 +933,55 @@ mod tests {
         for ((vm_a, p_a), (vm_b, p_b)) in a.iter().zip(b.iter()) {
             assert_eq!(vm_a, vm_b);
             assert_eq!((p_a.x, p_a.y), (p_b.x, p_b.y), "{vm_a} moved");
+        }
+    }
+
+    #[test]
+    fn layout_is_thread_count_invariant() {
+        use geoplace_types::Parallelism;
+        // Bit-identical final positions at every thread count, dense and
+        // sparse — the executor contract applied to the layout.
+        let (rows, _) = permuted_rows();
+        for sparse in [false, true] {
+            let run = |threads: usize| {
+                let windows = UtilizationWindows::from_rows(rows.clone());
+                let cpu = if sparse {
+                    CpuCorrelationMatrix::compute_sparse(
+                        &windows,
+                        &SparsityConfig {
+                            top_k: 4,
+                            peak_buckets: 6,
+                            candidates_per_vm: 12,
+                            baseline_samples: 128,
+                            ..SparsityConfig::default()
+                        },
+                    )
+                } else {
+                    CpuCorrelationMatrix::compute(&windows)
+                };
+                let data = DataCorrelation::new(DataCorrelationConfig::default());
+                let arena = VmArena::from_ids(windows.ids());
+                let traffic = data.traffic_graph(&arena);
+                let mut layout = ForceLayout::new(ForceLayoutConfig::default(), 11)
+                    .with_exec(Exec::new(Parallelism::Threads(threads)));
+                let points = layout.update(&arena, &cpu, &traffic).to_vec();
+                (points, layout.last_iterations())
+            };
+            let (reference, reference_iterations) = run(1);
+            for threads in [2usize, 3, 8] {
+                let (points, iterations) = run(threads);
+                assert_eq!(
+                    iterations, reference_iterations,
+                    "sparse={sparse} t={threads}"
+                );
+                for (p, q) in points.iter().zip(reference.iter()) {
+                    assert_eq!(
+                        (p.x.to_bits(), p.y.to_bits()),
+                        (q.x.to_bits(), q.y.to_bits()),
+                        "sparse={sparse} t={threads}"
+                    );
+                }
+            }
         }
     }
 

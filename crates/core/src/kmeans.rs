@@ -16,6 +16,7 @@
 
 use crate::force::Point;
 use geoplace_types::units::Joules;
+use geoplace_types::Exec;
 use serde::{Deserialize, Serialize};
 
 /// Result of one clustering pass.
@@ -83,6 +84,23 @@ pub fn kmeans(
     warm_centroids: Option<&[Point]>,
     config: KMeansConfig,
 ) -> Clustering {
+    kmeans_exec(points, loads, caps, warm_centroids, config, Exec::serial())
+}
+
+/// [`kmeans`] on an execution context: the per-iteration point↔centroid
+/// distance matrix fans out across the worker threads. The capacity-
+/// greedy assignment pass itself is inherently sequential (each choice
+/// consumes cluster capacity) and stays on the calling thread reading
+/// the precomputed distances, so every thread count produces the
+/// identical clustering.
+pub fn kmeans_exec(
+    points: &[Point],
+    loads: &[Joules],
+    caps: &[Joules],
+    warm_centroids: Option<&[Point]>,
+    config: KMeansConfig,
+    exec: Exec,
+) -> Clustering {
     assert_eq!(points.len(), loads.len(), "points/loads length mismatch");
     assert!(!caps.is_empty(), "need at least one cluster");
     let k = caps.len();
@@ -107,8 +125,26 @@ pub fn kmeans(
     let mut assignment = vec![0usize; n];
     let mut cluster_load = vec![Joules::ZERO; k];
     let mut iterations = 0;
+    let mut distances: Vec<f64> = Vec::with_capacity(n * k);
     for iteration in 0..config.max_iterations.max(1) {
         iterations = iteration + 1;
+        // All point↔centroid distances of this iteration, in parallel —
+        // each entry is a pure function of one point and the frozen
+        // centroids, so the matrix is thread-count invariant.
+        {
+            let centroids_ref = &centroids;
+            let rows = exec.map_chunks(n, |range| {
+                let mut chunk = Vec::with_capacity(range.len() * k);
+                for i in range {
+                    for c in centroids_ref.iter() {
+                        chunk.push(points[i].distance(c));
+                    }
+                }
+                chunk
+            });
+            distances.clear();
+            rows.into_iter().for_each(|chunk| distances.extend(chunk));
+        }
         let mut next = vec![usize::MAX; n];
         let mut load = vec![Joules::ZERO; k];
         for &i in &order {
@@ -119,7 +155,7 @@ pub fn kmeans(
                 if !fits {
                     continue;
                 }
-                let d = points[i].distance(&centroids[c]);
+                let d = distances[i * k + c];
                 if d < best {
                     best = d;
                     chosen = Some(c);
@@ -338,6 +374,31 @@ mod tests {
         let a = kmeans(&points, &loads, &caps, None, KMeansConfig::default());
         let b = kmeans(&points, &loads, &caps, None, KMeansConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kmeans_is_thread_count_invariant() {
+        use geoplace_types::Parallelism;
+        let points: Vec<Point> = (0..300)
+            .map(|i| Point {
+                x: f64::from(i % 23) + f64::from(i) * 0.01,
+                y: f64::from(i % 17) - f64::from(i) * 0.003,
+            })
+            .collect();
+        let loads: Vec<Joules> = (0..300).map(|i| Joules(1.0 + f64::from(i % 7))).collect();
+        let caps = vec![Joules(400.0), Joules(400.0), Joules(400.0)];
+        let reference = kmeans(&points, &loads, &caps, None, KMeansConfig::default());
+        for threads in [1usize, 2, 8] {
+            let clustered = kmeans_exec(
+                &points,
+                &loads,
+                &caps,
+                None,
+                KMeansConfig::default(),
+                Exec::new(Parallelism::Threads(threads)),
+            );
+            assert_eq!(clustered, reference, "t={threads}");
+        }
     }
 
     #[test]

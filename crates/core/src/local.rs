@@ -99,11 +99,16 @@ pub fn allocate(
             }
             // Peak sums overlap the capacity: only a full window scan can
             // tell whether the peaks actually coincide — the expensive
-            // probe the limit meters.
-            if probes >= config.probe_limit {
+            // probe the limit meters. Count the in-flight probe first,
+            // then compare inclusively: exactly `probe_limit` scans run
+            // in full before the cheap bound takes over, an in-flight
+            // probe is never abandoned, and `usize::MAX` reproduces the
+            // unbounded first-fit scan exactly (all of which the
+            // regression tests below pin down).
+            probes += 1;
+            if probes > config.probe_limit {
                 continue;
             }
-            probes += 1;
             let combined_peak = server
                 .aggregate
                 .iter()
@@ -283,6 +288,152 @@ mod tests {
             LocalAllocConfig::default(),
         );
         assert_eq!(a, b);
+    }
+
+    /// Reference first-fit with *no* probe metering at all: every
+    /// candidate server gets the full window scan. `probe_limit =
+    /// usize::MAX` must reproduce this placement exactly — the
+    /// regression guard for the probe-boundary accounting.
+    fn unbounded_reference(
+        positions: &[usize],
+        snapshot: &geoplace_dcsim::snapshot::SystemSnapshot<'_>,
+        model: &geoplace_dcsim::power::ServerPowerModel,
+        max_servers: u32,
+        config: LocalAllocConfig,
+    ) -> Vec<ServerAssignment> {
+        let width = snapshot.windows.width();
+        let capacity = model.capacity_cores(model.max_level()) * config.utilization_threshold;
+        let mut order: Vec<(usize, f64)> = positions
+            .iter()
+            .map(|&p| (p, snapshot.peak_load(p)))
+            .collect();
+        order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut servers: Vec<OpenServer> = Vec::new();
+        for &(pos, _) in &order {
+            let load = snapshot.load_window(pos);
+            let chosen = servers.iter().position(|server| {
+                let combined_peak = server
+                    .aggregate
+                    .iter()
+                    .zip(load.iter())
+                    .map(|(a, b)| a + b)
+                    .fold(0.0f32, f32::max);
+                f64::from(combined_peak) <= capacity
+            });
+            let index = match chosen {
+                Some(index) => index,
+                None if (servers.len() as u32) < max_servers => {
+                    servers.push(OpenServer {
+                        aggregate: vec![0.0; width],
+                        peak: 0.0,
+                        vms: Vec::new(),
+                    });
+                    servers.len() - 1
+                }
+                None => servers
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.peak.partial_cmp(&b.peak).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap(),
+            };
+            let server = &mut servers[index];
+            for (aggregate, l) in server.aggregate.iter_mut().zip(load.iter()) {
+                *aggregate += l;
+            }
+            server.peak = server.aggregate.iter().copied().fold(0.0f32, f32::max);
+            server.vms.push(pos);
+        }
+        servers
+            .into_iter()
+            .enumerate()
+            .map(|(index, server)| ServerAssignment {
+                server: index as u32,
+                freq: model
+                    .min_level_for(f64::from(server.peak), 1.0 / config.utilization_threshold)
+                    .unwrap_or(model.max_level()),
+                vms: server.vms.iter().map(|&p| snapshot.vm_ids()[p]).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn max_probe_limit_matches_unbounded_scan_at_stress_scale() {
+        // A few hundred VMs with staggered diurnal peaks — enough open
+        // servers that the probe counter runs deep into the scan.
+        let n = 240usize;
+        let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
+            .map(|i| {
+                let phase = (i as usize * 7) % 48;
+                let row = (0..48)
+                    .map(|t| {
+                        let x = ((t + 48 - phase) % 48) as f32;
+                        0.1 + 0.85 * (-(x - 24.0).powi(2) / 40.0).exp()
+                    })
+                    .collect();
+                (i, row)
+            })
+            .collect();
+        let fixture = SnapshotFixture::new(rows, vec![4; n]);
+        let snapshot = fixture.snapshot();
+        let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
+        let positions: Vec<usize> = (0..n).collect();
+        let config = LocalAllocConfig {
+            probe_limit: usize::MAX,
+            ..LocalAllocConfig::default()
+        };
+        let bounded = allocate(&positions, &snapshot, &model, 400, config);
+        let reference = unbounded_reference(&positions, &snapshot, &model, 400, config);
+        assert_eq!(
+            bounded, reference,
+            "probe_limit = usize::MAX must reproduce the unbounded window scan"
+        );
+        assert_eq!(
+            bounded.iter().map(|s| s.vms.len()).sum::<usize>(),
+            n,
+            "every VM placed"
+        );
+    }
+
+    #[test]
+    fn probe_limit_boundary_scans_exactly_limit_candidates() {
+        // VMs 0/1 peak together (cheap bound and scan both refuse the
+        // pair); VM 2 is anti-correlated and fits VM 0's server — but
+        // only a window scan can prove it (its peak *sum* overflows).
+        // probe_limit = 0 must therefore strand VM 2 on a third server,
+        // while probe_limit = 1 must run that first in-flight probe to
+        // completion and consolidate — pinning the boundary semantics
+        // the count-first form makes explicit.
+        let rows = vec![
+            (0, vec![0.95, 0.95, 0.05, 0.05]),
+            (1, vec![0.95, 0.95, 0.05, 0.05]),
+            (2, vec![0.05, 0.05, 0.9, 0.9]),
+        ];
+        let fixture = SnapshotFixture::new(rows, vec![4, 4, 4]);
+        let snapshot = fixture.snapshot();
+        let model = geoplace_dcsim::power::ServerPowerModel::xeon_e5410();
+        let allocate_with = |limit: usize| {
+            allocate(
+                &[0, 1, 2],
+                &snapshot,
+                &model,
+                10,
+                LocalAllocConfig {
+                    probe_limit: limit,
+                    ..LocalAllocConfig::default()
+                },
+            )
+        };
+        assert_eq!(
+            allocate_with(0).len(),
+            3,
+            "probe_limit 0 must skip every window scan"
+        );
+        assert_eq!(
+            allocate_with(1).len(),
+            2,
+            "the first in-flight probe must run to completion"
+        );
     }
 
     #[test]

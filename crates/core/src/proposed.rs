@@ -17,14 +17,14 @@
 
 use crate::caps::{compute_caps, CapsConfig};
 use crate::force::{ForceLayout, ForceLayoutConfig, Point};
-use crate::kmeans::{kmeans, KMeansConfig};
+use crate::kmeans::{kmeans_exec, KMeansConfig};
 use crate::local::{allocate, LocalAllocConfig};
 use crate::migrate::{revise_migrations, VmPlacementInput};
 use geoplace_dcsim::decision::PlacementDecision;
 use geoplace_dcsim::policy::GlobalPolicy;
 use geoplace_dcsim::snapshot::SystemSnapshot;
 use geoplace_types::units::Joules;
-use geoplace_types::DcId;
+use geoplace_types::{DcId, Exec, Parallelism};
 use geoplace_workload::cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,6 +62,11 @@ pub struct ProposedConfig {
     /// [`CorrelationMetric::Pearson`] makes the policy recompute the
     /// matrix from the observed windows (comparison variant).
     pub repulsion_metric: CorrelationMetric,
+    /// Worker threads for the policy's kernels (force accumulation,
+    /// k-means distances, per-DC packing fan-out). Results are
+    /// bit-identical at every setting — the executor's determinism
+    /// contract — so this is a wall-clock knob only.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ProposedConfig {
@@ -75,6 +80,7 @@ impl Default for ProposedConfig {
             local: LocalAllocConfig::default(),
             seed: 0xC0FFEE,
             repulsion_metric: CorrelationMetric::PeakCoincidence,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -101,6 +107,7 @@ pub struct ProposedPolicy {
     layout: ForceLayout,
     prev_centroids: Option<Vec<Point>>,
     rng: StdRng,
+    exec: Exec,
 }
 
 impl ProposedPolicy {
@@ -112,10 +119,12 @@ impl ProposedPolicy {
             grid_dim: config.layout_grid_dim,
             ..ForceLayoutConfig::default()
         };
+        let exec = Exec::new(config.parallelism);
         ProposedPolicy {
-            layout: ForceLayout::new(layout_config, config.seed),
+            layout: ForceLayout::new(layout_config, config.seed).with_exec(exec),
             rng: StdRng::seed_from_u64(config.seed ^ 0x9E37),
             prev_centroids: None,
+            exec,
             config,
         }
     }
@@ -155,14 +164,16 @@ impl GlobalPolicy for ProposedPolicy {
                 // Mirror the engine's dense/sparse choice so the ablation
                 // compares metrics, not representations.
                 let pearson_matrix = match snapshot.cpu_corr.sparsity() {
-                    Some(sparsity) => CpuCorrelationMatrix::compute_sparse_with(
+                    Some(sparsity) => CpuCorrelationMatrix::compute_sparse_exec(
                         snapshot.windows,
                         CorrelationMetric::Pearson,
                         sparsity,
+                        self.exec,
                     ),
-                    None => CpuCorrelationMatrix::compute_with(
+                    None => CpuCorrelationMatrix::compute_exec(
                         snapshot.windows,
                         CorrelationMetric::Pearson,
+                        self.exec,
                     ),
                 };
                 self.layout
@@ -186,12 +197,13 @@ impl GlobalPolicy for ProposedPolicy {
                 *load = *load * scale;
             }
         }
-        let clustering = kmeans(
+        let clustering = kmeans_exec(
             points,
             &loads,
             &caps,
             self.prev_centroids.as_deref(),
             self.config.kmeans,
+            self.exec,
         );
         self.prev_centroids = Some(clustering.centroids.clone());
 
@@ -215,17 +227,30 @@ impl GlobalPolicy for ProposedPolicy {
             &mut self.rng,
         );
 
-        // Phase 2: correlation-aware local allocation per DC.
-        for dc_index in 0..n_dcs {
+        // Phase 2: correlation-aware local allocation, one DC per worker
+        // (chunk = one DC: each packing is an independent pure function
+        // of its member set, collected back in DC order).
+        let local_config = self.config.local;
+        let revised_ref = &revised;
+        let per_dc = self.exec.map_chunks_sized(n_dcs, 1, |range| {
+            range
+                .map(|dc_index| {
+                    let dc = DcId(dc_index as u16);
+                    let members: Vec<usize> = (0..n)
+                        .filter(|&i| revised_ref.dc_of[&ids[i]] == dc)
+                        .collect();
+                    allocate(
+                        &members,
+                        snapshot,
+                        &snapshot.dcs[dc_index].power_model,
+                        snapshot.dcs[dc_index].servers,
+                        local_config,
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for (dc_index, assignments) in per_dc.into_iter().flatten().enumerate() {
             let dc = DcId(dc_index as u16);
-            let members: Vec<usize> = (0..n).filter(|&i| revised.dc_of[&ids[i]] == dc).collect();
-            let assignments = allocate(
-                &members,
-                snapshot,
-                &snapshot.dcs[dc_index].power_model,
-                snapshot.dcs[dc_index].servers,
-                self.config.local,
-            );
             for assignment in assignments {
                 decision.push(dc, assignment);
             }

@@ -2,7 +2,7 @@
 //! network knobs.
 
 use crate::pue::{PueModel, SiteClimate};
-use geoplace_types::{Error, Result};
+use geoplace_types::{Error, Parallelism, Result};
 use geoplace_workload::fleet::FleetConfig;
 use geoplace_workload::sparsity::SparsityConfig;
 use serde::{Deserialize, Serialize};
@@ -88,6 +88,12 @@ pub struct ScenarioConfig {
     /// inter-DC data; without fatter pipes the response-time model
     /// saturates into meaninglessness.
     pub link_scale: f64,
+    /// Worker threads for the engine's per-slot kernels (correlation CSR
+    /// builds and the per-DC interval simulation). The executor's
+    /// determinism contract makes every setting produce bit-identical
+    /// reports — [`Parallelism::Serial`] exists for paper-repro runs
+    /// that must not even depend on the contract.
+    pub parallelism: Parallelism,
 }
 
 impl ScenarioConfig {
@@ -112,6 +118,7 @@ impl ScenarioConfig {
             pue: PueModel::default(),
             sparsity: SparsityConfig::default(),
             link_scale: 1.0,
+            parallelism: Parallelism::Auto,
         }
     }
 

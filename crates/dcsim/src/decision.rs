@@ -106,6 +106,20 @@ impl PlacementDecision {
         map
     }
 
+    /// The DC currently hosting a VM under this decision, or `None` if
+    /// the VM is not placed anywhere. Linear scan — meant for validation
+    /// and rollback assertions, not hot paths (those use [`Self::dc_of`]).
+    pub fn host_dc(&self, vm: VmId) -> Option<DcId> {
+        for (dc_index, servers) in self.per_dc.iter().enumerate() {
+            for assignment in servers {
+                if assignment.vms.contains(&vm) {
+                    return Some(DcId(dc_index as u16));
+                }
+            }
+        }
+        None
+    }
+
     /// Removes a VM from wherever the decision placed it; returns its
     /// former host DC, or `None` if the VM was not placed.
     ///

@@ -31,8 +31,8 @@ use geoplace_network::topology::{DcSite, Topology};
 use geoplace_network::traffic::TrafficMatrix;
 use geoplace_types::time::{TimeSlot, TICKS_PER_SLOT, TICK_SECONDS};
 use geoplace_types::units::{EurosPerKwh, GigabitsPerSecond, Gigabytes, Seconds};
-use geoplace_types::{DcId, Result, VmArena, VmId};
-use geoplace_workload::cpucorr::CpuCorrelationMatrix;
+use geoplace_types::{DcId, Exec, Result, VmArena, VmId};
+use geoplace_workload::cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
 use geoplace_workload::fleet::VmFleet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -148,6 +148,7 @@ impl Simulator {
     /// is a programming error in the policy, not a recoverable condition.
     pub fn run<P: GlobalPolicy>(mut self, policy: &mut P) -> SimulationReport {
         let n_dcs = self.scenario.dcs.len();
+        let exec = Exec::new(self.scenario.config.parallelism);
         let server_counts: Vec<u32> = self.scenario.dcs.iter().map(|d| d.config.servers).collect();
         let dvfs_levels = self.scenario.dcs[0].power_model.levels().len();
         let budget = latency_constraint_for_qos(self.scenario.config.qos);
@@ -166,9 +167,17 @@ impl Simulator {
             let obs_slot = slot.prev().unwrap_or(slot);
             let windows = self.scenario.fleet.windows(obs_slot);
             let arena = VmArena::from_ids(windows.ids());
-            let cpu_corr =
-                CpuCorrelationMatrix::compute_auto(&windows, &self.scenario.config.sparsity);
-            let traffic = self.scenario.fleet.data_correlation().traffic_graph(&arena);
+            let cpu_corr = CpuCorrelationMatrix::compute_auto_exec(
+                &windows,
+                CorrelationMetric::PeakCoincidence,
+                &self.scenario.config.sparsity,
+                exec,
+            );
+            let traffic = self
+                .scenario
+                .fleet
+                .data_correlation()
+                .traffic_graph_exec(&arena, exec);
             let vm_cores: Vec<u32> = windows
                 .ids()
                 .iter()
@@ -240,71 +249,107 @@ impl Simulator {
                     record.migrations += 1;
                     record.migration_volume_gb += size.0;
                 } else {
+                    // Budget overrun: the VM stays in its previous DC and
+                    // the rejected move must leave *no* trace — neither in
+                    // the decision nor in the volume ledger (only accepted
+                    // migrations incremented it above).
                     record.migration_overruns += 1;
-                    decision.remove_vm(vm);
+                    let removed_from = decision.remove_vm(vm);
+                    debug_assert_eq!(
+                        removed_from,
+                        Some(dest),
+                        "rejected {vm} was not placed at its requested destination"
+                    );
                     decision.force_host(prev, vm, server_counts[prev.index()], top_freq);
+                    debug_assert_eq!(
+                        decision.host_dc(vm),
+                        Some(prev),
+                        "rejected {vm} must be rolled back to its previous DC"
+                    );
                     new_dc.insert(vm, prev);
                 }
             }
+            // The clipped decision must still be a complete, structurally
+            // valid placement — every rejected VM exactly once, back in
+            // its previous DC, on an in-range server.
+            #[cfg(debug_assertions)]
+            if let Err(e) = decision.validate(&active, &server_counts, dvfs_levels) {
+                panic!("migration clipping corrupted the decision at {slot}: {e}");
+            }
 
-            // --- Interval simulation at tick resolution.
+            // --- Interval simulation at tick resolution, one DC per
+            // worker: a DC's tick loop touches only that DC's state
+            // (battery, forecaster, PV) plus shared read-only inputs.
+            // Outputs fold into the record in ascending DC order, so the
+            // accumulated totals are bit-identical to a serial loop at
+            // every thread count.
             record.active_vms = active.len() as u32;
             record.active_servers = decision.active_servers() as u32;
             let actual_windows = self.scenario.fleet.windows(slot);
-            for dc_index in 0..n_dcs {
-                let dc_id = DcId(dc_index as u16);
-                let it_power =
-                    self.dc_it_power(dc_id, &decision, &actual_windows, &vm_cores, &windows);
-                let pue = self.scenario.dcs[dc_index].pue_at(slot);
-                let level = self.scenario.dcs[dc_index].price.level(slot);
-                let price = self.scenario.dcs[dc_index].price.price_at(slot);
-                let mut it_energy = 0.0f64;
-                let mut total_energy = 0.0f64;
-                let mut grid_energy = 0.0f64;
-                let mut pv_used = 0.0f64;
-                let mut pv_curtailed = 0.0f64;
-                let mut battery_out = 0.0f64;
-                let mut pv_harvest = 0.0f64;
-                let dc = &mut self.scenario.dcs[dc_index];
-                // Forecast-aware arbitrage: reserve battery headroom for
-                // the PV the WCMA forecaster expects over the next 12 h,
-                // so cheap-hour grid charging cannot force daylight
-                // curtailment.
-                let pv_reserve: geoplace_types::units::Joules =
-                    (1..=12u32).map(|k| dc.forecaster.forecast(slot + k)).sum();
-                for (k, tick) in slot.ticks().enumerate() {
-                    let pv_power = dc.pv.power_at(tick);
-                    pv_harvest += pv_power.0 * TICK_SECONDS;
-                    let it = it_power[k];
-                    let demand = geoplace_types::units::Watts(it * pue);
-                    let out = self.green.step_with_reserve(
-                        pv_power,
-                        demand,
-                        level,
-                        &mut dc.battery,
-                        Seconds(TICK_SECONDS),
-                        pv_reserve,
+            let outputs = {
+                let green = &self.green;
+                let decision_ref = &decision;
+                let actual = &actual_windows;
+                let observed = &windows;
+                let cores = &vm_cores;
+                exec.map_mut(&mut self.scenario.dcs, |dc_index, dc| {
+                    let dc_id = DcId(dc_index as u16);
+                    let it_power = dc_it_power(
+                        &dc.power_model,
+                        dc_id,
+                        decision_ref,
+                        actual,
+                        cores,
+                        observed,
                     );
-                    it_energy += it * TICK_SECONDS;
-                    total_energy += demand.0 * TICK_SECONDS;
-                    grid_energy += out.grid.0 * TICK_SECONDS;
-                    pv_used += (out.pv_used.0 + out.pv_to_battery.0) * TICK_SECONDS;
-                    pv_curtailed += out.pv_curtailed.0 * TICK_SECONDS;
-                    battery_out += out.battery_to_load.0 * TICK_SECONDS;
-                }
-                let cost = cost_of_joules(price, grid_energy);
-                dc.forecaster
-                    .observe(slot, geoplace_types::units::Joules(pv_harvest));
-                dc.last_it_energy = geoplace_types::units::Joules(it_energy);
-                dc.last_total_energy = geoplace_types::units::Joules(total_energy);
-                record.cost_eur += cost;
-                record.it_energy_j += it_energy;
-                record.total_energy_j += total_energy;
-                record.grid_energy_j += grid_energy;
-                record.pv_used_j += pv_used;
-                record.pv_curtailed_j += pv_curtailed;
-                record.battery_discharge_j += battery_out;
-                report.per_dc_energy_gj[dc_index] += total_energy / 1e9;
+                    let pue = dc.pue_at(slot);
+                    let level = dc.price.level(slot);
+                    let price = dc.price.price_at(slot);
+                    let mut output = DcSlotOutput::default();
+                    let mut pv_harvest = 0.0f64;
+                    // Forecast-aware arbitrage: reserve battery headroom
+                    // for the PV the WCMA forecaster expects over the next
+                    // 12 h, so cheap-hour grid charging cannot force
+                    // daylight curtailment.
+                    let pv_reserve: geoplace_types::units::Joules =
+                        (1..=12u32).map(|k| dc.forecaster.forecast(slot + k)).sum();
+                    for (k, tick) in slot.ticks().enumerate() {
+                        let pv_power = dc.pv.power_at(tick);
+                        pv_harvest += pv_power.0 * TICK_SECONDS;
+                        let it = it_power[k];
+                        let demand = geoplace_types::units::Watts(it * pue);
+                        let out = green.step_with_reserve(
+                            pv_power,
+                            demand,
+                            level,
+                            &mut dc.battery,
+                            Seconds(TICK_SECONDS),
+                            pv_reserve,
+                        );
+                        output.it_energy += it * TICK_SECONDS;
+                        output.total_energy += demand.0 * TICK_SECONDS;
+                        output.grid_energy += out.grid.0 * TICK_SECONDS;
+                        output.pv_used += (out.pv_used.0 + out.pv_to_battery.0) * TICK_SECONDS;
+                        output.pv_curtailed += out.pv_curtailed.0 * TICK_SECONDS;
+                        output.battery_out += out.battery_to_load.0 * TICK_SECONDS;
+                    }
+                    output.cost = cost_of_joules(price, output.grid_energy);
+                    dc.forecaster
+                        .observe(slot, geoplace_types::units::Joules(pv_harvest));
+                    dc.last_it_energy = geoplace_types::units::Joules(output.it_energy);
+                    dc.last_total_energy = geoplace_types::units::Joules(output.total_energy);
+                    output
+                })
+            };
+            for (dc_index, output) in outputs.iter().enumerate() {
+                record.cost_eur += output.cost;
+                record.it_energy_j += output.it_energy;
+                record.total_energy_j += output.total_energy;
+                record.grid_energy_j += output.grid_energy;
+                record.pv_used_j += output.pv_used;
+                record.pv_curtailed_j += output.pv_curtailed;
+                record.battery_discharge_j += output.battery_out;
+                report.per_dc_energy_gj[dc_index] += output.total_energy / 1e9;
             }
 
             // --- Response time of the slot's inter-DC data traffic.
@@ -384,48 +429,6 @@ impl Simulator {
             .collect()
     }
 
-    /// IT power series (one value per tick) of one DC under `decision`,
-    /// using the *actual* utilization windows of the running slot.
-    fn dc_it_power(
-        &self,
-        dc: DcId,
-        decision: &PlacementDecision,
-        actual_windows: &geoplace_workload::window::UtilizationWindows,
-        vm_cores: &[u32],
-        observed_windows: &geoplace_workload::window::UtilizationWindows,
-    ) -> Vec<f64> {
-        let model = &self.scenario.dcs[dc.index()].power_model;
-        let width = actual_windows.width().max(1);
-        let mut power = vec![0.0f64; width];
-        for server in decision.dc_assignments(dc) {
-            if server.vms.is_empty() {
-                continue;
-            }
-            let mut load = vec![0.0f32; width];
-            for &vm in &server.vms {
-                // Cores are aligned with the *observed* windows' row order.
-                let cores = observed_windows
-                    .position(vm)
-                    .map(|pos| vm_cores[pos])
-                    .unwrap_or(1) as f32;
-                if let Some(row) = actual_windows.row(vm) {
-                    for (slot_load, &u) in load.iter_mut().zip(row.iter()) {
-                        *slot_load += u * cores;
-                    }
-                }
-            }
-            let point = model.levels()[server.freq.0];
-            let capacity = model.capacity_cores(server.freq) as f32;
-            let slope = point.full.0 - point.idle.0;
-            for (total, &l) in power.iter_mut().zip(load.iter()) {
-                let utilization = (l / capacity).clamp(0.0, 1.0) as f64;
-                *total += point.idle.0 + slope * utilization;
-            }
-        }
-        debug_assert_eq!(width, TICKS_PER_SLOT);
-        power
-    }
-
     /// Aggregates the fleet's pairwise volumes into a DC-level traffic
     /// matrix under the new assignment (sorted iteration for determinism).
     fn inter_dc_traffic(&self, dc_of: &HashMap<VmId, DcId>, n_dcs: usize) -> TrafficMatrix {
@@ -453,9 +456,69 @@ impl Simulator {
     }
 }
 
-/// Grid cost of an energy amount in joules at a kWh tariff.
+/// Per-slot accumulators of one DC's interval simulation, returned from
+/// the per-DC workers and folded into the hourly record in DC order.
+#[derive(Debug, Clone, Copy, Default)]
+struct DcSlotOutput {
+    cost: f64,
+    it_energy: f64,
+    total_energy: f64,
+    grid_energy: f64,
+    pv_used: f64,
+    pv_curtailed: f64,
+    battery_out: f64,
+}
+
+/// IT power series (one value per tick) of one DC under `decision`,
+/// using the *actual* utilization windows of the running slot. A free
+/// function (not a `Simulator` method) so the per-DC workers can call it
+/// while holding their DC mutably.
+fn dc_it_power(
+    model: &crate::power::ServerPowerModel,
+    dc: DcId,
+    decision: &PlacementDecision,
+    actual_windows: &geoplace_workload::window::UtilizationWindows,
+    vm_cores: &[u32],
+    observed_windows: &geoplace_workload::window::UtilizationWindows,
+) -> Vec<f64> {
+    let width = actual_windows.width().max(1);
+    let mut power = vec![0.0f64; width];
+    for server in decision.dc_assignments(dc) {
+        if server.vms.is_empty() {
+            continue;
+        }
+        let mut load = vec![0.0f32; width];
+        for &vm in &server.vms {
+            // Cores are aligned with the *observed* windows' row order.
+            let cores = observed_windows
+                .position(vm)
+                .map(|pos| vm_cores[pos])
+                .unwrap_or(1) as f32;
+            if let Some(row) = actual_windows.row(vm) {
+                for (slot_load, &u) in load.iter_mut().zip(row.iter()) {
+                    *slot_load += u * cores;
+                }
+            }
+        }
+        let point = model.levels()[server.freq.0];
+        let capacity = model.capacity_cores(server.freq) as f32;
+        let slope = point.full.0 - point.idle.0;
+        for (total, &l) in power.iter_mut().zip(load.iter()) {
+            let utilization = (l / capacity).clamp(0.0, 1.0) as f64;
+            *total += point.idle.0 + slope * utilization;
+        }
+    }
+    debug_assert_eq!(width, TICKS_PER_SLOT);
+    power
+}
+
+/// Grid cost of an energy amount in joules at a kWh tariff, clamped at
+/// zero draw: when PV plus battery over-cover a site the green
+/// controller's ledger can report (numerically) negative grid energy,
+/// and a negative energy bill must never credit the cost total — the
+/// model has no feed-in remuneration.
 fn cost_of_joules(price: EurosPerKwh, joules: f64) -> f64 {
-    price.0 * (joules / 3.6e6)
+    price.0 * (joules.max(0.0) / 3.6e6)
 }
 
 #[cfg(test)]
@@ -589,6 +652,111 @@ mod tests {
             "cross-DC data correlation must cost response time"
         );
         assert!(!report.response_samples.is_empty());
+    }
+
+    #[test]
+    fn cost_of_joules_charges_positive_energy_only() {
+        let tariff = EurosPerKwh(0.25);
+        // 3.6e6 J = 1 kWh.
+        assert!((cost_of_joules(tariff, 3.6e6) - 0.25).abs() < 1e-12);
+        // Over-covered site (PV/battery surplus): no negative bill.
+        assert_eq!(cost_of_joules(tariff, -3.6e6), 0.0);
+        assert_eq!(cost_of_joules(tariff, -1e-9), 0.0);
+        assert_eq!(cost_of_joules(tariff, 0.0), 0.0);
+    }
+
+    /// A policy that deliberately ping-pongs every VM between DCs each
+    /// slot, so every slot after the first requests a full-fleet
+    /// migration wave.
+    struct PingPong {
+        turn: usize,
+    }
+
+    impl GlobalPolicy for PingPong {
+        fn name(&self) -> &'static str {
+            "ping-pong"
+        }
+
+        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+            self.turn += 1;
+            let dc = DcId(((self.turn - 1) % 2) as u16);
+            let mut decision = PlacementDecision::new(snapshot.dc_count());
+            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
+                decision.push(
+                    dc,
+                    ServerAssignment {
+                        server: chunk_index as u32,
+                        freq: FreqLevel(1),
+                        vms: chunk.to_vec(),
+                    },
+                );
+            }
+            decision
+        }
+    }
+
+    #[test]
+    fn rejected_migrations_leave_no_trace() {
+        // QoS 1.0 ⇒ zero migration latency budget: every requested move
+        // must be rejected, rolled back to the previous DC, and leave the
+        // volume ledger untouched. No arrivals after slot 0 — a new VM
+        // has no previous DC and may legitimately start wherever the
+        // policy puts it, which would muddy the rollback assertion.
+        let mut config = tiny_config();
+        config.qos = 1.0;
+        config.fleet.arrivals.groups_per_slot = 0.0;
+        let scenario = Scenario::build(&config).unwrap();
+        let report = Simulator::new(scenario).run(&mut PingPong { turn: 0 });
+        let totals = report.totals();
+        assert_eq!(totals.migrations, 0, "zero budget admits no migration");
+        assert_eq!(
+            totals.migration_volume_gb, 0.0,
+            "rejected moves must not increment the volume ledger"
+        );
+        assert!(
+            totals.migration_overruns > 0,
+            "the ping-pong policy must actually have requested moves"
+        );
+        // Rollback kept every VM in DC 0 (the slot-0 placement): later
+        // slots keep burning energy there and nowhere else.
+        assert!(report.per_dc_energy_gj[0] > 0.0);
+        assert_eq!(report.per_dc_energy_gj[1], 0.0);
+    }
+
+    #[test]
+    fn accepted_migrations_account_volume_once() {
+        // Generous budget: the ping-pong wave executes; volume must equal
+        // the migrated VMs' memory sum exactly once per move (paired with
+        // the zero-budget test above, this pins both ledger directions).
+        let config = tiny_config();
+        let scenario = Scenario::build(&config).unwrap();
+        let report = Simulator::new(scenario).run(&mut PingPong { turn: 0 });
+        let totals = report.totals();
+        assert!(totals.migrations > 0, "budget admits the wave");
+        assert!(totals.migration_volume_gb > 0.0);
+        for hour in &report.hourly {
+            if hour.migrations == 0 {
+                assert_eq!(hour.migration_volume_gb, 0.0, "slot {}", hour.slot);
+            } else {
+                assert!(hour.migration_volume_gb > 0.0, "slot {}", hour.slot);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_thread_count_invariant() {
+        use geoplace_types::Parallelism;
+        let run = |threads: usize| {
+            let mut config = tiny_config();
+            config.parallelism = Parallelism::Threads(threads);
+            let scenario = Scenario::build(&config).unwrap();
+            Simulator::new(scenario).run(&mut RoundRobinDcs)
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            let report = run(threads);
+            assert_eq!(report, reference, "t={threads}");
+        }
     }
 
     #[test]

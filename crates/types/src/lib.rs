@@ -19,12 +19,14 @@
 
 pub mod arena;
 pub mod error;
+pub mod exec;
 pub mod ids;
 pub mod time;
 pub mod units;
 
 pub use arena::VmArena;
 pub use error::{Error, Result};
+pub use exec::{Exec, Parallelism};
 pub use ids::{DcId, ServerId, VmId};
 pub use time::{Tick, TimeSlot};
 pub use units::{Gigabytes, Joules, KilowattHours, Megabytes, Seconds, Watts};

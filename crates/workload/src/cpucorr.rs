@@ -32,7 +32,7 @@
 
 use crate::sparsity::SparsityConfig;
 use crate::window::{peak_of, UtilizationWindows};
-use geoplace_types::VmId;
+use geoplace_types::{Exec, VmId};
 
 /// Symmetric pairwise CPU-load correlation structure in `(0, 1]`.
 ///
@@ -99,13 +99,41 @@ impl CpuCorrelationMatrix {
     /// both yield values in `(0, 1]` with 1.0 meaning "worst co-location
     /// candidate".
     pub fn compute_with(windows: &UtilizationWindows, metric: CorrelationMetric) -> Self {
+        Self::compute_exec(windows, metric, Exec::serial())
+    }
+
+    /// [`CpuCorrelationMatrix::compute_with`] on an execution context:
+    /// rows are evaluated across the worker threads. Each matrix entry is
+    /// an independent pure function of two windows, so every thread count
+    /// produces the identical matrix.
+    pub fn compute_exec(
+        windows: &UtilizationWindows,
+        metric: CorrelationMetric,
+        exec: Exec,
+    ) -> Self {
         let n = windows.len();
         let mut values = vec![0.0f32; n * n];
         let peaks: Vec<f32> = (0..n).map(|i| peak_of(windows.row_at(i))).collect();
-        for i in 0..n {
+        // Upper-triangular row tails per chunk; the symmetric scatter is
+        // a cheap serial pass (no window scans).
+        let peaks_ref = &peaks;
+        let tails: Vec<Vec<f32>> = exec
+            .map_chunks(n, |range| {
+                range
+                    .map(|i| {
+                        ((i + 1)..n)
+                            .map(|j| pair_metric(windows, peaks_ref, i, j, metric))
+                            .collect::<Vec<f32>>()
+                    })
+                    .collect::<Vec<Vec<f32>>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        for (i, tail) in tails.iter().enumerate() {
             values[i * n + i] = 1.0;
-            for j in (i + 1)..n {
-                let c = pair_metric(windows, &peaks, i, j, metric);
+            for (offset, &c) in tail.iter().enumerate() {
+                let j = i + 1 + offset;
                 values[i * n + j] = c;
                 values[j * n + i] = c;
             }
@@ -129,10 +157,22 @@ impl CpuCorrelationMatrix {
         metric: CorrelationMetric,
         sparsity: &SparsityConfig,
     ) -> Self {
+        Self::compute_auto_exec(windows, metric, sparsity, Exec::serial())
+    }
+
+    /// [`CpuCorrelationMatrix::compute_auto_with`] on an execution
+    /// context (the representation choice is unaffected; only the row
+    /// evaluation fans out).
+    pub fn compute_auto_exec(
+        windows: &UtilizationWindows,
+        metric: CorrelationMetric,
+        sparsity: &SparsityConfig,
+        exec: Exec,
+    ) -> Self {
         if sparsity.use_sparse(windows.len()) {
-            Self::compute_sparse_with(windows, metric, sparsity)
+            Self::compute_sparse_exec(windows, metric, sparsity, exec)
         } else {
-            Self::compute_with(windows, metric)
+            Self::compute_exec(windows, metric, exec)
         }
     }
 
@@ -151,37 +191,62 @@ impl CpuCorrelationMatrix {
         metric: CorrelationMetric,
         sparsity: &SparsityConfig,
     ) -> Self {
+        Self::compute_sparse_exec(windows, metric, sparsity, Exec::serial())
+    }
+
+    /// [`CpuCorrelationMatrix::compute_sparse_with`] on an execution
+    /// context. The per-row peak scan and the top-k candidate evaluation
+    /// — the dominant slot-step cost at stress scale — fan out across
+    /// the worker threads; each row's retained list is an independent
+    /// pure function of the windows, and rows are concatenated back in
+    /// arena order, so every thread count builds the identical CSR and
+    /// baseline.
+    pub fn compute_sparse_exec(
+        windows: &UtilizationWindows,
+        metric: CorrelationMetric,
+        sparsity: &SparsityConfig,
+        exec: Exec,
+    ) -> Self {
         let n = windows.len();
         let ids = windows.ids().to_vec();
         let width = windows.width().max(1);
-        let peaks: Vec<f32> = (0..n).map(|i| peak_of(windows.row_at(i))).collect();
 
         // Peak-time screen: bucket rows by the tick of their first window
         // peak; coincident peaks land in the same or adjacent buckets.
+        // Peak value and peak tick come from one parallel row scan.
         let n_buckets = sparsity.peak_buckets.clamp(1, width);
-        let bucket_of = |i: usize| -> usize {
-            let row = windows.row_at(i);
-            let argmax = row
-                .iter()
-                .enumerate()
-                .fold(
-                    (0usize, f32::MIN),
-                    |(bt, bv), (t, &v)| {
-                        if v > bv {
-                            (t, v)
-                        } else {
-                            (bt, bv)
-                        }
-                    },
-                )
-                .0;
-            argmax * n_buckets / width
-        };
+        let mut peaks = Vec::with_capacity(n);
+        let mut row_bucket = Vec::with_capacity(n);
+        for (chunk_peaks, chunk_buckets) in exec.map_chunks(n, |range| {
+            let mut chunk_peaks = Vec::with_capacity(range.len());
+            let mut chunk_buckets = Vec::with_capacity(range.len());
+            for i in range {
+                let row = windows.row_at(i);
+                chunk_peaks.push(peak_of(row));
+                let argmax = row
+                    .iter()
+                    .enumerate()
+                    .fold(
+                        (0usize, f32::MIN),
+                        |(bt, bv), (t, &v)| {
+                            if v > bv {
+                                (t, v)
+                            } else {
+                                (bt, bv)
+                            }
+                        },
+                    )
+                    .0;
+                chunk_buckets.push(argmax * n_buckets / width);
+            }
+            (chunk_peaks, chunk_buckets)
+        }) {
+            peaks.extend(chunk_peaks);
+            row_bucket.extend(chunk_buckets);
+        }
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_buckets];
-        let mut row_bucket = vec![0usize; n];
-        for (i, slot) in row_bucket.iter_mut().enumerate() {
-            *slot = bucket_of(i);
-            buckets[*slot].push(i as u32);
+        for (i, &slot) in row_bucket.iter().enumerate() {
+            buckets[slot].push(i as u32);
         }
         // Bucket membership in VM-id order so the candidate sequence —
         // and with it the retained edge set — does not depend on how the
@@ -192,45 +257,62 @@ impl CpuCorrelationMatrix {
 
         let top_k = sparsity.top_k.max(1);
         let budget = sparsity.candidates_per_vm.max(top_k);
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut neighbors: Vec<(u32, f32)> = Vec::with_capacity(n * top_k.min(n));
-        let mut candidates: Vec<(u32, f32)> = Vec::with_capacity(budget + n_buckets);
-        offsets.push(0u32);
-        for (i, &home) in row_bucket.iter().enumerate() {
-            candidates.clear();
-            // Ring walk outward from the row's own bucket.
-            'ring: for d in 0..=(n_buckets / 2) {
-                let lo = (home + n_buckets - d) % n_buckets;
-                let hi = (home + d) % n_buckets;
-                let sides: [usize; 2] = [lo, hi];
-                let take = if lo == hi { 1 } else { 2 };
-                for &b in sides.iter().take(take) {
-                    for &j in &buckets[b] {
-                        if j as usize == i {
-                            continue;
-                        }
-                        let w = pair_metric(windows, &peaks, i, j as usize, metric);
-                        candidates.push((j, w));
-                        // The cap must bite *inside* a bucket: a popular
-                        // diurnal phase can hold thousands of VMs, and
-                        // evaluating a whole bucket would reintroduce the
-                        // quadratic wall this screen exists to remove.
-                        if candidates.len() >= budget {
-                            break 'ring;
+        let peaks_ref = &peaks;
+        let ids_ref = &ids;
+        let buckets_ref = &buckets;
+        let row_bucket_ref = &row_bucket;
+        let row_lists: Vec<Vec<(u32, f32)>> = exec
+            .map_chunks(n, |range| {
+                let mut rows = Vec::with_capacity(range.len());
+                let mut candidates: Vec<(u32, f32)> = Vec::with_capacity(budget + n_buckets);
+                for i in range {
+                    let home = row_bucket_ref[i];
+                    candidates.clear();
+                    // Ring walk outward from the row's own bucket.
+                    'ring: for d in 0..=(n_buckets / 2) {
+                        let lo = (home + n_buckets - d) % n_buckets;
+                        let hi = (home + d) % n_buckets;
+                        let sides: [usize; 2] = [lo, hi];
+                        let take = if lo == hi { 1 } else { 2 };
+                        for &b in sides.iter().take(take) {
+                            for &j in &buckets_ref[b] {
+                                if j as usize == i {
+                                    continue;
+                                }
+                                let w = pair_metric(windows, peaks_ref, i, j as usize, metric);
+                                candidates.push((j, w));
+                                // The cap must bite *inside* a bucket: a
+                                // popular diurnal phase can hold thousands
+                                // of VMs, and evaluating a whole bucket
+                                // would reintroduce the quadratic wall this
+                                // screen exists to remove.
+                                if candidates.len() >= budget {
+                                    break 'ring;
+                                }
+                            }
                         }
                     }
+                    // Strongest first; equal weights break on VM id so the
+                    // graph is independent of enumeration order.
+                    candidates.sort_unstable_by(|a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .expect("correlations are finite")
+                            .then_with(|| ids_ref[a.0 as usize].cmp(&ids_ref[b.0 as usize]))
+                    });
+                    candidates.truncate(top_k);
+                    candidates.sort_unstable_by_key(|&(j, _)| ids_ref[j as usize]);
+                    rows.push(candidates.clone());
                 }
-            }
-            // Strongest first; equal weights break on VM id so the graph
-            // is independent of enumeration order.
-            candidates.sort_unstable_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("correlations are finite")
-                    .then_with(|| ids[a.0 as usize].cmp(&ids[b.0 as usize]))
-            });
-            candidates.truncate(top_k);
-            candidates.sort_unstable_by_key(|&(j, _)| ids[j as usize]);
-            neighbors.extend_from_slice(&candidates);
+                rows
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors: Vec<(u32, f32)> = Vec::with_capacity(n * top_k.min(n));
+        offsets.push(0u32);
+        for row in &row_lists {
+            neighbors.extend_from_slice(row);
             offsets.push(neighbors.len() as u32);
         }
 
@@ -244,7 +326,8 @@ impl CpuCorrelationMatrix {
         // is already id-sorted internally): f32 addition is not
         // associative, and arena-row order would leak the caller's
         // enumeration into the baseline.
-        let directed_pairs = (n * n.saturating_sub(1)) as f32;
+        let directed_pairs = n * n.saturating_sub(1);
+        let retained_edges = neighbors.len();
         let mut row_order: Vec<u32> = (0..n as u32).collect();
         row_order.sort_unstable_by_key(|&i| ids[i as usize]);
         let retained: f32 = row_order
@@ -256,12 +339,29 @@ impl CpuCorrelationMatrix {
                     .sum::<f32>()
             })
             .sum();
-        let baseline = if directed_pairs > neighbors.len() as f32 {
-            ((all_mean * directed_pairs - retained) / (directed_pairs - neighbors.len() as f32))
-                .clamp(f32::EPSILON, 1.0)
+        // The far-field split is only meaningful when some pairs actually
+        // fall outside the retained lists — compared in *integers*: the
+        // f32 images of the two counts can collide at large n, and a
+        // zero/NaN denominator must never reach the division. Tiny fleets
+        // (n ≤ top_k, every edge retained) have no far field at all; the
+        // sampled mean — finite and clamped by construction — stands in
+        // for the degenerate baseline, and a final finite check catches
+        // any residual rounding pathology of the debias arithmetic.
+        let baseline = if directed_pairs > retained_edges {
+            let debiased = (all_mean * directed_pairs as f32 - retained)
+                / (directed_pairs as f32 - retained_edges as f32);
+            if debiased.is_finite() {
+                debiased.clamp(f32::EPSILON, 1.0)
+            } else {
+                all_mean
+            }
         } else {
             all_mean
         };
+        debug_assert!(
+            baseline.is_finite() && baseline > 0.0 && baseline <= 1.0,
+            "sparse baseline left (0, 1]: {baseline}"
+        );
         CpuCorrelationMatrix {
             ids,
             n,
@@ -778,6 +878,48 @@ mod tests {
         let sparse = CpuCorrelationMatrix::compute_auto(&windows, &config);
         assert!(sparse.is_sparse());
         assert_eq!(sparse.sparsity(), Some(&config));
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        use geoplace_types::Parallelism;
+        let windows = UtilizationWindows::from_rows(phased_rows(40, 48));
+        let dense_ref = CpuCorrelationMatrix::compute(&windows);
+        let sparse_ref = CpuCorrelationMatrix::compute_sparse(&windows, &small_sparsity());
+        for threads in [1usize, 2, 3, 8] {
+            let exec = Exec::new(Parallelism::Threads(threads));
+            let dense = CpuCorrelationMatrix::compute_exec(
+                &windows,
+                CorrelationMetric::PeakCoincidence,
+                exec,
+            );
+            assert_eq!(dense, dense_ref, "dense, t={threads}");
+            let sparse = CpuCorrelationMatrix::compute_sparse_exec(
+                &windows,
+                CorrelationMetric::PeakCoincidence,
+                &small_sparsity(),
+                exec,
+            );
+            assert_eq!(sparse, sparse_ref, "sparse, t={threads}");
+        }
+    }
+
+    #[test]
+    fn tiny_fleet_baseline_stays_finite_in_unit_interval() {
+        // n ≤ top_k: every pair is retained, the far-field debias is
+        // degenerate, and the baseline must still be a sane number.
+        for n in 2..6u32 {
+            let windows = UtilizationWindows::from_rows(phased_rows(n, 24));
+            let sparse = CpuCorrelationMatrix::compute_sparse(
+                &windows,
+                &SparsityConfig {
+                    top_k: 32,
+                    ..small_sparsity()
+                },
+            );
+            let b = sparse.baseline();
+            assert!(b.is_finite() && b > 0.0 && b <= 1.0, "n={n}: baseline {b}");
+        }
     }
 
     #[test]

@@ -223,6 +223,46 @@ proptest! {
         }
     }
 
+    /// Fleets smaller than the retention budget (`n < top_k`): every
+    /// pair survives into the retained lists, the far-field debias is
+    /// degenerate (no pair is outside the graph), and the baseline must
+    /// still be a finite value in (0, 1] — the regression guard for the
+    /// garbage-baseline `else` branch of the sparse build.
+    #[test]
+    fn sparse_baseline_is_sane_when_topk_exceeds_fleet(
+        rows in proptest::collection::vec(proptest::collection::vec(0.02f32..1.0, 12), 2..8),
+        top_k in 8usize..40,
+        baseline_samples in 1usize..64,
+    ) {
+        let n = rows.len();
+        prop_assert!(n < top_k);
+        let windows = UtilizationWindows::from_rows(
+            rows.into_iter().enumerate().map(|(i, w)| (VmId(i as u32), w)).collect(),
+        );
+        let config = SparsityConfig {
+            top_k,
+            candidates_per_vm: top_k,
+            peak_buckets: 4,
+            baseline_samples,
+            ..SparsityConfig::default()
+        };
+        let sparse = CpuCorrelationMatrix::compute_sparse(&windows, &config);
+        let baseline = sparse.baseline();
+        prop_assert!(
+            baseline.is_finite() && baseline > 0.0 && baseline <= 1.0,
+            "n={n} top_k={top_k}: degenerate baseline {baseline}"
+        );
+        // Every retained row holds the full fleet, and the view stays a
+        // valid correlation everywhere.
+        for i in 0..n {
+            prop_assert_eq!(sparse.neighbors(i).len(), n - 1, "row {} incomplete", i);
+            for j in 0..n {
+                let v = sparse.at(i, j);
+                prop_assert!(v.is_finite() && v > 0.0 && v <= 1.0, "({},{}) = {}", i, j, v);
+            }
+        }
+    }
+
     /// With the candidate budget covering the whole fleet and k ≥ n−1,
     /// the sparse graph degenerates to the dense matrix exactly.
     #[test]
