@@ -11,7 +11,7 @@
 //! this is the gate that keeps refactors honest.
 
 use geoplace_bench::scenario::{run_policy, run_proposed_with, stress_proposed_config};
-use geoplace_bench::{seed_from_args, PolicyKind, Scale};
+use geoplace_bench::{CliArgs, PolicyKind, Scale};
 use geoplace_core::ProposedConfig;
 use geoplace_dcsim::config::ScenarioConfig;
 use geoplace_dcsim::metrics::SimulationReport;
@@ -59,8 +59,11 @@ fn check_thread_sweep(label: &str, config: &ScenarioConfig, proposed: ProposedCo
 }
 
 fn main() {
-    let seed = seed_from_args();
-    let config = Scale::Bench.config(seed);
+    let cli = CliArgs::parse();
+    let seed = cli.seed;
+    // Scenario-aware: `--scenario NAME` runs the whole gate inside that
+    // preset's world (the determinism contract holds in every world).
+    let config = cli.world.apply(Scale::Bench.config(seed));
     let mut ok = true;
 
     for kind in PolicyKind::ALL {
@@ -89,5 +92,8 @@ fn main() {
     if !ok {
         std::process::exit(1);
     }
-    println!("determinism gate passed (seed {seed}, threads {{1, 2, 8}})");
+    println!(
+        "determinism gate passed (scenario {}, seed {seed}, threads {{1, 2, 8}})",
+        cli.world.name
+    );
 }

@@ -1,11 +1,11 @@
 //! Diagnostic: sweep the caps knobs (grid share weighting, free-energy
 //! emphasis) to locate the cost optimum of the Proposed policy.
 
-use geoplace_bench::{proposed_config_for, run_proposed_with, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, CliArgs};
 use geoplace_core::{CapsConfig, ProposedConfig};
 
 fn main() {
-    let config = Scale::from_args().config(42);
+    let config = CliArgs::parse().config();
     for (floor, free, grid) in [
         (0.10, 1.5, 1.1),
         (0.15, 2.0, 1.0),

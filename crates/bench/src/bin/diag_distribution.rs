@@ -1,10 +1,10 @@
 //! Diagnostic: per-DC energy distribution and average grid price paid per
 //! policy (not a paper figure; used to understand cost composition).
 
-use geoplace_bench::{run_all, Scale};
+use geoplace_bench::{run_all, CliArgs};
 
 fn main() {
-    let config = Scale::from_args().config(42);
+    let config = CliArgs::parse().config();
     let names: Vec<String> = config.dcs.iter().map(|d| d.name.clone()).collect();
     for report in run_all(&config) {
         let totals = report.totals();

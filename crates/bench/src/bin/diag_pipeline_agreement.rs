@@ -15,10 +15,11 @@
 //! scale (~400 VMs).
 
 use geoplace_bench::scenario::run_proposed_with;
-use geoplace_bench::{flag_from_args, Scale};
+use geoplace_bench::{flag_from_args, CliArgs, Scale};
 use geoplace_core::ProposedConfig;
 
 fn main() {
+    let cli = CliArgs::parse();
     let slots: u32 = flag_from_args("--slots").unwrap_or(48);
     let seeds: Vec<u64> = flag_from_args::<String>("--seeds")
         .map(|v| {
@@ -39,7 +40,7 @@ fn main() {
     let mut dense_mean = [0.0f64; 3];
     let mut sparse_mean = [0.0f64; 3];
     for &seed in &seeds {
-        let mut dense_config = Scale::Repro.config(seed);
+        let mut dense_config = cli.world.apply(Scale::Repro.config(seed));
         dense_config.horizon_slots = slots;
         dense_config.sparsity = dense_config.sparsity.dense();
         let dense = run_proposed_with(&dense_config, ProposedConfig::default()).totals();

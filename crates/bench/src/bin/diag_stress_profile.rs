@@ -3,7 +3,7 @@
 //! traffic CSR, and the force layout. The numbers that justify (or
 //! indict) every knob in [`geoplace_workload::sparsity::SparsityConfig`].
 
-use geoplace_bench::Scale;
+use geoplace_bench::{CliArgs, Scale};
 use geoplace_dcsim::engine::Scenario;
 use geoplace_types::time::TimeSlot;
 use geoplace_types::VmArena;
@@ -11,7 +11,8 @@ use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use std::time::Instant;
 
 fn main() {
-    let config = Scale::Stress.config(42);
+    let cli = CliArgs::parse();
+    let config = cli.world.apply(Scale::Stress.config(cli.seed));
     let scenario = Scenario::build(&config).expect("stress scenario must be valid");
 
     let t = Instant::now();

@@ -4,13 +4,15 @@
 //! Scales: default = 1/5-fleet full week; `--paper` = Table I; `--bench` =
 //! one-day mini run.
 
-use geoplace_bench::{figures, run_all, seed_from_args, Scale};
+use geoplace_bench::{figures, run_all, CliArgs};
 
 fn main() {
-    let scale = Scale::from_args();
-    let config = scale.config(seed_from_args());
+    let cli = CliArgs::parse();
+    let config = cli.config();
     eprintln!(
-        "running 4 policies at {scale:?} scale: {} DCs, {} slots, ~{:.0} VMs…",
+        "running 4 policies at {:?} scale, scenario {:?}: {} DCs, {} slots, ~{:.0} VMs…",
+        cli.scale,
+        cli.world.name,
         config.dcs.len(),
         config.horizon_slots,
         config.fleet.arrivals.expected_population()

@@ -2,11 +2,11 @@
 //! trade-off knob of the force layout.
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::{proposed_config_for, run_proposed_with, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, CliArgs};
 use geoplace_core::ProposedConfig;
 
 fn main() {
-    let config = Scale::from_args().config(42);
+    let config = CliArgs::parse().config();
     let mut rows = Vec::new();
     for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let report = run_proposed_with(

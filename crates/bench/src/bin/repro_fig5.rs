@@ -1,9 +1,9 @@
 //! Reproduces Fig. 5 of the paper. Run with `--paper` for Table I scale.
 
-use geoplace_bench::{figures, run_all, Scale};
+use geoplace_bench::{figures, run_all, CliArgs};
 
 fn main() {
-    let config = Scale::from_args().config(42);
+    let config = CliArgs::parse().config();
     let reports = run_all(&config);
     print!("{}", figures::fig5(&reports));
 }

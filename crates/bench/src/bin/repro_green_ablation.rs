@@ -3,13 +3,13 @@
 //! grid energy").
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::{proposed_config_for, Scale};
+use geoplace_bench::{proposed_config_for, CliArgs};
 use geoplace_core::ProposedPolicy;
 use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_energy::green::GreenController;
 
 fn main() {
-    let config = Scale::from_args().config(42);
+    let config = CliArgs::parse().config();
     let mut rows = Vec::new();
     for (label, disable) in [("arbitrage ON (paper)", false), ("arbitrage OFF", true)] {
         let scenario = Scenario::build(&config).expect("valid config");

@@ -2,12 +2,12 @@
 //! peak-coincidence ratio vs. a Pearson-correlation variant (DESIGN.md §5).
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::{proposed_config_for, run_proposed_with, seed_from_args, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, CliArgs};
 use geoplace_core::ProposedConfig;
 use geoplace_workload::cpucorr::CorrelationMetric;
 
 fn main() {
-    let config = Scale::from_args().config(seed_from_args());
+    let config = CliArgs::parse().config();
     let mut rows = Vec::new();
     for (label, metric) in [
         (

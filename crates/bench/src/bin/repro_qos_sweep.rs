@@ -2,13 +2,13 @@
 //! latency budget (paper: 98 % → 72 s of the hour).
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::{proposed_config_for, run_proposed_with, Scale};
+use geoplace_bench::{proposed_config_for, run_proposed_with, CliArgs};
 use geoplace_network::latency_constraint_for_qos;
 
 fn main() {
     let mut rows = Vec::new();
     for qos in [0.90, 0.95, 0.98, 0.99, 0.999] {
-        let mut config = Scale::from_args().config(42);
+        let mut config = CliArgs::parse().config();
         config.qos = qos;
         let report = run_proposed_with(&config, proposed_config_for(&config));
         let totals = report.totals();

@@ -2,10 +2,10 @@
 //! specification, as consumed by the simulator.
 
 use geoplace_bench::table::render_table;
-use geoplace_bench::Scale;
+use geoplace_bench::CliArgs;
 
 fn main() {
-    let config = Scale::from_args().config(42);
+    let config = CliArgs::parse().config();
     let rows: Vec<Vec<String>> = config
         .dcs
         .iter()

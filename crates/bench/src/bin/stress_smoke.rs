@@ -7,7 +7,7 @@
 //! a single worker count instead of the default {1, 2, 8} sweep.
 
 use geoplace_bench::scenario::stress_proposed_config;
-use geoplace_bench::{flag_from_args, seed_from_args, Scale};
+use geoplace_bench::{flag_from_args, CliArgs, Scale};
 use geoplace_core::ProposedPolicy;
 use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_dcsim::metrics::SimulationReport;
@@ -15,8 +15,8 @@ use geoplace_types::Parallelism;
 use std::time::Instant;
 
 fn main() {
-    let seed = seed_from_args();
-    let mut config = Scale::Stress.config(seed);
+    let cli = CliArgs::parse();
+    let mut config = cli.world.apply(Scale::Stress.config(cli.seed));
     if let Some(slots) = flag_from_args::<u32>("--slots") {
         config.horizon_slots = slots.max(1);
     }
@@ -86,5 +86,8 @@ fn main() {
     if thread_counts.len() > 1 {
         println!("per-thread reports bit-identical across {thread_counts:?} workers");
     }
-    println!("stress smoke passed (seed {seed})");
+    println!(
+        "stress smoke passed (scenario {}, seed {})",
+        cli.world.name, cli.seed
+    );
 }

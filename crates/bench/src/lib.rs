@@ -24,13 +24,19 @@
 //!
 //! All binaries accept `--paper` (Table I scale), `--bench` (one-day
 //! mini scale) and `--stress` (≈10k-VM one-day scale); the default is
-//! the 1/5-fleet weekly "repro" scale.
+//! the 1/5-fleet weekly "repro" scale. They also accept `--seed N` and
+//! `--scenario NAME` (a preset from the [`geoplace_scenarios`]
+//! registry) — all parsed by one [`scenario::CliArgs`]. The
+//! `scenario_matrix` binary runs every preset × every policy and emits
+//! one canonical report digest per cell; `--quick --check` is the CI
+//! golden-regression gate.
 
 pub mod figures;
 pub mod scenario;
 pub mod table;
 
 pub use scenario::{
-    flag_from_args, parse_seed, proposed_config_for, run_all, run_policy, run_proposed_with,
-    seed_from_args, stress_proposed_config, PolicyKind, Scale,
+    flag_from_args, golden_row, parse_seed, proposed_config_for, quick_matrix_config, run_all,
+    run_policy, run_policy_threads, run_proposed_with, seed_from_args, stress_proposed_config,
+    CliArgs, PolicyKind, Scale, QUICK_MATRIX_SEEDS, QUICK_MATRIX_SLOTS,
 };

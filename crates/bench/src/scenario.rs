@@ -18,6 +18,7 @@ use geoplace_core::{ProposedConfig, ProposedPolicy};
 use geoplace_dcsim::config::ScenarioConfig;
 use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_dcsim::metrics::SimulationReport;
+use geoplace_scenarios::{presets, WorldSpec};
 
 /// Scale of a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,14 @@ impl Scale {
     /// select the respective scales; default is [`Scale::Repro`].
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
+        Scale::from_slice(&args)
+    }
+
+    /// Pure parsing behind [`Scale::from_args`]. When several scale
+    /// flags appear, the documented precedence is `--paper` over
+    /// `--bench` over `--stress` (largest pinned-down world wins),
+    /// regardless of argument position; no flag means [`Scale::Repro`].
+    pub fn from_slice(args: &[String]) -> Scale {
         if args.iter().any(|a| a == "--paper") {
             Scale::Paper
         } else if args.iter().any(|a| a == "--bench") {
@@ -104,6 +113,91 @@ impl Scale {
             }
             Scale::Stress => ScenarioConfig::stress(seed),
         }
+    }
+}
+
+/// The one parsed form of every harness binary's command line: scale
+/// flags, `--seed N` and `--scenario NAME` (a preset from the
+/// [`geoplace_scenarios`] registry). All `repro_*`/`diag_*`/CI binaries
+/// route through this instead of hand-rolling flag scans.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_bench::scenario::CliArgs;
+/// use geoplace_bench::Scale;
+///
+/// let args: Vec<String> = ["bin", "--bench", "--seed", "7", "--scenario", "flash_crowd"]
+///     .iter().map(|s| s.to_string()).collect();
+/// let cli = CliArgs::from_slice(&args).unwrap();
+/// assert_eq!((cli.scale, cli.seed, cli.world.name), (Scale::Bench, 7, "flash_crowd"));
+/// assert!(cli.config().validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// The base scale (`--paper` / `--bench` / `--stress`, default repro).
+    pub scale: Scale,
+    /// `--seed N` (default 42).
+    pub seed: u64,
+    /// The world preset (`--scenario NAME`, default `paper`).
+    pub world: WorldSpec,
+}
+
+impl CliArgs {
+    /// Parses the process arguments; any malformed flag or unknown
+    /// scenario name terminates the process with exit code 2 — for an
+    /// unknown name the error lists the whole registry, so a typo in a
+    /// sweep script fails loudly with the fix on screen.
+    pub fn parse() -> CliArgs {
+        let args: Vec<String> = std::env::args().collect();
+        match CliArgs::from_slice(&args) {
+            Ok(cli) => cli,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parsing behind [`CliArgs::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `--seed` is malformed,
+    /// `--scenario` is missing its value, or the scenario name is not
+    /// in the registry (the message lists every registered preset).
+    pub fn from_slice(args: &[String]) -> std::result::Result<CliArgs, String> {
+        let seed = parse_seed(args)?;
+        let scale = Scale::from_slice(args);
+        let world = match flag_value(args, "--scenario")? {
+            None => presets::paper(),
+            Some(name) => presets::named(&name).ok_or_else(|| {
+                let listing: String = presets::registry()
+                    .iter()
+                    .map(|spec| format!("\n  {:<16} {}", spec.name, spec.stresses))
+                    .collect();
+                format!("unknown scenario {name:?}; registered scenarios:{listing}")
+            })?,
+        };
+        Ok(CliArgs { scale, seed, world })
+    }
+
+    /// The fully lowered scenario: the preset's deltas applied to the
+    /// base scale configuration at this seed.
+    pub fn config(&self) -> ScenarioConfig {
+        self.world.apply(self.scale.config(self.seed))
+    }
+}
+
+/// Raw value of `--<name>`, if present: `Ok(None)` when absent, `Err`
+/// when the flag dangles without a value.
+fn flag_value(args: &[String], name: &str) -> std::result::Result<Option<String>, String> {
+    let Some(position) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(position + 1) {
+        Some(raw) => Ok(Some(raw.clone())),
+        None => Err(format!("{name} requires a value")),
     }
 }
 
@@ -209,6 +303,81 @@ pub fn run_all(config: &ScenarioConfig) -> Vec<SimulationReport> {
         .collect()
 }
 
+/// Horizon (slots) of the quick golden matrix: long enough that every
+/// preset's events open inside it, short enough for tier-1.
+pub const QUICK_MATRIX_SLOTS: u32 = 12;
+
+/// Seeds of the quick golden matrix.
+pub const QUICK_MATRIX_SEEDS: [u64; 2] = [41, 42];
+
+/// The configuration of one quick-matrix cell: the bench scale clipped
+/// to [`QUICK_MATRIX_SLOTS`], with the preset's deltas applied. This is
+/// the *shared* definition behind both the `scenario_matrix --quick`
+/// gate and the committed golden digests — change it and the goldens
+/// must be regenerated.
+pub fn quick_matrix_config(spec: &WorldSpec, seed: u64) -> ScenarioConfig {
+    let mut base = Scale::Bench.config(seed);
+    base.horizon_slots = QUICK_MATRIX_SLOTS;
+    spec.apply(base)
+}
+
+/// Runs one policy with the engine's and the policy's kernels pinned to
+/// `threads` workers — the executor contract says the report must be
+/// bit-identical to any other thread count.
+pub fn run_policy_threads(
+    config: &ScenarioConfig,
+    kind: PolicyKind,
+    threads: usize,
+) -> SimulationReport {
+    let mut config = config.clone();
+    config.parallelism = geoplace_types::Parallelism::Threads(threads);
+    run_policy(&config, kind)
+}
+
+/// One canonical TSV row of the golden digest matrix.
+pub fn golden_row(scenario: &str, policy: PolicyKind, seed: u64, digest: &str) -> String {
+    format!("{scenario}\t{}\t{seed}\t{digest}", policy.name())
+}
+
+/// Header line of the golden digest file.
+pub const GOLDEN_HEADER: &str = "# scenario\tpolicy\tseed\tdigest";
+
+/// Path of the committed golden digest file — the single definition
+/// shared by the `scenario_matrix` binary and the tier-1 golden test,
+/// so the `--update` and `GOLDEN_UPDATE=1` regeneration paths can
+/// never write to different places.
+pub fn golden_digests_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/digests.tsv")
+}
+
+/// Renders the full golden file from canonical rows.
+pub fn render_golden_file(rows: &[String]) -> String {
+    let mut out = String::from(GOLDEN_HEADER);
+    out.push('\n');
+    for row in rows {
+        out.push_str(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a golden file into `"scenario\tpolicy\tseed" → digest`.
+///
+/// # Panics
+///
+/// Panics on a malformed (tab-less) non-comment line — the file is
+/// machine-generated, so corruption must fail loudly.
+pub fn parse_golden_file(content: &str) -> std::collections::BTreeMap<String, String> {
+    content
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (key, digest) = l.rsplit_once('\t').expect("malformed golden row");
+            (key.to_string(), digest.to_string())
+        })
+        .collect()
+}
+
 /// Value of `--<name>` from the process arguments, parsed as `T`.
 /// `None` when the flag is absent; a present-but-missing or unparsable
 /// value terminates the process with a clear error (exit code 2), the
@@ -249,6 +418,139 @@ mod tests {
         assert!(parse_seed(&args(&["bin", "--seed"])).is_err());
         assert!(parse_seed(&args(&["bin", "--seed", "banana"])).is_err());
         assert!(parse_seed(&args(&["bin", "--seed", "-3"])).is_err());
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scale_flags_resolve_by_documented_precedence() {
+        // Precedence: --paper > --bench > --stress > default (repro),
+        // independent of argument order.
+        assert_eq!(Scale::from_slice(&args(&["bin"])), Scale::Repro);
+        assert_eq!(
+            Scale::from_slice(&args(&["bin", "--stress"])),
+            Scale::Stress
+        );
+        assert_eq!(
+            Scale::from_slice(&args(&["bin", "--bench", "--paper"])),
+            Scale::Paper
+        );
+        assert_eq!(
+            Scale::from_slice(&args(&["bin", "--paper", "--bench"])),
+            Scale::Paper
+        );
+        assert_eq!(
+            Scale::from_slice(&args(&["bin", "--stress", "--bench"])),
+            Scale::Bench
+        );
+        assert_eq!(
+            Scale::from_slice(&args(&["bin", "--stress", "--bench", "--paper"])),
+            Scale::Paper
+        );
+    }
+
+    #[test]
+    fn cli_args_parse_all_flags_together() {
+        let cli = CliArgs::from_slice(&args(&[
+            "bin",
+            "--scenario",
+            "churn_storm",
+            "--bench",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(cli.scale, Scale::Bench);
+        assert_eq!(cli.seed, 9);
+        assert_eq!(cli.world.name, "churn_storm");
+        let config = cli.config();
+        assert!(config.validate().is_ok());
+        assert!(config.fleet.arrivals.mean_lifetime_slots < 24.0 * 0.5);
+    }
+
+    #[test]
+    fn cli_args_default_to_the_paper_world() {
+        let cli = CliArgs::from_slice(&args(&["bin"])).unwrap();
+        assert_eq!(cli.scale, Scale::Repro);
+        assert_eq!(cli.seed, 42);
+        assert_eq!(cli.world.name, "paper");
+        assert_eq!(cli.config(), Scale::Repro.config(42), "paper = identity");
+    }
+
+    #[test]
+    fn unknown_scenario_lists_the_registry() {
+        let err = CliArgs::from_slice(&args(&["bin", "--scenario", "flashcrowd"])).unwrap_err();
+        assert!(err.contains("unknown scenario \"flashcrowd\""), "{err}");
+        for name in geoplace_scenarios::names() {
+            assert!(err.contains(name), "listing must mention {name}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_cli_flags_are_errors() {
+        assert!(CliArgs::from_slice(&args(&["bin", "--scenario"])).is_err());
+        assert!(CliArgs::from_slice(&args(&["bin", "--seed", "nope"])).is_err());
+        assert!(CliArgs::from_slice(&args(&["bin", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn quick_matrix_cells_are_valid_and_short() {
+        for spec in geoplace_scenarios::registry() {
+            for seed in QUICK_MATRIX_SEEDS {
+                let config = quick_matrix_config(&spec, seed);
+                assert!(config.validate().is_ok(), "{} seed {seed}", spec.name);
+                assert_eq!(config.horizon_slots, QUICK_MATRIX_SLOTS);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_matrix_actually_perturbs_every_preset() {
+        // Every non-control preset must change the world *within the
+        // quick horizon* — an event window that opens after slot 12
+        // would make its golden rows silently equal to paper's.
+        let control = quick_matrix_config(&geoplace_scenarios::presets::paper(), 42);
+        for spec in geoplace_scenarios::registry().into_iter().skip(1) {
+            let config = quick_matrix_config(&spec, 42);
+            assert_ne!(
+                config, control,
+                "{} is inert in the quick matrix",
+                spec.name
+            );
+            let timeline_active = config
+                .timeline
+                .events()
+                .iter()
+                .any(|e| e.start_slot < QUICK_MATRIX_SLOTS);
+            let fleet_active = config
+                .fleet
+                .arrivals
+                .bursts
+                .iter()
+                .any(|b| b.start_slot < QUICK_MATRIX_SLOTS)
+                || config
+                    .fleet
+                    .arrivals
+                    .cohorts
+                    .iter()
+                    .any(|c| c.slot < QUICK_MATRIX_SLOTS)
+                || !config.fleet.arrivals.mix.is_empty()
+                || !config.fleet.arrivals.day_rate_factors.is_empty()
+                || config.fleet.arrivals.groups_per_slot != control.fleet.arrivals.groups_per_slot;
+            assert!(
+                timeline_active || fleet_active,
+                "{}: no perturbation opens before slot {QUICK_MATRIX_SLOTS}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn golden_rows_are_tab_separated() {
+        let row = golden_row("paper", PolicyKind::Proposed, 42, "00ff");
+        assert_eq!(row, "paper\tProposed\t42\t00ff");
     }
 
     #[test]

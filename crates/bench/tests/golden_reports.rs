@@ -1,0 +1,94 @@
+//! Golden-report regression matrix (tier-1 gate).
+//!
+//! `tests/golden/digests.tsv` commits one canonical report digest per
+//! (scenario preset, policy, seed) cell of the quick matrix — the bench
+//! fleet at [`QUICK_MATRIX_SLOTS`] slots, seeds [`QUICK_MATRIX_SEEDS`].
+//! This test recomputes the seed-42 rows (every preset × every policy)
+//! and fails on any drift; the CI `scenario_matrix --quick --check` job
+//! re-verifies the *full* file, including seed 41 and thread-count
+//! invariance.
+//!
+//! **Regenerating after an intentional behavior change:**
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p geoplace_bench --test golden_reports
+//! # or, equivalently:
+//! cargo run --release --bin scenario_matrix -- --quick --update
+//! ```
+//!
+//! Both paths produce identical files (they share
+//! `quick_matrix_config` and the canonical row format). Commit the
+//! rewritten `digests.tsv` together with the change that moved the
+//! numbers, and say why in the PR.
+
+use geoplace_bench::scenario::{
+    golden_digests_path, golden_row, parse_golden_file, quick_matrix_config, render_golden_file,
+    run_policy, PolicyKind, QUICK_MATRIX_SEEDS,
+};
+
+/// Recomputes the digest rows for the given seeds, in registry order.
+fn compute_rows(seeds: &[u64]) -> Vec<String> {
+    let mut rows = Vec::new();
+    for spec in geoplace_scenarios::registry() {
+        for &seed in seeds {
+            let config = quick_matrix_config(&spec, seed);
+            for policy in PolicyKind::ALL {
+                let digest = run_policy(&config, policy).digest();
+                rows.push(golden_row(spec.name, policy, seed, &digest));
+            }
+        }
+    }
+    rows
+}
+
+#[test]
+fn golden_digests_match_the_committed_matrix() {
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        let rows = compute_rows(&QUICK_MATRIX_SEEDS);
+        std::fs::write(golden_digests_path(), render_golden_file(&rows))
+            .expect("write golden digests");
+        eprintln!(
+            "golden digests regenerated at {}",
+            golden_digests_path().display()
+        );
+        return;
+    }
+
+    let committed = std::fs::read_to_string(golden_digests_path()).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nGenerate the goldens first: GOLDEN_UPDATE=1 cargo test \
+             -p geoplace_bench --test golden_reports",
+            golden_digests_path().display()
+        )
+    });
+    let golden = parse_golden_file(&committed);
+
+    // The committed file must cover the full quick matrix: every
+    // preset × policy × seed, nothing extra.
+    let expected_cells =
+        geoplace_scenarios::registry().len() * PolicyKind::ALL.len() * QUICK_MATRIX_SEEDS.len();
+    assert_eq!(
+        golden.len(),
+        expected_cells,
+        "golden file has {} rows, the quick matrix has {expected_cells} cells — regenerate",
+        golden.len()
+    );
+
+    // Tier-1 recomputes the seed-42 slice; CI covers the rest.
+    let mut drifted = Vec::new();
+    for row in compute_rows(&[42]) {
+        let (key, digest) = row.rsplit_once('\t').unwrap();
+        match golden.get(key) {
+            Some(expected) if expected == digest => {}
+            Some(expected) => {
+                drifted.push(format!("{key}: committed {expected}, recomputed {digest}"))
+            }
+            None => drifted.push(format!("{key}: missing from the golden file")),
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "golden digests drifted (intentional? regenerate per the header):\n{}",
+        drifted.join("\n")
+    );
+}

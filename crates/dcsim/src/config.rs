@@ -1,6 +1,7 @@
 //! Scenario configuration — Table I of the paper plus workload and
 //! network knobs.
 
+use crate::events::EventTimeline;
 use crate::pue::{PueModel, SiteClimate};
 use geoplace_types::{Error, Parallelism, Result};
 use geoplace_workload::fleet::FleetConfig;
@@ -94,6 +95,10 @@ pub struct ScenarioConfig {
     /// reports — [`Parallelism::Serial`] exists for paper-repro runs
     /// that must not even depend on the contract.
     pub parallelism: Parallelism,
+    /// Deterministic slot-indexed perturbations (capacity derates,
+    /// price spikes, PV droughts) the engine applies during the run;
+    /// empty for the paper's stationary regime.
+    pub timeline: EventTimeline,
 }
 
 impl ScenarioConfig {
@@ -119,6 +124,7 @@ impl ScenarioConfig {
             sparsity: SparsityConfig::default(),
             link_scale: 1.0,
             parallelism: Parallelism::Auto,
+            timeline: EventTimeline::default(),
         }
     }
 
@@ -203,6 +209,7 @@ impl ScenarioConfig {
         if self.link_scale <= 0.0 || !self.link_scale.is_finite() {
             return Err(Error::invalid_config("link_scale must be finite positive"));
         }
+        self.timeline.validate(self.dcs.len())?;
         self.fleet.arrivals.validate()
     }
 }

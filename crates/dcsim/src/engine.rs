@@ -19,10 +19,13 @@
 use crate::config::ScenarioConfig;
 use crate::dc::DataCenter;
 use crate::decision::PlacementDecision;
+use crate::events;
 use crate::metrics::{HourlyRecord, SimulationReport};
 use crate::policy::GlobalPolicy;
 use crate::snapshot::{DcInfo, SystemSnapshot};
 use geoplace_energy::green::GreenController;
+use geoplace_energy::modulate::SlotModulator;
+use geoplace_energy::price::{PriceLevel, PriceSchedule};
 use geoplace_network::ber::BerDistribution;
 use geoplace_network::latency::LatencyModel;
 use geoplace_network::migration::{latency_constraint_for_qos, Migration, MigrationPlan};
@@ -155,8 +158,27 @@ impl Simulator {
         let mut report = SimulationReport::new(policy.name(), n_dcs);
         let mut assignment: HashMap<VmId, DcId> = HashMap::new();
 
+        // The event timeline resolved once into per-DC slot-indexed
+        // modulators; within a slot every tick shares the slot's factors.
+        let timeline = self.scenario.config.timeline.clone();
+        let capacity_mods: Vec<SlotModulator> =
+            (0..n_dcs).map(|d| timeline.capacity_modulator(d)).collect();
+        let price_mods: Vec<SlotModulator> =
+            (0..n_dcs).map(|d| timeline.price_modulator(d)).collect();
+        let pv_mods: Vec<SlotModulator> = (0..n_dcs).map(|d| timeline.pv_modulator(d)).collect();
+
         for slot_index in 0..self.scenario.config.horizon_slots {
             let slot = TimeSlot(slot_index);
+            // Per-slot world perturbations: usable servers after derates,
+            // tariff and PV multipliers. All deterministic in (config, slot).
+            let usable_servers: Vec<u32> = server_counts
+                .iter()
+                .enumerate()
+                .map(|(d, &s)| events::effective_servers(s, capacity_mods[d].factor_at(slot)))
+                .collect();
+            let price_factors: Vec<f64> =
+                (0..n_dcs).map(|d| price_mods[d].factor_at(slot)).collect();
+            let pv_factors: Vec<f64> = (0..n_dcs).map(|d| pv_mods[d].factor_at(slot)).collect();
             if slot_index > 0 {
                 self.scenario.fleet.advance_to(slot);
             }
@@ -188,7 +210,7 @@ impl Simulator {
                 .iter()
                 .map(|&id| self.scenario.fleet.vm(id).expect("active VM").memory())
                 .collect();
-            let dc_infos = self.dc_infos(slot);
+            let dc_infos = self.dc_infos(slot, &usable_servers, &price_factors);
 
             // --- Decision phase.
             let mut decision = {
@@ -207,7 +229,7 @@ impl Simulator {
                     migration_budget: budget,
                 };
                 let decision = policy.decide(&snapshot);
-                if let Err(e) = decision.validate(&active, &server_counts, dvfs_levels) {
+                if let Err(e) = decision.validate(&active, &usable_servers, dvfs_levels) {
                     panic!(
                         "policy {} returned an invalid decision at {slot}: {e}",
                         policy.name()
@@ -260,7 +282,7 @@ impl Simulator {
                         Some(dest),
                         "rejected {vm} was not placed at its requested destination"
                     );
-                    decision.force_host(prev, vm, server_counts[prev.index()], top_freq);
+                    decision.force_host(prev, vm, usable_servers[prev.index()], top_freq);
                     debug_assert_eq!(
                         decision.host_dc(vm),
                         Some(prev),
@@ -273,7 +295,7 @@ impl Simulator {
             // valid placement — every rejected VM exactly once, back in
             // its previous DC, on an in-range server.
             #[cfg(debug_assertions)]
-            if let Err(e) = decision.validate(&active, &server_counts, dvfs_levels) {
+            if let Err(e) = decision.validate(&active, &usable_servers, dvfs_levels) {
                 panic!("migration clipping corrupted the decision at {slot}: {e}");
             }
 
@@ -292,6 +314,8 @@ impl Simulator {
                 let actual = &actual_windows;
                 let observed = &windows;
                 let cores = &vm_cores;
+                let price_factors = &price_factors;
+                let pv_factors = &pv_factors;
                 exec.map_mut(&mut self.scenario.dcs, |dc_index, dc| {
                     let dc_id = DcId(dc_index as u16);
                     let it_power = dc_it_power(
@@ -303,8 +327,8 @@ impl Simulator {
                         observed,
                     );
                     let pue = dc.pue_at(slot);
-                    let level = dc.price.level(slot);
-                    let price = dc.price.price_at(slot);
+                    let (price, level) = effective_tariff(&dc.price, slot, price_factors[dc_index]);
+                    let pv_factor = pv_factors[dc_index];
                     let mut output = DcSlotOutput::default();
                     let mut pv_harvest = 0.0f64;
                     // Forecast-aware arbitrage: reserve battery headroom
@@ -314,7 +338,11 @@ impl Simulator {
                     let pv_reserve: geoplace_types::units::Joules =
                         (1..=12u32).map(|k| dc.forecaster.forecast(slot + k)).sum();
                     for (k, tick) in slot.ticks().enumerate() {
-                        let pv_power = dc.pv.power_at(tick);
+                        // Droughts scale the *produced* power, so the
+                        // forecaster observes (and learns) the derated
+                        // harvest on its own.
+                        let pv_power =
+                            geoplace_types::units::Watts(dc.pv.power_at(tick).0 * pv_factor);
                         pv_harvest += pv_power.0 * TICK_SECONDS;
                         let it = it_power[k];
                         let demand = geoplace_types::units::Watts(it * pue);
@@ -368,14 +396,27 @@ impl Simulator {
     }
 
     /// Per-DC info block for the snapshot.
-    fn dc_infos(&self, slot: TimeSlot) -> Vec<DcInfo> {
-        let prices: Vec<EurosPerKwh> = self
+    ///
+    /// `usable_servers` and `price_factors` carry the slot's event-
+    /// timeline effects: policies observe the derated capacity and the
+    /// spiked tariff — and are expected to react to both.
+    fn dc_infos(
+        &self,
+        slot: TimeSlot,
+        usable_servers: &[u32],
+        price_factors: &[f64],
+    ) -> Vec<DcInfo> {
+        let effective: Vec<(EurosPerKwh, geoplace_energy::price::PriceLevel)> = self
             .scenario
             .dcs
             .iter()
-            .map(|d| d.price.price_at(slot))
+            .zip(price_factors)
+            .map(|(d, &factor)| effective_tariff(&d.price, slot, factor))
             .collect();
-        // Day-averaged tariffs, normalized over the fleet.
+        let prices: Vec<EurosPerKwh> = effective.iter().map(|&(p, _)| p).collect();
+        // Day-averaged tariffs, normalized over the fleet. Deliberately
+        // the *base* schedule: placements weigh the structural daily
+        // landscape; transient spikes act through the spot price above.
         let daily_avg: Vec<f64> = self
             .scenario
             .dcs
@@ -408,23 +449,28 @@ impl Simulator {
         self.scenario
             .dcs
             .iter()
+            .enumerate()
             .zip(daily_avg.iter())
-            .map(|(d, &avg)| DcInfo {
-                id: d.id,
-                servers: d.config.servers,
-                power_model: d.power_model.clone(),
-                battery_available: d.battery.available_energy(),
-                battery_headroom: d.battery.headroom(),
-                pv_forecast: d.forecaster.forecast(slot),
-                pv_forecast_day: (0..24u32).map(|k| d.forecaster.forecast(slot + k)).sum(),
-                battery_day: (d.battery.capacity() - d.battery.reserve_floor()) * 0.95,
-                price: d.price.price_at(slot),
-                price_level: d.price.level(slot),
-                relative_price: d.price.relative_price(slot, min_p, max_p),
-                avg_relative_price: ((avg - avg_min) / avg_span).clamp(0.0, 1.0),
-                last_it_energy: d.last_it_energy,
-                last_total_energy: d.last_total_energy,
-                pue: d.pue_at(slot),
+            .map(|((index, d), &avg)| {
+                let (price, price_level) = effective[index];
+                let relative_price = geoplace_energy::price::relative_of(price, min_p, max_p);
+                DcInfo {
+                    id: d.id,
+                    servers: usable_servers[index],
+                    power_model: d.power_model.clone(),
+                    battery_available: d.battery.available_energy(),
+                    battery_headroom: d.battery.headroom(),
+                    pv_forecast: d.forecaster.forecast(slot),
+                    pv_forecast_day: (0..24u32).map(|k| d.forecaster.forecast(slot + k)).sum(),
+                    battery_day: (d.battery.capacity() - d.battery.reserve_floor()) * 0.95,
+                    price,
+                    price_level,
+                    relative_price,
+                    avg_relative_price: ((avg - avg_min) / avg_span).clamp(0.0, 1.0),
+                    last_it_energy: d.last_it_energy,
+                    last_total_energy: d.last_total_energy,
+                    pue: d.pue_at(slot),
+                }
             })
             .collect()
     }
@@ -510,6 +556,30 @@ fn dc_it_power(
     }
     debug_assert_eq!(width, TICKS_PER_SLOT);
     power
+}
+
+/// Spot tariff and qualitative level of one DC during `slot`, after the
+/// event timeline's price factor. A spike that lifts the effective price
+/// to the site's peak tariff (or beyond) escalates the level to `High`,
+/// so the green controller stops cheap-hour arbitrage for the duration;
+/// discounts never demote the level — transients may only make a site
+/// look *more* expensive, the conservative direction for battery policy.
+fn effective_tariff(
+    schedule: &PriceSchedule,
+    slot: TimeSlot,
+    factor: f64,
+) -> (EurosPerKwh, PriceLevel) {
+    let base = schedule.price_at(slot);
+    if factor == 1.0 {
+        return (base, schedule.level(slot));
+    }
+    let price = EurosPerKwh(base.0 * factor);
+    let level = if price.0 >= schedule.peak().0 - 1e-12 {
+        PriceLevel::High
+    } else {
+        schedule.level(slot)
+    };
+    (price, level)
 }
 
 /// Grid cost of an energy amount in joules at a kWh tariff, clamped at
@@ -757,6 +827,180 @@ mod tests {
             let report = run(threads);
             assert_eq!(report, reference, "t={threads}");
         }
+    }
+
+    /// A policy that packs every VM as densely as the observed server
+    /// count allows, one DC — used to observe capacity derates.
+    struct SpreadOnDc0;
+
+    impl GlobalPolicy for SpreadOnDc0 {
+        fn name(&self) -> &'static str {
+            "spread-on-dc0"
+        }
+
+        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+            let mut decision = PlacementDecision::new(snapshot.dc_count());
+            let servers = (snapshot.dcs[0].servers as usize)
+                .min(snapshot.vm_ids().len())
+                .max(1);
+            let mut per_server: Vec<Vec<VmId>> = vec![Vec::new(); servers];
+            for (i, &vm) in snapshot.vm_ids().iter().enumerate() {
+                per_server[i % servers].push(vm);
+            }
+            for (server, vms) in per_server.into_iter().enumerate() {
+                if vms.is_empty() {
+                    continue;
+                }
+                decision.push(
+                    DcId(0),
+                    ServerAssignment {
+                        server: server as u32,
+                        freq: FreqLevel(1),
+                        vms,
+                    },
+                );
+            }
+            decision
+        }
+    }
+
+    #[test]
+    fn capacity_derate_shrinks_the_observable_world() {
+        use crate::events::{EngineEvent, EventKind, EventTimeline};
+        let mut config = tiny_config();
+        // Derate DC0 below the VM count, so the one-VM-per-server policy
+        // is forced to double up during the maintenance window.
+        config.timeline = EventTimeline::new(vec![EngineEvent {
+            dc: Some(0),
+            start_slot: 2,
+            end_slot: 4,
+            kind: EventKind::CapacityDerate { factor: 0.05 },
+        }]);
+        let scenario = Scenario::build(&config).unwrap();
+        let usable = events::effective_servers(config.dcs[0].servers, 0.05);
+        let report = Simulator::new(scenario).run(&mut SpreadOnDc0);
+        for hour in &report.hourly {
+            if (2..4).contains(&hour.slot) {
+                assert!(
+                    hour.active_servers <= usable,
+                    "slot {}: {} active servers on {} usable",
+                    hour.slot,
+                    hour.active_servers,
+                    usable
+                );
+            } else {
+                assert!(
+                    hour.active_servers > usable,
+                    "slot {}: the undersized window must bind only inside \
+                     the derate ({} active vs {} usable)",
+                    hour.slot,
+                    hour.active_servers,
+                    usable
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn price_spike_raises_the_bill() {
+        use crate::events::{EngineEvent, EventKind, EventTimeline};
+        // Strip the buffers (tiny battery, no PV) so every joule is
+        // bought from the grid at the effective tariff — otherwise the
+        // spike just makes the green controller drain the battery and
+        // the bill shows nothing.
+        let bare = || {
+            let mut config = tiny_config();
+            for dc in &mut config.dcs {
+                dc.battery_kwh = 0.001;
+                dc.pv_kwp = 0.0;
+            }
+            config
+        };
+        let base = Simulator::new(Scenario::build(&bare()).unwrap()).run(&mut AllOnFirstDc);
+        let mut spiked_config = bare();
+        spiked_config.timeline = EventTimeline::new(vec![EngineEvent {
+            dc: Some(0),
+            start_slot: 0,
+            end_slot: 4,
+            kind: EventKind::PriceSpike { factor: 10.0 },
+        }]);
+        let spiked =
+            Simulator::new(Scenario::build(&spiked_config).unwrap()).run(&mut AllOnFirstDc);
+        assert!(
+            spiked.totals().cost_eur > base.totals().cost_eur * 5.0,
+            "10x tariff on the only active DC: {} vs {}",
+            spiked.totals().cost_eur,
+            base.totals().cost_eur
+        );
+        // Energy is untouched — a spike changes the bill, not the load.
+        assert_eq!(spiked.totals().energy_gj, base.totals().energy_gj);
+    }
+
+    #[test]
+    fn pv_drought_pushes_load_onto_the_grid() {
+        use crate::events::{EngineEvent, EventKind, EventTimeline};
+        // Daylight slots so PV actually matters.
+        let mut config = tiny_config();
+        config.horizon_slots = 16;
+        let base = Simulator::new(Scenario::build(&config).unwrap()).run(&mut AllOnFirstDc);
+        let mut dark_config = config.clone();
+        dark_config.timeline = EventTimeline::new(vec![EngineEvent {
+            dc: None,
+            start_slot: 0,
+            end_slot: 16,
+            kind: EventKind::PvDerate { factor: 0.0 },
+        }]);
+        let dark = Simulator::new(Scenario::build(&dark_config).unwrap()).run(&mut AllOnFirstDc);
+        assert_eq!(
+            dark.totals().energy_gj,
+            base.totals().energy_gj,
+            "demand side is untouched"
+        );
+        assert!(
+            dark.hourly.iter().map(|h| h.pv_used_j).sum::<f64>() == 0.0,
+            "a total drought harvests nothing"
+        );
+        assert!(
+            dark.totals().grid_energy_gj > base.totals().grid_energy_gj,
+            "lost PV must be bought from the grid"
+        );
+    }
+
+    #[test]
+    fn timeline_runs_stay_deterministic_and_thread_invariant() {
+        use crate::events::{EngineEvent, EventKind, EventTimeline};
+        use geoplace_types::Parallelism;
+        let run = |threads: usize| {
+            let mut config = tiny_config();
+            config.parallelism = Parallelism::Threads(threads);
+            config.timeline = EventTimeline::new(vec![
+                EngineEvent {
+                    dc: Some(0),
+                    start_slot: 1,
+                    end_slot: 3,
+                    kind: EventKind::CapacityDerate { factor: 0.5 },
+                },
+                EngineEvent {
+                    dc: None,
+                    start_slot: 0,
+                    end_slot: 4,
+                    kind: EventKind::PriceSpike { factor: 2.5 },
+                },
+                EngineEvent {
+                    dc: Some(1),
+                    start_slot: 0,
+                    end_slot: 4,
+                    kind: EventKind::PvDerate { factor: 0.3 },
+                },
+            ]);
+            let scenario = Scenario::build(&config).unwrap();
+            Simulator::new(scenario).run(&mut RoundRobinDcs)
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            assert_eq!(run(threads), reference, "t={threads}");
+        }
+        assert_eq!(reference.digest(), run(1).digest());
     }
 
     #[test]

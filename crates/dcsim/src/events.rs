@@ -1,0 +1,403 @@
+//! The engine event timeline: deterministic, slot-indexed perturbations
+//! of the simulated world.
+//!
+//! The paper evaluates one stationary diurnal regime; the scenario
+//! library stresses the policies with *transients* — maintenance windows
+//! that derate a DC's usable capacity, tariff spikes, PV droughts. An
+//! [`EventTimeline`] is the engine-facing form of those perturbations:
+//! a set of [`EngineEvent`]s over half-open slot windows, kept in a
+//! canonical order so that
+//!
+//! * building the same event set in any insertion order yields the same
+//!   timeline (and bit-identical per-slot factors — the fold order of
+//!   overlapping factors is fixed), and
+//! * resolution is a pure function of `(timeline, slot)`: re-applying a
+//!   timeline never compounds (idempotence), because events scale the
+//!   *base* series, not the previously scaled one.
+//!
+//! The engine resolves the timeline once per run into per-DC
+//! [`SlotModulator`]s and queries them at slot granularity; ticks within
+//! a slot share the slot's factors.
+
+use geoplace_energy::modulate::{ModSegment, SlotModulator};
+use geoplace_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// What an event does to the world while its window is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Multiplies the DC's usable server count by `factor` ∈ (0, 1] —
+    /// a maintenance window or partial outage. Policies see the derated
+    /// count and decisions are validated against it.
+    CapacityDerate {
+        /// Usable fraction of the servers (never below one server).
+        factor: f64,
+    },
+    /// Multiplies the DC's grid tariff by `factor` > 0. A spike that
+    /// lifts the effective price to (or past) the site's peak tariff
+    /// also flips the qualitative price level to `High`, so the green
+    /// controller stops cheap-hour arbitrage during the spike.
+    PriceSpike {
+        /// Tariff multiplier (> 1 spikes, < 1 discounts).
+        factor: f64,
+    },
+    /// Multiplies the DC's PV output by `factor` ∈ [0, 1] — an overcast
+    /// front or panel outage ("green drought"). The WCMA forecaster
+    /// observes the derated harvest and adapts on its own.
+    PvDerate {
+        /// Remaining fraction of the PV output.
+        factor: f64,
+    },
+}
+
+impl EventKind {
+    /// Discriminant used in the canonical ordering.
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::CapacityDerate { .. } => 0,
+            EventKind::PriceSpike { .. } => 1,
+            EventKind::PvDerate { .. } => 2,
+        }
+    }
+
+    /// The raw factor, whatever the kind.
+    pub fn factor(&self) -> f64 {
+        match *self {
+            EventKind::CapacityDerate { factor }
+            | EventKind::PriceSpike { factor }
+            | EventKind::PvDerate { factor } => factor,
+        }
+    }
+
+    /// Validates the factor range for this kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the factor is out of range.
+    pub fn validate(&self) -> Result<()> {
+        let factor = self.factor();
+        if !factor.is_finite() {
+            return Err(Error::invalid_config("event factor must be finite"));
+        }
+        match self {
+            EventKind::CapacityDerate { .. } if !(factor > 0.0 && factor <= 1.0) => Err(
+                Error::invalid_config("capacity derate factor must be in (0, 1]"),
+            ),
+            EventKind::PriceSpike { .. } if factor <= 0.0 => {
+                Err(Error::invalid_config("price spike factor must be > 0"))
+            }
+            EventKind::PvDerate { .. } if !(0.0..=1.0).contains(&factor) => {
+                Err(Error::invalid_config("pv derate factor must be in [0, 1]"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One timeline entry: a kind, a half-open slot window and a target DC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineEvent {
+    /// Target DC index; `None` applies the event to every DC.
+    pub dc: Option<u16>,
+    /// First slot the event is active.
+    pub start_slot: u32,
+    /// One past the last active slot.
+    pub end_slot: u32,
+    /// The perturbation.
+    pub kind: EventKind,
+}
+
+impl EngineEvent {
+    /// Whether the event targets DC `dc`.
+    pub fn targets(&self, dc: usize) -> bool {
+        match self.dc {
+            None => true,
+            Some(target) => usize::from(target) == dc,
+        }
+    }
+
+    /// Canonical ordering key: slot window, then target, then kind, then
+    /// factor bits — a total order, so sorting is deterministic.
+    fn key(&self) -> (u32, u32, u32, u8, u64) {
+        let dc_rank = match self.dc {
+            None => 0,
+            Some(d) => u32::from(d) + 1,
+        };
+        (
+            self.start_slot,
+            self.end_slot,
+            dc_rank,
+            self.kind.rank(),
+            self.kind.factor().to_bits(),
+        )
+    }
+
+    /// Validates window, target and factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] describing the violation.
+    pub fn validate(&self, n_dcs: usize) -> Result<()> {
+        if self.start_slot >= self.end_slot {
+            return Err(Error::invalid_config(format!(
+                "event window [{}, {}) is empty",
+                self.start_slot, self.end_slot
+            )));
+        }
+        if let Some(dc) = self.dc {
+            if usize::from(dc) >= n_dcs {
+                return Err(Error::invalid_config(format!(
+                    "event targets DC {dc} but the scenario has {n_dcs} DCs"
+                )));
+            }
+        }
+        self.kind.validate()
+    }
+}
+
+/// A canonically ordered set of engine events.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_dcsim::events::{EngineEvent, EventKind, EventTimeline};
+/// use geoplace_types::time::TimeSlot;
+///
+/// let mut timeline = EventTimeline::default();
+/// timeline.push(EngineEvent {
+///     dc: Some(0),
+///     start_slot: 6,
+///     end_slot: 12,
+///     kind: EventKind::PriceSpike { factor: 4.0 },
+/// });
+/// let price = timeline.price_modulator(0);
+/// assert_eq!(price.factor_at(TimeSlot(7)), 4.0);
+/// assert_eq!(price.factor_at(TimeSlot(12)), 1.0);
+/// assert!(timeline.price_modulator(1).is_identity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EventTimeline {
+    events: Vec<EngineEvent>,
+}
+
+impl EventTimeline {
+    /// Builds a timeline from events (any order — the canonical order is
+    /// established here, and `new(t.events().to_vec())` round-trips).
+    pub fn new(events: Vec<EngineEvent>) -> Self {
+        let mut timeline = EventTimeline { events };
+        timeline.normalize();
+        timeline
+    }
+
+    /// Adds one event, keeping the canonical order.
+    pub fn push(&mut self, event: EngineEvent) {
+        self.events.push(event);
+        self.normalize();
+    }
+
+    /// Re-establishes the canonical order; idempotent by construction.
+    fn normalize(&mut self) {
+        self.events.sort_by_key(EngineEvent::key);
+    }
+
+    /// Whether no events exist.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in canonical (slot) order.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Validates every event against the scenario's DC count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for the first invalid event.
+    pub fn validate(&self, n_dcs: usize) -> Result<()> {
+        for event in &self.events {
+            event.validate(n_dcs)?;
+        }
+        Ok(())
+    }
+
+    /// The composed per-slot modulator of one kind for one DC.
+    fn modulator_of(&self, dc: usize, rank: u8) -> SlotModulator {
+        let segments: Vec<ModSegment> = self
+            .events
+            .iter()
+            .filter(|e| e.kind.rank() == rank && e.targets(dc))
+            .map(|e| ModSegment {
+                start_slot: e.start_slot,
+                end_slot: e.end_slot,
+                factor: e.kind.factor(),
+            })
+            .collect();
+        // Infallible lowering: `ScenarioConfig::validate` (via
+        // `EventTimeline::validate`) is the gate that rejects bad
+        // events; resolving an unvalidated timeline must not panic.
+        SlotModulator::from_segments(segments)
+    }
+
+    /// Capacity factor schedule of DC `dc`.
+    pub fn capacity_modulator(&self, dc: usize) -> SlotModulator {
+        self.modulator_of(dc, 0)
+    }
+
+    /// Tariff factor schedule of DC `dc`.
+    pub fn price_modulator(&self, dc: usize) -> SlotModulator {
+        self.modulator_of(dc, 1)
+    }
+
+    /// PV factor schedule of DC `dc`.
+    pub fn pv_modulator(&self, dc: usize) -> SlotModulator {
+        self.modulator_of(dc, 2)
+    }
+}
+
+/// Usable servers after a capacity derate: the floor of the scaled
+/// count, never below one server (a DC with servers cannot derate to
+/// zero — the engine needs somewhere to put rollback placements).
+pub fn effective_servers(servers: u32, factor: f64) -> u32 {
+    if factor >= 1.0 {
+        return servers;
+    }
+    ((f64::from(servers) * factor).floor() as u32).clamp(1, servers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoplace_types::time::TimeSlot;
+
+    fn derate(dc: Option<u16>, start: u32, end: u32, factor: f64) -> EngineEvent {
+        EngineEvent {
+            dc,
+            start_slot: start,
+            end_slot: end,
+            kind: EventKind::CapacityDerate { factor },
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let events = vec![
+            derate(Some(1), 4, 8, 0.5),
+            derate(None, 0, 24, 0.9),
+            EngineEvent {
+                dc: Some(0),
+                start_slot: 2,
+                end_slot: 6,
+                kind: EventKind::PriceSpike { factor: 3.0 },
+            },
+        ];
+        let forward = EventTimeline::new(events.clone());
+        let mut reversed = EventTimeline::default();
+        for event in events.into_iter().rev() {
+            reversed.push(event);
+        }
+        assert_eq!(forward, reversed);
+        for dc in 0..3usize {
+            for slot in 0..30u32 {
+                let slot = TimeSlot(slot);
+                assert_eq!(
+                    forward.capacity_modulator(dc).factor_at(slot).to_bits(),
+                    reversed.capacity_modulator(dc).factor_at(slot).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let timeline = EventTimeline::new(vec![
+            derate(Some(2), 10, 20, 0.25),
+            derate(Some(0), 0, 5, 0.75),
+        ]);
+        let renormalized = EventTimeline::new(timeline.events().to_vec());
+        assert_eq!(timeline, renormalized);
+    }
+
+    #[test]
+    fn events_target_the_right_dc() {
+        let timeline = EventTimeline::new(vec![derate(Some(1), 0, 10, 0.5)]);
+        assert!(timeline.capacity_modulator(0).is_identity());
+        assert_eq!(timeline.capacity_modulator(1).factor_at(TimeSlot(3)), 0.5);
+        let fleet_wide = EventTimeline::new(vec![derate(None, 0, 10, 0.5)]);
+        for dc in 0..3usize {
+            assert_eq!(
+                fleet_wide.capacity_modulator(dc).factor_at(TimeSlot(3)),
+                0.5,
+                "dc {dc}"
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_resolve_into_disjoint_modulators() {
+        let timeline = EventTimeline::new(vec![
+            EngineEvent {
+                dc: None,
+                start_slot: 0,
+                end_slot: 4,
+                kind: EventKind::PvDerate { factor: 0.3 },
+            },
+            EngineEvent {
+                dc: None,
+                start_slot: 0,
+                end_slot: 4,
+                kind: EventKind::PriceSpike { factor: 2.0 },
+            },
+        ]);
+        let slot = TimeSlot(1);
+        assert_eq!(timeline.pv_modulator(0).factor_at(slot), 0.3);
+        assert_eq!(timeline.price_modulator(0).factor_at(slot), 2.0);
+        assert_eq!(timeline.capacity_modulator(0).factor_at(slot), 1.0);
+    }
+
+    #[test]
+    fn validation_enforces_ranges() {
+        let n = 3;
+        assert!(derate(None, 5, 5, 0.5).validate(n).is_err());
+        assert!(derate(None, 0, 5, 0.0).validate(n).is_err());
+        assert!(derate(None, 0, 5, 1.5).validate(n).is_err());
+        assert!(derate(Some(3), 0, 5, 0.5).validate(n).is_err());
+        assert!(derate(Some(2), 0, 5, 0.5).validate(n).is_ok());
+        let spike = EngineEvent {
+            dc: None,
+            start_slot: 0,
+            end_slot: 2,
+            kind: EventKind::PriceSpike { factor: 0.0 },
+        };
+        assert!(spike.validate(n).is_err());
+        let dark = EngineEvent {
+            dc: None,
+            start_slot: 0,
+            end_slot: 2,
+            kind: EventKind::PvDerate { factor: 0.0 },
+        };
+        assert!(dark.validate(n).is_ok(), "a total blackout is a scenario");
+    }
+
+    #[test]
+    fn resolving_an_unvalidated_timeline_never_panics() {
+        // Validation lives in `validate()`; lowering must tolerate a
+        // timeline that has not passed it. An empty window is inert.
+        let timeline = EventTimeline::new(vec![derate(Some(0), 5, 5, 0.5)]);
+        assert!(timeline.validate(3).is_err());
+        let modulator = timeline.capacity_modulator(0);
+        for slot in 0..10u32 {
+            assert_eq!(modulator.factor_at(TimeSlot(slot)), 1.0);
+        }
+    }
+
+    #[test]
+    fn effective_servers_floors_and_clamps() {
+        assert_eq!(effective_servers(100, 1.0), 100);
+        assert_eq!(effective_servers(100, 0.5), 50);
+        assert_eq!(effective_servers(100, 0.999), 99);
+        assert_eq!(effective_servers(3, 0.01), 1, "never derate to zero");
+        assert_eq!(effective_servers(100, 2.0), 100, "no capacity boosts");
+    }
+}

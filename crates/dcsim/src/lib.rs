@@ -50,6 +50,7 @@ pub mod config;
 pub mod dc;
 pub mod decision;
 pub mod engine;
+pub mod events;
 pub mod metrics;
 pub mod policy;
 pub mod power;
@@ -60,6 +61,7 @@ pub use config::{DcConfig, ScenarioConfig};
 pub use dc::DataCenter;
 pub use decision::{PlacementDecision, ServerAssignment};
 pub use engine::{Scenario, Simulator};
+pub use events::{EngineEvent, EventKind, EventTimeline};
 pub use metrics::{Histogram, HourlyRecord, SimulationReport, Totals};
 pub use policy::GlobalPolicy;
 pub use power::{FreqLevel, OperatingPoint, ServerPowerModel};

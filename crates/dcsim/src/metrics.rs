@@ -186,6 +186,83 @@ impl SimulationReport {
         }
         out
     }
+
+    /// Canonical 64-bit digest of the *entire* report — policy name,
+    /// every hourly field (exact `f64` bit patterns), every response
+    /// sample and the per-DC energy vector.
+    ///
+    /// Two reports digest equal iff they are bit-identical, which makes
+    /// this the currency of the golden-regression matrix: same scenario,
+    /// policy and seed must reproduce the committed digest on any
+    /// machine and at any [`Parallelism`](geoplace_types::Parallelism)
+    /// setting (the executor's determinism contract).
+    pub fn digest64(&self) -> u64 {
+        let mut hash = Fnv64::new();
+        hash.write_bytes(self.policy.as_bytes());
+        hash.write_u64(self.hourly.len() as u64);
+        for h in &self.hourly {
+            hash.write_u64(u64::from(h.slot));
+            hash.write_f64(h.cost_eur);
+            hash.write_f64(h.it_energy_j);
+            hash.write_f64(h.total_energy_j);
+            hash.write_f64(h.grid_energy_j);
+            hash.write_f64(h.pv_used_j);
+            hash.write_f64(h.pv_curtailed_j);
+            hash.write_f64(h.battery_discharge_j);
+            hash.write_u64(u64::from(h.migrations));
+            hash.write_f64(h.migration_volume_gb);
+            hash.write_u64(u64::from(h.migration_overruns));
+            hash.write_f64(h.response_worst_s);
+            hash.write_f64(h.response_mean_s);
+            hash.write_u64(u64::from(h.active_servers));
+            hash.write_u64(u64::from(h.active_vms));
+        }
+        hash.write_u64(self.response_samples.len() as u64);
+        for &sample in &self.response_samples {
+            hash.write_f64(sample);
+        }
+        hash.write_u64(self.per_dc_energy_gj.len() as u64);
+        for &energy in &self.per_dc_energy_gj {
+            hash.write_f64(energy);
+        }
+        hash.finish()
+    }
+
+    /// [`SimulationReport::digest64`] rendered as 16 lowercase hex
+    /// digits — the form committed to the golden files.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", self.digest64())
+    }
+}
+
+/// FNV-1a (64-bit): dependency-free, stable across platforms and Rust
+/// versions — unlike `DefaultHasher`, whose output is explicitly not
+/// guaranteed stable, which would silently invalidate committed goldens.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// `q`-th percentile (0..1) of a sample set by linear interpolation;
@@ -362,5 +439,44 @@ mod tests {
         let csv = r.response_samples_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.contains("2.5"));
+    }
+
+    #[test]
+    fn digest_separates_any_field_change() {
+        let mut base = SimulationReport::new("p", 2);
+        base.push_hour(record(5.0, 1e9, 1.0));
+        base.response_samples = vec![0.5];
+        base.per_dc_energy_gj = vec![1.0, 2.0];
+
+        let reference = base.digest();
+        assert_eq!(reference.len(), 16);
+        assert_eq!(reference, base.digest(), "digest must be a pure function");
+
+        let mut renamed = base.clone();
+        renamed.policy = "q".into();
+        assert_ne!(renamed.digest(), reference);
+
+        let mut tweaked = base.clone();
+        tweaked.hourly[0].cost_eur += 1e-12;
+        assert_ne!(tweaked.digest(), reference, "bit-level sensitivity");
+
+        let mut sampled = base.clone();
+        sampled.response_samples.push(0.5);
+        assert_ne!(sampled.digest(), reference);
+
+        let mut energy = base.clone();
+        energy.per_dc_energy_gj[1] = 2.5;
+        assert_ne!(energy.digest(), reference);
+    }
+
+    #[test]
+    fn digest_is_a_stable_function_not_a_hasher_artifact() {
+        // Pin one concrete digest: if the hash constants or the field
+        // serialization order ever change, this literal changes — and
+        // with it every committed golden file, which must then be
+        // regenerated deliberately (see crates/bench/tests/golden/).
+        let report = SimulationReport::new("Proposed", 3);
+        assert_eq!(report.digest(), "7c0e272c383a5e20");
+        assert_eq!(report.digest(), format!("{:016x}", report.digest64()));
     }
 }

@@ -107,4 +107,75 @@ proptest! {
         let max = samples.iter().cloned().fold(f64::MIN, f64::max);
         prop_assert!(p1 >= min - 1e-9 && p2 <= max + 1e-9);
     }
+
+    /// Event timelines apply idempotently and in slot order regardless
+    /// of insertion order: any permutation of the same event set builds
+    /// the same canonical timeline, resolves to bit-identical per-slot
+    /// factors for every DC and kind, and re-normalizing a canonical
+    /// timeline is a no-op.
+    #[test]
+    fn event_timeline_is_order_independent_and_idempotent(
+        seed in 0u64..500,
+        n_events in 1usize..10,
+    ) {
+        use geoplace_dcsim::events::{EngineEvent, EventKind, EventTimeline};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for _ in 0..n_events {
+            let start = rng.gen_range(0u32..24);
+            let end = start + rng.gen_range(1u32..12);
+            let dc = match rng.gen_range(0u8..4) {
+                0 => None,
+                d => Some(u16::from(d) - 1),
+            };
+            let kind = match rng.gen_range(0u8..3) {
+                0 => EventKind::CapacityDerate { factor: rng.gen_range(0.05f64..1.0) },
+                1 => EventKind::PriceSpike { factor: rng.gen_range(0.2f64..6.0) },
+                _ => EventKind::PvDerate { factor: rng.gen_range(0.0f64..1.0) },
+            };
+            events.push(EngineEvent { dc, start_slot: start, end_slot: end, kind });
+        }
+        prop_assert!(EventTimeline::new(events.clone()).validate(3).is_ok());
+
+        // Three insertion orders: as generated, reversed, and rotated.
+        let forward = EventTimeline::new(events.clone());
+        let mut reversed = EventTimeline::default();
+        for e in events.iter().rev() {
+            reversed.push(*e);
+        }
+        let mut rotated = events.clone();
+        rotated.rotate_left(n_events / 2);
+        let rotated = EventTimeline::new(rotated);
+
+        prop_assert_eq!(&forward, &reversed);
+        prop_assert_eq!(&forward, &rotated);
+
+        // Idempotence: normalizing the canonical form changes nothing.
+        let renormalized = EventTimeline::new(forward.events().to_vec());
+        prop_assert_eq!(&forward, &renormalized);
+
+        // Resolution is bit-identical across insertion orders, and the
+        // canonical event order is sorted by slot window.
+        for dc in 0..3usize {
+            for slot in 0..40u32 {
+                let slot = TimeSlot(slot);
+                for (a, b) in [
+                    (forward.capacity_modulator(dc), reversed.capacity_modulator(dc)),
+                    (forward.price_modulator(dc), reversed.price_modulator(dc)),
+                    (forward.pv_modulator(dc), reversed.pv_modulator(dc)),
+                ] {
+                    prop_assert_eq!(a.factor_at(slot).to_bits(), b.factor_at(slot).to_bits());
+                }
+            }
+        }
+        let starts: Vec<(u32, u32)> = forward
+            .events()
+            .iter()
+            .map(|e| (e.start_slot, e.end_slot))
+            .collect();
+        prop_assert!(starts.windows(2).all(|w| w[0] <= w[1]), "slot order: {starts:?}");
+    }
 }

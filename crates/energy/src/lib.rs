@@ -7,7 +7,10 @@
 //! * [`battery`] — lithium-ion banks with a 50 % depth-of-discharge floor;
 //! * [`price`] — two-level tariffs with per-site time zones;
 //! * [`green`] — the rule-based 5 s green controller that compensates
-//!   forecast error by steering PV, battery and grid power.
+//!   forecast error by steering PV, battery and grid power;
+//! * [`modulate`] — slot-indexed multiplicative perturbations (tariff
+//!   spikes, PV droughts) the scenario library's event timelines lower
+//!   into.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@
 pub mod battery;
 pub mod forecast;
 pub mod green;
+pub mod modulate;
 mod noise;
 pub mod price;
 pub mod pv;
@@ -43,6 +47,7 @@ pub mod pv;
 pub use battery::Battery;
 pub use forecast::WcmaForecaster;
 pub use green::{GreenController, GreenOutcome};
+pub use modulate::{ModSegment, SlotModulator};
 pub use price::{PriceLevel, PriceSchedule};
 pub use pv::{PvArray, Site};
 
@@ -51,6 +56,7 @@ pub mod prelude {
     pub use crate::battery::Battery;
     pub use crate::forecast::WcmaForecaster;
     pub use crate::green::{GreenController, GreenOutcome};
+    pub use crate::modulate::{ModSegment, SlotModulator};
     pub use crate::price::{PriceLevel, PriceSchedule};
     pub use crate::pv::{PvArray, Site};
 }

@@ -1,0 +1,219 @@
+//! Slot-indexed multiplicative modulators for price and PV series.
+//!
+//! The scenario library perturbs the paper's diurnal regime with
+//! transient events — tariff spikes, PV droughts, maintenance derates —
+//! all of which reduce to "multiply a base series by a factor over a
+//! half-open slot window". A [`SlotModulator`] is the resolved form of
+//! such a schedule: a set of `[start, end) → factor` segments kept in a
+//! *canonical order* so that
+//!
+//! * building the same segment set in any insertion order yields the
+//!   same modulator (insertion-order independence), and
+//! * [`SlotModulator::factor_at`] folds overlapping factors in that
+//!   canonical order, so the (non-associative) floating-point product is
+//!   bit-identical across runs and thread counts.
+
+use geoplace_types::time::TimeSlot;
+use geoplace_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// One `[start_slot, end_slot) → factor` multiplier window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModSegment {
+    /// First slot the factor applies to.
+    pub start_slot: u32,
+    /// One past the last slot the factor applies to.
+    pub end_slot: u32,
+    /// Multiplier applied to the base series (1.0 = no change).
+    pub factor: f64,
+}
+
+impl ModSegment {
+    /// Whether `slot` falls inside the segment's half-open window.
+    pub fn covers(&self, slot: TimeSlot) -> bool {
+        (self.start_slot..self.end_slot).contains(&slot.0)
+    }
+
+    /// Canonical ordering key: slot window first, then the factor's bit
+    /// pattern (a total order even for weird floats).
+    fn key(&self) -> (u32, u32, u64) {
+        (self.start_slot, self.end_slot, self.factor.to_bits())
+    }
+
+    /// Validates the window and the factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on an empty window or a
+    /// negative/non-finite factor.
+    pub fn validate(&self) -> Result<()> {
+        if self.start_slot >= self.end_slot {
+            return Err(Error::invalid_config(format!(
+                "modulator segment window [{}, {}) is empty",
+                self.start_slot, self.end_slot
+            )));
+        }
+        if !self.factor.is_finite() || self.factor < 0.0 {
+            return Err(Error::invalid_config(format!(
+                "modulator factor {} must be finite and >= 0",
+                self.factor
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A piecewise multiplicative perturbation of a per-slot series.
+///
+/// Overlapping segments compose by multiplication; outside every segment
+/// the factor is 1.0. Segments are stored in canonical order, so two
+/// modulators built from the same segments — in any order — are equal
+/// and produce bit-identical factors.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_energy::modulate::{ModSegment, SlotModulator};
+/// use geoplace_types::time::TimeSlot;
+///
+/// let mut spike = SlotModulator::identity();
+/// spike.push(ModSegment { start_slot: 4, end_slot: 8, factor: 3.0 });
+/// assert_eq!(spike.factor_at(TimeSlot(3)), 1.0);
+/// assert_eq!(spike.factor_at(TimeSlot(4)), 3.0);
+/// assert_eq!(spike.factor_at(TimeSlot(8)), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SlotModulator {
+    segments: Vec<ModSegment>,
+}
+
+impl SlotModulator {
+    /// The do-nothing modulator (factor 1.0 everywhere).
+    pub fn identity() -> Self {
+        SlotModulator::default()
+    }
+
+    /// Builds a modulator from segments, validating each and sorting
+    /// into canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any segment is invalid.
+    pub fn new(segments: Vec<ModSegment>) -> Result<Self> {
+        for segment in &segments {
+            segment.validate()?;
+        }
+        let mut modulator = SlotModulator { segments };
+        modulator.normalize();
+        Ok(modulator)
+    }
+
+    /// Builds a modulator without validating the segments — the
+    /// lowering path for already-validated event timelines, and safe
+    /// for arbitrary input in the sense that it never panics: an empty
+    /// window simply covers no slot, and out-of-range factors resolve
+    /// as given (config-level validation is the gate that rejects
+    /// them before a simulation runs).
+    pub fn from_segments(segments: Vec<ModSegment>) -> Self {
+        let mut modulator = SlotModulator { segments };
+        modulator.normalize();
+        modulator
+    }
+
+    /// Adds one segment, keeping the canonical order.
+    pub fn push(&mut self, segment: ModSegment) {
+        self.segments.push(segment);
+        self.normalize();
+    }
+
+    /// Re-establishes the canonical segment order. Idempotent: calling
+    /// it any number of times yields the same modulator.
+    fn normalize(&mut self) {
+        self.segments.sort_by_key(ModSegment::key);
+    }
+
+    /// Whether no segment exists (factor 1.0 for every slot).
+    pub fn is_identity(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The segments in canonical order.
+    pub fn segments(&self) -> &[ModSegment] {
+        &self.segments
+    }
+
+    /// The composed multiplier for `slot`: the product of every covering
+    /// segment's factor, folded in canonical order.
+    pub fn factor_at(&self, slot: TimeSlot) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.covers(slot))
+            .fold(1.0, |acc, s| acc * s.factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start: u32, end: u32, factor: f64) -> ModSegment {
+        ModSegment {
+            start_slot: start,
+            end_slot: end,
+            factor,
+        }
+    }
+
+    #[test]
+    fn identity_everywhere_without_segments() {
+        let m = SlotModulator::identity();
+        assert!(m.is_identity());
+        for slot in 0..200u32 {
+            assert_eq!(m.factor_at(TimeSlot(slot)), 1.0);
+        }
+    }
+
+    #[test]
+    fn half_open_window() {
+        let m = SlotModulator::new(vec![seg(10, 20, 0.5)]).unwrap();
+        assert_eq!(m.factor_at(TimeSlot(9)), 1.0);
+        assert_eq!(m.factor_at(TimeSlot(10)), 0.5);
+        assert_eq!(m.factor_at(TimeSlot(19)), 0.5);
+        assert_eq!(m.factor_at(TimeSlot(20)), 1.0);
+    }
+
+    #[test]
+    fn overlaps_multiply() {
+        let m = SlotModulator::new(vec![seg(0, 10, 2.0), seg(5, 15, 3.0)]).unwrap();
+        assert_eq!(m.factor_at(TimeSlot(2)), 2.0);
+        assert_eq!(m.factor_at(TimeSlot(7)), 6.0);
+        assert_eq!(m.factor_at(TimeSlot(12)), 3.0);
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant() {
+        let a = SlotModulator::new(vec![seg(0, 8, 1.5), seg(4, 12, 0.25), seg(2, 6, 3.0)]).unwrap();
+        let mut b = SlotModulator::identity();
+        b.push(seg(2, 6, 3.0));
+        b.push(seg(0, 8, 1.5));
+        b.push(seg(4, 12, 0.25));
+        assert_eq!(a, b);
+        for slot in 0..16u32 {
+            assert_eq!(
+                a.factor_at(TimeSlot(slot)).to_bits(),
+                b.factor_at(TimeSlot(slot)).to_bits(),
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_segments() {
+        assert!(SlotModulator::new(vec![seg(5, 5, 1.0)]).is_err());
+        assert!(SlotModulator::new(vec![seg(6, 5, 1.0)]).is_err());
+        assert!(SlotModulator::new(vec![seg(0, 1, -0.1)]).is_err());
+        assert!(SlotModulator::new(vec![seg(0, 1, f64::NAN)]).is_err());
+        assert!(SlotModulator::new(vec![seg(0, 1, f64::INFINITY)]).is_err());
+        assert!(SlotModulator::new(vec![seg(0, 1, 0.0)]).is_ok());
+    }
+}

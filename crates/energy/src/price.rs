@@ -115,12 +115,20 @@ impl PriceSchedule {
     /// `max` tariffs: 0.0 = cheapest, 1.0 = most expensive. Used by the
     /// capacity-cap computation.
     pub fn relative_price(&self, slot: TimeSlot, min: EurosPerKwh, max: EurosPerKwh) -> f64 {
-        let span = max.0 - min.0;
-        if span <= 0.0 {
-            return 0.5;
-        }
-        ((self.price_at(slot).0 - min.0) / span).clamp(0.0, 1.0)
+        relative_of(self.price_at(slot), min, max)
     }
+}
+
+/// Position of an arbitrary price between `min` and `max`: 0.0 =
+/// cheapest, 1.0 = most expensive, 0.5 on a degenerate span. The one
+/// normalization rule shared by [`PriceSchedule::relative_price`] and
+/// the engine's event-perturbed effective prices.
+pub fn relative_of(price: EurosPerKwh, min: EurosPerKwh, max: EurosPerKwh) -> f64 {
+    let span = max.0 - min.0;
+    if span <= 0.0 {
+        return 0.5;
+    }
+    ((price.0 - min.0) / span).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

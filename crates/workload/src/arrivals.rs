@@ -8,6 +8,7 @@
 //! a special case.
 
 use crate::distributions::{Exponential, Poisson, WeightedChoice};
+use crate::mix::FleetMix;
 use crate::trace::{TraceKind, TraceParams, VmTrace};
 use crate::vm::{GroupId, VmSpec};
 use geoplace_types::time::TimeSlot;
@@ -16,6 +17,99 @@ use geoplace_types::{Error, Result, VmId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// A flash-crowd arrival burst: extra short-lived web-serving groups
+/// pour in over a slot window, hard-capped at a peak concurrency.
+///
+/// The cap is the generator's contract: no matter how hot the Poisson
+/// stream runs, the number of *concurrently active* VMs spawned by one
+/// burst never exceeds [`BurstConfig::peak_vms`] — groups arriving with
+/// no remaining headroom are clamped (and dropped once headroom is
+/// exhausted), which is exactly how an admission-controlled front door
+/// behaves during a flash crowd.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// First slot of the burst window.
+    pub start_slot: u32,
+    /// Number of slots the burst lasts.
+    pub duration_slots: u32,
+    /// Mean extra groups per slot *on top of* the base arrival rate.
+    pub groups_per_slot: f64,
+    /// Mean lifetime of burst VMs in slots (typically short).
+    pub mean_lifetime_slots: f64,
+    /// Hard cap on concurrently active VMs spawned by this burst.
+    pub peak_vms: u32,
+}
+
+impl BurstConfig {
+    /// Whether `slot` lies inside the burst window.
+    pub fn covers(&self, slot: TimeSlot) -> bool {
+        slot.0 >= self.start_slot && slot.0 - self.start_slot < self.duration_slots
+    }
+
+    /// Validates rates and the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on degenerate parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.duration_slots == 0 {
+            return Err(Error::invalid_config("burst duration must be >= 1 slot"));
+        }
+        if !self.groups_per_slot.is_finite() || self.groups_per_slot < 0.0 {
+            return Err(Error::invalid_config("burst groups_per_slot must be >= 0"));
+        }
+        if !self.mean_lifetime_slots.is_finite() || self.mean_lifetime_slots <= 0.0 {
+            return Err(Error::invalid_config(
+                "burst mean_lifetime_slots must be finite and > 0",
+            ));
+        }
+        if self.peak_vms == 0 {
+            return Err(Error::invalid_config("burst peak_vms must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// A correlated-batch cohort: one application group of exactly `vms`
+/// batch VMs arriving together at a fixed slot with a fixed lifetime.
+///
+/// Cohorts are wired as a single group, so the data-correlation
+/// generator meshes them fully — a MapReduce-style job whose members
+/// exchange data heavily and must be placed *together* to keep the
+/// response time down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CohortConfig {
+    /// Arrival slot (must be >= 1; slot 0 belongs to the initial
+    /// population).
+    pub slot: u32,
+    /// Number of VMs in the cohort (one application group).
+    pub vms: u32,
+    /// Fixed lifetime of every cohort member, in slots.
+    pub lifetime_slots: u32,
+}
+
+impl CohortConfig {
+    /// Validates the cohort shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on degenerate parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.slot == 0 {
+            return Err(Error::invalid_config(
+                "cohorts arrive at slot >= 1 (slot 0 is the initial population)",
+            ));
+        }
+        if self.vms == 0 {
+            return Err(Error::invalid_config("cohort must contain >= 1 VM"));
+        }
+        if self.lifetime_slots == 0 {
+            return Err(Error::invalid_config("cohort lifetime must be >= 1 slot"));
+        }
+        Ok(())
+    }
+}
 
 /// Configuration of the arrival process.
 ///
@@ -40,6 +134,19 @@ pub struct ArrivalConfig {
     pub profile_weights: (f64, f64, f64),
     /// RNG seed for the whole arrival stream.
     pub seed: u64,
+    /// Flash-crowd bursts layered on top of the base stream (empty =
+    /// the paper's stationary regime).
+    pub bursts: Vec<BurstConfig>,
+    /// Correlated-batch cohorts injected at fixed slots (empty = none).
+    pub cohorts: Vec<CohortConfig>,
+    /// Heterogeneous fleet composition; when non-empty it replaces the
+    /// paper's size/profile distributions (each *group* draws one
+    /// class, so application tiers stay internally homogeneous).
+    pub mix: FleetMix,
+    /// Per-day multipliers on the base arrival rate, cycled over the
+    /// horizon (`factors[day % len]`); empty = a flat week. This is the
+    /// weekly-seasonality knob: business-day peaks, weekend troughs.
+    pub day_rate_factors: Vec<f64>,
 }
 
 impl Default for ArrivalConfig {
@@ -51,6 +158,10 @@ impl Default for ArrivalConfig {
             initial_groups: 120,
             profile_weights: (0.5, 0.35, 0.15),
             seed: 0xA11CE,
+            bursts: Vec::new(),
+            cohorts: Vec::new(),
+            mix: FleetMix::default(),
+            day_rate_factors: Vec::new(),
         }
     }
 }
@@ -65,8 +176,10 @@ impl ArrivalConfig {
         if !self.groups_per_slot.is_finite() || self.groups_per_slot < 0.0 {
             return Err(Error::invalid_config("groups_per_slot must be >= 0"));
         }
-        if self.mean_lifetime_slots.is_nan() || self.mean_lifetime_slots <= 0.0 {
-            return Err(Error::invalid_config("mean_lifetime_slots must be > 0"));
+        if !self.mean_lifetime_slots.is_finite() || self.mean_lifetime_slots <= 0.0 {
+            return Err(Error::invalid_config(
+                "mean_lifetime_slots must be finite and > 0",
+            ));
         }
         let (lo, hi) = self.group_size_range;
         if lo == 0 || lo > hi {
@@ -80,7 +193,34 @@ impl ArrivalConfig {
                 "profile_weights must be non-negative, not all zero",
             ));
         }
+        for burst in &self.bursts {
+            burst.validate()?;
+        }
+        for cohort in &self.cohorts {
+            cohort.validate()?;
+        }
+        self.mix.validate()?;
+        if !self.day_rate_factors.is_empty()
+            && self
+                .day_rate_factors
+                .iter()
+                .any(|f| !f.is_finite() || *f < 0.0)
+        {
+            return Err(Error::invalid_config(
+                "day_rate_factors must be finite and >= 0",
+            ));
+        }
         Ok(())
+    }
+
+    /// The base arrival rate for `slot` after weekly seasonality: the
+    /// configured mean scaled by the slot's day factor.
+    pub fn rate_at(&self, slot: TimeSlot) -> f64 {
+        if self.day_rate_factors.is_empty() {
+            return self.groups_per_slot;
+        }
+        let day = slot.day() as usize % self.day_rate_factors.len();
+        self.groups_per_slot * self.day_rate_factors[day]
     }
 
     /// Expected steady-state VM population (Little's law:
@@ -114,6 +254,15 @@ pub struct ArrivalProcess {
     lifetimes: Exponential,
     sizes: WeightedChoice<Gigabytes>,
     profiles: WeightedChoice<TraceKind>,
+    /// Class picker when a heterogeneous mix is configured (indices into
+    /// `config.mix.classes`).
+    classes: Option<WeightedChoice<usize>>,
+    /// Per-burst samplers, index-aligned with `config.bursts`.
+    burst_arrivals: Vec<Poisson>,
+    burst_lifetimes: Vec<Exponential>,
+    /// Departure slots of every VM each burst has spawned so far — the
+    /// live ones (departure > current slot) count against `peak_vms`.
+    burst_departures: Vec<Vec<u32>>,
     next_vm: u32,
     next_group: u32,
 }
@@ -127,6 +276,35 @@ impl ArrivalProcess {
     pub fn new(config: ArrivalConfig) -> Result<Self> {
         config.validate()?;
         let (w, b, h) = config.profile_weights;
+        let classes = if config.mix.is_empty() {
+            None
+        } else {
+            Some(
+                WeightedChoice::new(
+                    config
+                        .mix
+                        .classes
+                        .iter()
+                        .enumerate()
+                        .map(|(index, class)| (index, class.weight))
+                        .collect(),
+                )
+                .ok_or_else(|| Error::invalid_config("fleet mix weights"))?,
+            )
+        };
+        let burst_arrivals = config
+            .bursts
+            .iter()
+            .map(|b| Poisson::new(b.groups_per_slot).ok_or_else(|| Error::invalid_config("burst")))
+            .collect::<Result<Vec<_>>>()?;
+        let burst_lifetimes = config
+            .bursts
+            .iter()
+            .map(|b| {
+                Exponential::with_mean(b.mean_lifetime_slots)
+                    .ok_or_else(|| Error::invalid_config("burst lifetime"))
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(ArrivalProcess {
             rng: StdRng::seed_from_u64(config.seed),
             group_arrivals: Poisson::new(config.groups_per_slot)
@@ -147,6 +325,10 @@ impl ArrivalProcess {
                 (TraceKind::Hpc, h),
             ])
             .ok_or_else(|| Error::invalid_config("profile_weights"))?,
+            classes,
+            burst_arrivals,
+            burst_lifetimes,
+            burst_departures: vec![Vec::new(); config.bursts.len()],
             config,
             next_vm: 0,
             next_group: 0,
@@ -160,29 +342,114 @@ impl ArrivalProcess {
     /// population starts in its stationary regime.
     pub fn initial_population(&mut self) -> Vec<VmSpec> {
         let mut vms = Vec::new();
-        for _ in 0..self.config.initial_groups {
-            let group = self.fresh_group();
-            let size = self.group_size();
-            for _ in 0..size {
-                vms.push(self.spawn_vm(group, TimeSlot(0)));
+        if self.config.mix.is_empty() {
+            for _ in 0..self.config.initial_groups {
+                let group = self.fresh_group();
+                let size = self.group_size();
+                for _ in 0..size {
+                    vms.push(self.spawn_vm(group, TimeSlot(0)));
+                }
+            }
+        } else {
+            // Exact apportionment: the initial groups split across the mix
+            // classes by largest remainder, so the slot-0 composition is a
+            // deterministic function of the weights (and sums exactly).
+            let counts = self.config.mix.apportion(self.config.initial_groups);
+            for (class_index, &count) in counts.iter().enumerate() {
+                for _ in 0..count {
+                    let group = self.fresh_group();
+                    let size = self.group_size();
+                    for _ in 0..size {
+                        vms.push(self.spawn_class_vm(group, TimeSlot(0), class_index));
+                    }
+                }
             }
         }
         vms
     }
 
     /// VMs arriving at the boundary of `slot` (they are active from `slot`
-    /// onwards).
+    /// onwards): the base Poisson stream (scaled by the slot's weekly day
+    /// factor), then scheduled cohorts, then flash-crowd bursts — each
+    /// section draws from the RNG in a fixed order, so the stream is a
+    /// pure function of the configuration and seed.
     pub fn arrivals_for(&mut self, slot: TimeSlot) -> Vec<VmSpec> {
-        let groups = self.group_arrivals.sample(&mut self.rng);
+        let groups = if self.config.day_rate_factors.is_empty() {
+            self.group_arrivals.sample(&mut self.rng)
+        } else {
+            Poisson::new(self.config.rate_at(slot))
+                .expect("validated day factors keep the rate finite")
+                .sample(&mut self.rng)
+        };
         let mut vms = Vec::new();
         for _ in 0..groups {
             let group = self.fresh_group();
             let size = self.group_size();
-            for _ in 0..size {
-                vms.push(self.spawn_vm(group, slot));
+            if let Some(class_index) = self.pick_class() {
+                for _ in 0..size {
+                    vms.push(self.spawn_class_vm(group, slot, class_index));
+                }
+            } else {
+                for _ in 0..size {
+                    vms.push(self.spawn_vm(group, slot));
+                }
             }
         }
+        self.spawn_cohorts(slot, &mut vms);
+        self.spawn_bursts(slot, &mut vms);
         vms
+    }
+
+    /// Spawns every cohort scheduled exactly at `slot` as one fully
+    /// meshed application group of batch VMs with a fixed lifetime.
+    fn spawn_cohorts(&mut self, slot: TimeSlot, vms: &mut Vec<VmSpec>) {
+        for index in 0..self.config.cohorts.len() {
+            let cohort = self.config.cohorts[index];
+            if cohort.slot != slot.0 {
+                continue;
+            }
+            let group = self.fresh_group();
+            for _ in 0..cohort.vms {
+                let memory = *self.sizes.sample(&mut self.rng);
+                let vm =
+                    self.spawn_vm_as(group, slot, TraceKind::Batch, memory, cohort.lifetime_slots);
+                vms.push(vm);
+            }
+        }
+    }
+
+    /// Spawns flash-crowd arrivals for every burst covering `slot`,
+    /// clamped so each burst's concurrently active VMs never exceed its
+    /// `peak_vms` cap.
+    fn spawn_bursts(&mut self, slot: TimeSlot, vms: &mut Vec<VmSpec>) {
+        for index in 0..self.config.bursts.len() {
+            let burst = self.config.bursts[index];
+            if !burst.covers(slot) {
+                continue;
+            }
+            // Drop departed burst VMs from the concurrency ledger.
+            self.burst_departures[index].retain(|&departure| departure > slot.0);
+            let groups = self.burst_arrivals[index].sample(&mut self.rng);
+            for _ in 0..groups {
+                let alive = self.burst_departures[index].len() as u32;
+                let headroom = burst.peak_vms.saturating_sub(alive);
+                if headroom == 0 {
+                    break; // admission control: the crowd is turned away
+                }
+                let size = self.group_size().min(headroom);
+                let group = self.fresh_group();
+                for _ in 0..size {
+                    let lifetime = self.burst_lifetimes[index]
+                        .sample(&mut self.rng)
+                        .ceil()
+                        .max(1.0) as u32;
+                    let memory = *self.sizes.sample(&mut self.rng);
+                    let vm = self.spawn_vm_as(group, slot, TraceKind::WebServing, memory, lifetime);
+                    self.burst_departures[index].push(vm.departure().0);
+                    vms.push(vm);
+                }
+            }
+        }
     }
 
     /// The configuration this process was created from.
@@ -201,12 +468,51 @@ impl ArrivalProcess {
         self.rng.gen_range(lo..=hi)
     }
 
+    /// Draws one class index when a heterogeneous mix is configured
+    /// (`None` on the legacy homogeneous fleet — no RNG is consumed, so
+    /// mix-free configurations keep their historical arrival streams).
+    fn pick_class(&mut self) -> Option<usize> {
+        match &self.classes {
+            Some(classes) => Some(*classes.sample(&mut self.rng)),
+            None => None,
+        }
+    }
+
+    /// Legacy spawn path: memory, lifetime and archetype all drawn from
+    /// the paper's distributions (draw order is load-bearing — it pins
+    /// the RNG stream of every pre-scenario-library world).
     fn spawn_vm(&mut self, group: GroupId, arrival: TimeSlot) -> VmSpec {
-        let id = VmId(self.next_vm);
-        self.next_vm += 1;
         let memory = *self.sizes.sample(&mut self.rng);
         let lifetime = self.lifetimes.sample(&mut self.rng).ceil().max(1.0) as u32;
         let kind = *self.profiles.sample(&mut self.rng);
+        self.spawn_vm_as(group, arrival, kind, memory, lifetime)
+    }
+
+    /// Spawns one VM of a mix class: footprint and archetype come from
+    /// the class, the lifetime from the shared exponential.
+    fn spawn_class_vm(&mut self, group: GroupId, arrival: TimeSlot, class_index: usize) -> VmSpec {
+        let class = self.config.mix.classes[class_index];
+        let lifetime = self.lifetimes.sample(&mut self.rng).ceil().max(1.0) as u32;
+        self.spawn_vm_as(
+            group,
+            arrival,
+            class.kind,
+            Gigabytes(class.memory_gb),
+            lifetime,
+        )
+    }
+
+    /// Shared tail of every spawn path: trace parameters and seed.
+    fn spawn_vm_as(
+        &mut self,
+        group: GroupId,
+        arrival: TimeSlot,
+        kind: TraceKind,
+        memory: Gigabytes,
+        lifetime_slots: u32,
+    ) -> VmSpec {
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
         let params = TraceParams::sample(kind, &mut self.rng);
         let trace_seed = self.rng.gen();
         VmSpec::new(
@@ -214,7 +520,7 @@ impl ArrivalProcess {
             group,
             memory,
             arrival,
-            lifetime,
+            lifetime_slots,
             VmTrace::new(params, trace_seed),
         )
     }
@@ -322,6 +628,222 @@ mod tests {
         for chunk in vms.chunks(3) {
             assert!(chunk.iter().all(|vm| vm.group() == chunk[0].group()));
         }
+    }
+
+    #[test]
+    fn burst_respects_peak_concurrency() {
+        let mut config = ArrivalConfig::default();
+        config.groups_per_slot = 0.0;
+        config.initial_groups = 0;
+        config.bursts = vec![BurstConfig {
+            start_slot: 1,
+            duration_slots: 10,
+            groups_per_slot: 12.0,
+            mean_lifetime_slots: 3.0,
+            peak_vms: 25,
+        }];
+        let mut p = ArrivalProcess::new(config).unwrap();
+        let mut all: Vec<VmSpec> = Vec::new();
+        for s in 1..=14u32 {
+            all.extend(p.arrivals_for(TimeSlot(s)));
+        }
+        assert!(!all.is_empty(), "a hot burst must actually spawn VMs");
+        for s in 0..=20u32 {
+            let active = all.iter().filter(|vm| vm.is_active_at(TimeSlot(s))).count();
+            assert!(active <= 25, "slot {s}: {active} burst VMs exceed the cap");
+        }
+        // The cap must actually bind for a rate this hot.
+        let peak = (0..=20u32)
+            .map(|s| all.iter().filter(|vm| vm.is_active_at(TimeSlot(s))).count())
+            .max()
+            .unwrap();
+        assert_eq!(peak, 25, "the admission cap should saturate");
+    }
+
+    #[test]
+    fn burst_vms_are_web_serving() {
+        let mut config = ArrivalConfig::default();
+        config.groups_per_slot = 0.0;
+        config.initial_groups = 0;
+        config.bursts = vec![BurstConfig {
+            start_slot: 2,
+            duration_slots: 3,
+            groups_per_slot: 4.0,
+            mean_lifetime_slots: 2.0,
+            peak_vms: 100,
+        }];
+        let mut p = ArrivalProcess::new(config).unwrap();
+        let mut spawned = 0;
+        for s in 1..=6u32 {
+            for vm in p.arrivals_for(TimeSlot(s)) {
+                assert!(vm.arrival().0 >= 2 && vm.arrival().0 < 5);
+                assert_eq!(vm.trace().params().kind, TraceKind::WebServing);
+                spawned += 1;
+            }
+        }
+        assert!(spawned > 0);
+    }
+
+    #[test]
+    fn cohort_arrives_as_one_group_with_fixed_lifetime() {
+        let mut config = ArrivalConfig::default();
+        config.groups_per_slot = 0.0;
+        config.initial_groups = 0;
+        config.cohorts = vec![CohortConfig {
+            slot: 3,
+            vms: 12,
+            lifetime_slots: 5,
+        }];
+        let mut p = ArrivalProcess::new(config).unwrap();
+        assert!(p.arrivals_for(TimeSlot(2)).is_empty());
+        let cohort = p.arrivals_for(TimeSlot(3));
+        assert_eq!(cohort.len(), 12);
+        assert!(cohort.iter().all(|vm| vm.group() == cohort[0].group()));
+        assert!(cohort.iter().all(|vm| vm.lifetime_slots() == 5));
+        assert!(cohort
+            .iter()
+            .all(|vm| vm.trace().params().kind == TraceKind::Batch));
+        assert!(p.arrivals_for(TimeSlot(4)).is_empty());
+    }
+
+    #[test]
+    fn mix_apportions_initial_groups_exactly() {
+        use crate::mix::{FleetMix, VmClass};
+        let mut config = ArrivalConfig::default();
+        config.initial_groups = 10;
+        config.group_size_range = (1, 1);
+        config.mix = FleetMix {
+            classes: vec![
+                VmClass {
+                    kind: TraceKind::WebServing,
+                    memory_gb: 2.0,
+                    weight: 0.8,
+                },
+                VmClass {
+                    kind: TraceKind::Hpc,
+                    memory_gb: 8.0,
+                    weight: 0.2,
+                },
+            ],
+        };
+        let mut p = ArrivalProcess::new(config).unwrap();
+        let vms = p.initial_population();
+        assert_eq!(vms.len(), 10, "singleton groups: one VM per group");
+        let web = vms
+            .iter()
+            .filter(|vm| vm.trace().params().kind == TraceKind::WebServing)
+            .count();
+        let hpc = vms
+            .iter()
+            .filter(|vm| vm.trace().params().kind == TraceKind::Hpc)
+            .count();
+        assert_eq!((web, hpc), (8, 2));
+        assert!(vms
+            .iter()
+            .filter(|vm| vm.trace().params().kind == TraceKind::Hpc)
+            .all(|vm| vm.memory().0 == 8.0));
+    }
+
+    #[test]
+    fn day_rate_factors_shape_the_week() {
+        let mut config = ArrivalConfig::default();
+        config.groups_per_slot = 5.0;
+        config.initial_groups = 0;
+        // Dead weekend: days 5 and 6 have zero arrivals.
+        config.day_rate_factors = vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0];
+        assert!(config.validate().is_ok());
+        assert_eq!(config.rate_at(TimeSlot(12)), 5.0);
+        assert_eq!(config.rate_at(TimeSlot(5 * 24 + 3)), 0.0);
+        let mut p = ArrivalProcess::new(config).unwrap();
+        let mut weekday = 0usize;
+        let mut weekend = 0usize;
+        for s in 1..168u32 {
+            let n = p.arrivals_for(TimeSlot(s)).len();
+            if s / 24 >= 5 {
+                weekend += n;
+            } else {
+                weekday += n;
+            }
+        }
+        assert!(weekday > 0);
+        assert_eq!(weekend, 0, "zero factor must silence the weekend");
+    }
+
+    #[test]
+    fn new_knobs_are_validated() {
+        let mut c = ArrivalConfig::default();
+        c.bursts = vec![BurstConfig {
+            start_slot: 0,
+            duration_slots: 0,
+            groups_per_slot: 1.0,
+            mean_lifetime_slots: 1.0,
+            peak_vms: 10,
+        }];
+        assert!(c.validate().is_err());
+
+        let mut c = ArrivalConfig::default();
+        c.bursts = vec![BurstConfig {
+            start_slot: 0,
+            duration_slots: 2,
+            groups_per_slot: 1.0,
+            mean_lifetime_slots: 1.0,
+            peak_vms: 0,
+        }];
+        assert!(c.validate().is_err());
+
+        let mut c = ArrivalConfig::default();
+        c.bursts = vec![BurstConfig {
+            start_slot: 0,
+            duration_slots: 2,
+            groups_per_slot: 1.0,
+            mean_lifetime_slots: f64::INFINITY,
+            peak_vms: 10,
+        }];
+        assert!(c.validate().is_err(), "validate-then-construct contract");
+
+        let mut c = ArrivalConfig::default();
+        c.cohorts = vec![CohortConfig {
+            slot: 0,
+            vms: 4,
+            lifetime_slots: 2,
+        }];
+        assert!(c.validate().is_err(), "slot-0 cohorts can never spawn");
+
+        let mut c = ArrivalConfig::default();
+        c.day_rate_factors = vec![1.0, f64::NAN];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn legacy_stream_unchanged_by_inert_knobs() {
+        // The scenario knobs must not perturb the RNG stream of a world
+        // that does not use them: a default config and one with an
+        // out-of-window burst produce identical base arrivals.
+        let spawn_summary = |config: ArrivalConfig| -> Vec<(u32, u32, u64)> {
+            let mut p = ArrivalProcess::new(config).unwrap();
+            let mut all = p.initial_population();
+            for s in 1..=6u32 {
+                all.extend(p.arrivals_for(TimeSlot(s)));
+            }
+            all.iter()
+                .map(|vm| (vm.id().0, vm.lifetime_slots(), vm.memory().0.to_bits()))
+                .collect()
+        };
+        let base = spawn_summary(ArrivalConfig::default());
+        let mut inert = ArrivalConfig::default();
+        inert.bursts = vec![BurstConfig {
+            start_slot: 1000,
+            duration_slots: 2,
+            groups_per_slot: 5.0,
+            mean_lifetime_slots: 1.0,
+            peak_vms: 10,
+        }];
+        inert.cohorts = vec![CohortConfig {
+            slot: 999,
+            vms: 3,
+            lifetime_slots: 1,
+        }];
+        assert_eq!(base, spawn_summary(inert));
     }
 
     #[test]

@@ -36,16 +36,18 @@ pub mod datacorr;
 pub mod distributions;
 pub mod fleet;
 pub mod graph;
+pub mod mix;
 pub mod sparsity;
 pub mod trace;
 pub mod vm;
 pub mod window;
 
-pub use arrivals::{ArrivalConfig, ArrivalProcess};
+pub use arrivals::{ArrivalConfig, ArrivalProcess, BurstConfig, CohortConfig};
 pub use cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
 pub use datacorr::{DataCorrelation, DataCorrelationConfig};
 pub use fleet::{FleetConfig, FleetDelta, VmFleet};
 pub use graph::{TrafficEdge, TrafficGraph};
+pub use mix::{FleetMix, VmClass};
 pub use sparsity::{SparsityConfig, SparsityMode};
 pub use trace::{TraceKind, TraceParams, VmTrace};
 pub use vm::{GroupId, VmSpec};

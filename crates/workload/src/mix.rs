@@ -1,0 +1,198 @@
+//! Heterogeneous fleet composition.
+//!
+//! The paper's fleet draws every VM from one size distribution
+//! (2/4/8 GB at 60/30/10 %) and one archetype mix. Placement surveys
+//! (Xu, Tian & Buyya 2016) show policies rank differently on
+//! *heterogeneous* fleets — a few fat HPC VMs next to swarms of small
+//! web VMs stress the packer and the correlation clustering very
+//! differently than a uniform fleet. A [`FleetMix`] describes such a
+//! composition as weighted VM classes; the arrival process draws each
+//! application group's class from the weights, and
+//! [`FleetMix::apportion`] turns the weights into *exact* counts (they
+//! always sum to the requested total) for the initial population.
+
+use crate::trace::TraceKind;
+use geoplace_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// One VM class of a heterogeneous fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmClass {
+    /// Trace archetype of VMs in this class.
+    pub kind: TraceKind,
+    /// Memory footprint in GB (also sets the vCPU count, clamped 1–8).
+    pub memory_gb: f64,
+    /// Relative weight of the class in the mix.
+    pub weight: f64,
+}
+
+/// A weighted set of VM classes; empty = the paper's homogeneous fleet.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::mix::{FleetMix, VmClass};
+/// use geoplace_workload::trace::TraceKind;
+///
+/// let mix = FleetMix {
+///     classes: vec![
+///         VmClass { kind: TraceKind::WebServing, memory_gb: 2.0, weight: 3.0 },
+///         VmClass { kind: TraceKind::Hpc, memory_gb: 8.0, weight: 1.0 },
+///     ],
+/// };
+/// let counts = mix.apportion(10);
+/// assert_eq!(counts.iter().sum::<u32>(), 10);
+/// assert_eq!(counts, vec![8, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetMix {
+    /// The classes; iteration order is the canonical class order.
+    pub classes: Vec<VmClass>,
+}
+
+impl FleetMix {
+    /// Whether the mix is unset (the legacy homogeneous fleet).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Validates weights and footprints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a weight is negative or
+    /// non-finite, all weights are zero, or a memory footprint is not
+    /// strictly positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let mut total = 0.0;
+        for class in &self.classes {
+            if !class.weight.is_finite() || class.weight < 0.0 {
+                return Err(Error::invalid_config(
+                    "fleet mix weights must be finite and >= 0",
+                ));
+            }
+            if !class.memory_gb.is_finite() || class.memory_gb <= 0.0 {
+                return Err(Error::invalid_config(
+                    "fleet mix memory footprints must be > 0",
+                ));
+            }
+            total += class.weight;
+        }
+        if total <= 0.0 {
+            return Err(Error::invalid_config(
+                "fleet mix needs at least one positive weight",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Splits `total` into exact per-class counts proportional to the
+    /// weights (largest-remainder apportionment; ties resolve to the
+    /// earlier class). The counts always sum to `total` exactly — this
+    /// is the invariant heterogeneous world generation relies on.
+    pub fn apportion(&self, total: u32) -> Vec<u32> {
+        if self.is_empty() || total == 0 {
+            return vec![0; self.classes.len()];
+        }
+        let weight_sum: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let mut counts = vec![0u32; self.classes.len()];
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(self.classes.len());
+        let mut assigned = 0u32;
+        for (index, class) in self.classes.iter().enumerate() {
+            let quota = f64::from(total) * class.weight / weight_sum;
+            let floor = quota.floor() as u32;
+            counts[index] = floor;
+            assigned += floor;
+            remainders.push((index, quota - f64::from(floor)));
+        }
+        // Hand the leftover seats to the largest fractional remainders;
+        // the (index) tiebreak keeps the split deterministic.
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut leftover = total - assigned;
+        for (index, _) in remainders {
+            if leftover == 0 {
+                break;
+            }
+            counts[index] += 1;
+            leftover -= 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(kind: TraceKind, memory: f64, weight: f64) -> VmClass {
+        VmClass {
+            kind,
+            memory_gb: memory,
+            weight,
+        }
+    }
+
+    fn web_hpc_mix() -> FleetMix {
+        FleetMix {
+            classes: vec![
+                class(TraceKind::WebServing, 2.0, 0.7),
+                class(TraceKind::Batch, 4.0, 0.2),
+                class(TraceKind::Hpc, 8.0, 0.1),
+            ],
+        }
+    }
+
+    #[test]
+    fn empty_mix_is_valid_and_trivial() {
+        let mix = FleetMix::default();
+        assert!(mix.is_empty());
+        assert!(mix.validate().is_ok());
+        assert!(mix.apportion(100).is_empty());
+    }
+
+    #[test]
+    fn apportion_sums_exactly() {
+        let mix = web_hpc_mix();
+        for total in [0u32, 1, 2, 3, 10, 99, 1000] {
+            let counts = mix.apportion(total);
+            assert_eq!(counts.iter().sum::<u32>(), total, "total {total}");
+        }
+    }
+
+    #[test]
+    fn apportion_tracks_weights() {
+        let counts = web_hpc_mix().apportion(1000);
+        assert_eq!(counts, vec![700, 200, 100]);
+    }
+
+    #[test]
+    fn zero_weight_class_gets_nothing() {
+        let mix = FleetMix {
+            classes: vec![
+                class(TraceKind::WebServing, 2.0, 1.0),
+                class(TraceKind::Hpc, 8.0, 0.0),
+            ],
+        };
+        assert_eq!(mix.apportion(17), vec![17, 0]);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_mixes() {
+        let all_zero = FleetMix {
+            classes: vec![class(TraceKind::Hpc, 8.0, 0.0)],
+        };
+        assert!(all_zero.validate().is_err());
+        let negative = FleetMix {
+            classes: vec![class(TraceKind::Hpc, 8.0, -1.0)],
+        };
+        assert!(negative.validate().is_err());
+        let bad_memory = FleetMix {
+            classes: vec![class(TraceKind::Hpc, 0.0, 1.0)],
+        };
+        assert!(bad_memory.validate().is_err());
+        assert!(web_hpc_mix().validate().is_ok());
+    }
+}

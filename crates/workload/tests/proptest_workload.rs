@@ -327,4 +327,76 @@ proptest! {
             }
         }
     }
+
+    /// Flash-crowd bursts never exceed their configured peak concurrency:
+    /// at every slot, the count of concurrently active burst-spawned VMs
+    /// stays within `peak_vms`, whatever the rate, lifetime or window.
+    #[test]
+    fn burst_concurrency_never_exceeds_peak(
+        seed in 0u64..200,
+        rate in 0.5f64..15.0,
+        lifetime in 0.5f64..8.0,
+        start in 1u32..6,
+        duration in 1u32..12,
+        peak in 1u32..40,
+    ) {
+        let mut config = ArrivalConfig::default();
+        config.seed = seed;
+        config.groups_per_slot = 0.0; // all post-slot-0 arrivals are burst VMs
+        config.initial_groups = 0;
+        config.bursts = vec![geoplace_workload::arrivals::BurstConfig {
+            start_slot: start,
+            duration_slots: duration,
+            groups_per_slot: rate,
+            mean_lifetime_slots: lifetime,
+            peak_vms: peak,
+        }];
+        let mut process = ArrivalProcess::new(config).unwrap();
+        let mut spawned = Vec::new();
+        for s in 1..=(start + duration + 4) {
+            spawned.extend(process.arrivals_for(TimeSlot(s)));
+        }
+        let horizon = spawned.iter().map(|vm| vm.departure().0).max().unwrap_or(0);
+        for s in 0..=horizon {
+            let active = spawned.iter().filter(|vm| vm.is_active_at(TimeSlot(s))).count();
+            prop_assert!(
+                active as u32 <= peak,
+                "slot {s}: {active} active burst VMs > peak {peak}"
+            );
+        }
+    }
+
+    /// Heterogeneous fleet mixes apportion any total into per-class
+    /// counts that sum to the requested VM count exactly, with every
+    /// class within one seat of its exact proportional quota.
+    #[test]
+    fn fleet_mix_apportion_sums_exactly(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..7),
+        total in 0u32..5000,
+    ) {
+        use geoplace_workload::mix::{FleetMix, VmClass};
+        // Guarantee at least one positive weight so the mix validates.
+        let mut weights = weights;
+        if weights.iter().all(|w| *w == 0.0) {
+            weights[0] = 1.0;
+        }
+        let mix = FleetMix {
+            classes: weights
+                .iter()
+                .map(|&w| VmClass { kind: TraceKind::Batch, memory_gb: 4.0, weight: w })
+                .collect(),
+        };
+        prop_assert!(mix.validate().is_ok());
+        let counts = mix.apportion(total);
+        prop_assert_eq!(counts.len(), weights.len());
+        prop_assert_eq!(counts.iter().sum::<u32>(), total);
+        let weight_sum: f64 = weights.iter().sum();
+        for (count, weight) in counts.iter().zip(&weights) {
+            let quota = f64::from(total) * weight / weight_sum;
+            prop_assert!(
+                (f64::from(*count) - quota).abs() < 1.0 + 1e-9,
+                "count {count} vs quota {quota}"
+            );
+        }
+    }
 }
