@@ -173,6 +173,8 @@ mod tests {
         let mut policy = EnerAwarePolicy::new();
         let decision = policy.decide(&snapshot);
         let active: Vec<VmId> = snapshot.vm_ids().to_vec();
-        assert!(decision.validate(&active, &[50, 50, 50], 2).is_ok());
+        assert!(decision
+            .validate(&active, &[50, 50, 50], &[2, 2, 2])
+            .is_ok());
     }
 }

@@ -165,7 +165,9 @@ mod tests {
         let mut policy = PriAwarePolicy::new();
         let decision = policy.decide(&snapshot);
         let active: Vec<VmId> = snapshot.vm_ids().to_vec();
-        assert!(decision.validate(&active, &[50, 50, 50], 2).is_ok());
+        assert!(decision
+            .validate(&active, &[50, 50, 50], &[2, 2, 2])
+            .is_ok());
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Per-slot wall-clock of the incremental vs from-scratch slot pipeline,
+//! emitted as `BENCH_5.json` so the perf trajectory accumulates in CI.
+//!
+//! Runs the Proposed policy over the paper-scale fleet (≈1,200 VMs) and
+//! the stress fleet (≈10,000 VMs), once per
+//! [`IncrementalConfig`](geoplace_dcsim::config::IncrementalConfig) mode.
+//! Each cell is timed twice — a 1-slot run isolates the slot-0 cost, the
+//! full run then yields the *steady-state* per-slot wall-clock, which is
+//! the number the incremental pipeline exists to shrink. The two modes'
+//! report digests are asserted identical while we are at it, so the bench
+//! doubles as an end-to-end equivalence smoke at both scales.
+//!
+//! Flags: `--slots N` (horizon, default 6), `--seed N`, `--only N`
+//! (restrict to the cell with that target fleet size, e.g. `--only 1200`),
+//! `--out PATH` (default `BENCH_5.json` in the working directory).
+
+use geoplace_bench::flag_from_args;
+use geoplace_bench::scenario::proposed_config_for;
+use geoplace_core::ProposedPolicy;
+use geoplace_dcsim::config::{IncrementalConfig, ScenarioConfig};
+use geoplace_dcsim::engine::{Scenario, Simulator};
+use std::time::Instant;
+
+struct Cell {
+    n_target: u32,
+    mode: &'static str,
+    build_ms: f64,
+    slot0_ms: f64,
+    steady_per_slot_ms: f64,
+    total_ms: f64,
+    digest: String,
+}
+
+fn ms(duration: std::time::Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+/// Runs one (scale, mode) cell: a 1-slot run to isolate the slot-0 cost,
+/// then the full horizon.
+fn run_cell(base: &ScenarioConfig, n_target: u32, mode: IncrementalConfig, slots: u32) -> Cell {
+    let mut config = base.clone();
+    config.incremental = mode;
+
+    let mut one_slot = config.clone();
+    one_slot.horizon_slots = 1;
+    let scenario = Scenario::build(&one_slot).expect("valid config");
+    let mut policy = ProposedPolicy::new(proposed_config_for(&one_slot));
+    let start = Instant::now();
+    let _ = Simulator::new(scenario).run(&mut policy);
+    let slot0 = start.elapsed();
+
+    let build_start = Instant::now();
+    let scenario = Scenario::build(&config).expect("valid config");
+    let build = build_start.elapsed();
+    let mut policy = ProposedPolicy::new(proposed_config_for(&config));
+    let start = Instant::now();
+    let report = Simulator::new(scenario).run(&mut policy);
+    let total = start.elapsed();
+    let steady = (ms(total) - ms(slot0)).max(0.0) / f64::from(slots.saturating_sub(1).max(1));
+
+    Cell {
+        n_target,
+        mode: match mode {
+            IncrementalConfig::Auto => "incremental",
+            IncrementalConfig::Off => "from_scratch",
+        },
+        build_ms: ms(build),
+        slot0_ms: ms(slot0),
+        steady_per_slot_ms: steady,
+        total_ms: ms(total),
+        digest: report.digest(),
+    }
+}
+
+fn main() {
+    let slots = flag_from_args::<u32>("--slots").unwrap_or(6).max(2);
+    let seed = flag_from_args::<u64>("--seed").unwrap_or(42);
+    let only = flag_from_args::<u32>("--only");
+    let out = flag_from_args::<String>("--out").unwrap_or_else(|| "BENCH_5.json".into());
+
+    let mut scales: Vec<(u32, ScenarioConfig)> = Vec::new();
+    let mut paper = ScenarioConfig::paper(seed);
+    paper.horizon_slots = slots;
+    scales.push((1200, paper));
+    let mut stress = ScenarioConfig::stress(seed);
+    stress.horizon_slots = slots;
+    scales.push((10_000, stress));
+    if let Some(n) = only {
+        scales.retain(|&(target, _)| target == n);
+        assert!(!scales.is_empty(), "--only must name 1200 or 10000");
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (n_target, config) in &scales {
+        let incremental = run_cell(config, *n_target, IncrementalConfig::Auto, slots);
+        let from_scratch = run_cell(config, *n_target, IncrementalConfig::Off, slots);
+        assert_eq!(
+            incremental.digest, from_scratch.digest,
+            "n={n_target}: incremental and from-scratch reports diverged"
+        );
+        println!(
+            "n≈{:>5}: incremental {:8.1} ms/slot vs from-scratch {:8.1} ms/slot \
+             (steady state, {:.2}x)",
+            n_target,
+            incremental.steady_per_slot_ms,
+            from_scratch.steady_per_slot_ms,
+            from_scratch.steady_per_slot_ms / incremental.steady_per_slot_ms.max(1e-9),
+        );
+        cells.push(incremental);
+        cells.push(from_scratch);
+    }
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"n_vms_target\": {}, \"mode\": \"{}\", \"build_ms\": {:.2}, \
+                 \"slot0_ms\": {:.2}, \"steady_per_slot_ms\": {:.2}, \"total_ms\": {:.2}, \
+                 \"digest\": \"{}\"}}",
+                c.n_target,
+                c.mode,
+                c.build_ms,
+                c.slot0_ms,
+                c.steady_per_slot_ms,
+                c.total_ms,
+                c.digest
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_vs_from_scratch\",\n  \"policy\": \"Proposed\",\n  \
+         \"slots\": {slots},\n  \"seed\": {seed},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

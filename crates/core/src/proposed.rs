@@ -108,6 +108,15 @@ pub struct ProposedPolicy {
     prev_centroids: Option<Vec<Point>>,
     rng: StdRng,
     exec: Exec,
+    /// Per-slot VM energy estimates, refilled in place every decide —
+    /// the policy allocates nothing proportional to the fleet in the
+    /// steady state.
+    loads: Vec<Joules>,
+    /// Migration-revision inputs, refilled in place every decide.
+    inputs: Vec<VmPlacementInput>,
+    /// The Pearson-ablation matrix, recomputed into the same allocation
+    /// each slot (dense path); `None` until the first Pearson decide.
+    pearson: Option<CpuCorrelationMatrix>,
 }
 
 impl ProposedPolicy {
@@ -126,6 +135,9 @@ impl ProposedPolicy {
             prev_centroids: None,
             exec,
             config,
+            loads: Vec::new(),
+            inputs: Vec::new(),
+            pearson: None,
         }
     }
 
@@ -160,46 +172,72 @@ impl GlobalPolicy for ProposedPolicy {
                 self.layout
                     .update(snapshot.arena, snapshot.cpu_corr, snapshot.traffic)
             }
+            CorrelationMetric::Pearson if snapshot.cpu_corr.is_degenerate() => {
+                // The bootstrap observation is all-zero: no metric is
+                // computable from it, so both ablation arms share the
+                // canonical degenerate matrix — recomputing Pearson over
+                // zero windows would hand the layout a structurally
+                // different (and representation-dependent) input.
+                self.layout
+                    .update(snapshot.arena, snapshot.cpu_corr, snapshot.traffic)
+            }
             CorrelationMetric::Pearson => {
                 // Mirror the engine's dense/sparse choice so the ablation
-                // compares metrics, not representations.
-                let pearson_matrix = match snapshot.cpu_corr.sparsity() {
-                    Some(sparsity) => CpuCorrelationMatrix::compute_sparse_exec(
-                        snapshot.windows,
-                        CorrelationMetric::Pearson,
-                        sparsity,
-                        self.exec,
-                    ),
-                    None => CpuCorrelationMatrix::compute_exec(
-                        snapshot.windows,
-                        CorrelationMetric::Pearson,
-                        self.exec,
-                    ),
-                };
+                // compares metrics, not representations. The dense matrix
+                // is recomputed into the cached allocation — at n² floats
+                // it is by far the largest per-slot buffer of this path.
+                match snapshot.cpu_corr.sparsity() {
+                    Some(sparsity) => {
+                        self.pearson = Some(CpuCorrelationMatrix::compute_sparse_exec(
+                            snapshot.windows,
+                            CorrelationMetric::Pearson,
+                            sparsity,
+                            self.exec,
+                        ));
+                    }
+                    None => match self.pearson.as_mut() {
+                        Some(cache) => cache.recompute_dense_exec(
+                            snapshot.windows,
+                            CorrelationMetric::Pearson,
+                            self.exec,
+                        ),
+                        None => {
+                            self.pearson = Some(CpuCorrelationMatrix::compute_exec(
+                                snapshot.windows,
+                                CorrelationMetric::Pearson,
+                                self.exec,
+                            ));
+                        }
+                    },
+                }
+                let pearson_matrix = self.pearson.as_ref().expect("just recomputed");
                 self.layout
-                    .update(snapshot.arena, &pearson_matrix, snapshot.traffic)
+                    .update(snapshot.arena, pearson_matrix, snapshot.traffic)
             }
         };
 
         // Step 2: capacity caps + capacity-capped k-means.
         let caps = compute_caps(snapshot.dcs, self.config.caps);
-        let mut loads: Vec<Joules> = (0..n).map(|i| snapshot.vm_slot_energy(i)).collect();
+        self.loads.clear();
+        self.loads
+            .extend((0..n).map(|i| snapshot.vm_slot_energy(i)));
         // Normalize the VM loads so they sum to the fleet's last-value
         // total energy — the caps partition that total, and without this
         // the dynamic-only VM energies are a fraction of it, the caps
         // never bind, and k-means degenerates to plain nearest-centroid
         // (losing all price/renewable awareness).
         let reference: f64 = snapshot.dcs.iter().map(|d| d.last_total_energy.0).sum();
-        let raw_total: f64 = loads.iter().map(|l| l.0).sum();
+        let raw_total: f64 = self.loads.iter().map(|l| l.0).sum();
         if reference > 0.0 && raw_total > 0.0 {
             let scale = reference / raw_total;
-            for load in &mut loads {
+            for load in &mut self.loads {
                 *load = *load * scale;
             }
         }
+        let loads = &self.loads;
         let clustering = kmeans_exec(
             points,
-            &loads,
+            loads,
             &caps,
             self.prev_centroids.as_deref(),
             self.config.kmeans,
@@ -208,18 +246,17 @@ impl GlobalPolicy for ProposedPolicy {
         self.prev_centroids = Some(clustering.centroids.clone());
 
         // Step 3: migration revision under the latency constraint.
-        let inputs: Vec<VmPlacementInput> = (0..n)
-            .map(|i| VmPlacementInput {
-                vm: ids[i],
-                prev: snapshot.prev_dc.get(&ids[i]).copied(),
-                target: DcId(clustering.assignment[i] as u16),
-                position: points[i],
-                load: loads[i],
-                size: snapshot.vm_memory[i],
-            })
-            .collect();
+        self.inputs.clear();
+        self.inputs.extend((0..n).map(|i| VmPlacementInput {
+            vm: ids[i],
+            prev: snapshot.prev_dc.get(&ids[i]).copied(),
+            target: DcId(clustering.assignment[i] as u16),
+            position: points[i],
+            load: loads[i],
+            size: snapshot.vm_memory[i],
+        }));
         let revised = revise_migrations(
-            &inputs,
+            &self.inputs,
             &clustering.centroids,
             &caps,
             snapshot.latency,
@@ -290,7 +327,7 @@ mod tests {
         let decision = policy.decide(&snapshot);
         let active: Vec<VmId> = snapshot.vm_ids().to_vec();
         decision
-            .validate(&active, &[50, 50, 50], 2)
+            .validate(&active, &[50, 50, 50], &[2, 2, 2])
             .expect("proposed decision must be structurally valid");
     }
 
@@ -312,6 +349,35 @@ mod tests {
             policy.decide(&snapshot)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pearson_ablation_shares_the_bootstrap_matrix() {
+        // Slot 0 hands the policy the canonical degenerate matrix; the
+        // Pearson arm must consume it as-is instead of recomputing over
+        // the zero observation (which would reintroduce representation
+        // dependence). End-to-end: the ablation variant runs through the
+        // engine bootstrap, and at slot 0 both metric arms make the same
+        // decision — zero information admits no metric difference.
+        use geoplace_dcsim::config::ScenarioConfig;
+        use geoplace_dcsim::engine::{Scenario, Simulator};
+        let mut config = ScenarioConfig::scaled(7);
+        config.horizon_slots = 1;
+        let run = |metric: CorrelationMetric| {
+            let mut policy = ProposedPolicy::new(ProposedConfig {
+                repulsion_metric: metric,
+                ..ProposedConfig::default()
+            });
+            Simulator::new(Scenario::build(&config).unwrap()).run(&mut policy)
+        };
+        let peak = run(CorrelationMetric::PeakCoincidence);
+        let pearson = run(CorrelationMetric::Pearson);
+        assert_eq!(peak.hourly.len(), 1);
+        assert_eq!(
+            peak.digest(),
+            pearson.digest(),
+            "the slot-0 bootstrap decision must be metric-independent"
+        );
     }
 
     #[test]
@@ -381,6 +447,8 @@ mod tests {
         let mut policy = ProposedPolicy::new(ProposedConfig::default());
         let decision = policy.decide(&snapshot);
         let active: Vec<VmId> = snapshot.vm_ids().to_vec();
-        assert!(decision.validate(&active, &[50, 50, 50], 2).is_ok());
+        assert!(decision
+            .validate(&active, &[50, 50, 50], &[2, 2, 2])
+            .is_ok());
     }
 }

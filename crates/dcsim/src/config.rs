@@ -8,6 +8,32 @@ use geoplace_workload::fleet::FleetConfig;
 use geoplace_workload::sparsity::SparsityConfig;
 use serde::{Deserialize, Serialize};
 
+/// Whether the engine's per-slot observation pipeline (utilization
+/// windows, traffic-graph CSR, arena, scratch vectors) is maintained
+/// incrementally across slots from the fleet's churn delta, or rebuilt
+/// from scratch every slot.
+///
+/// Both settings produce **bit-identical**
+/// [`SimulationReport`](crate::metrics::SimulationReport)s (equal
+/// digests) — the incremental path exists purely to cut the steady-state
+/// slot-step cost, and the from-scratch path stays as the reference the
+/// equivalence tests pin the contract against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IncrementalConfig {
+    /// Maintain the observation structures incrementally (default).
+    #[default]
+    Auto,
+    /// Rebuild every per-slot structure from scratch (reference mode).
+    Off,
+}
+
+impl IncrementalConfig {
+    /// True when the incremental path is selected.
+    pub fn is_incremental(self) -> bool {
+        matches!(self, IncrementalConfig::Auto)
+    }
+}
+
 /// Static description of one data center.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DcConfig {
@@ -99,6 +125,9 @@ pub struct ScenarioConfig {
     /// price spikes, PV droughts) the engine applies during the run;
     /// empty for the paper's stationary regime.
     pub timeline: EventTimeline,
+    /// Incremental vs from-scratch maintenance of the per-slot
+    /// observation pipeline; both produce bit-identical reports.
+    pub incremental: IncrementalConfig,
 }
 
 impl ScenarioConfig {
@@ -125,6 +154,7 @@ impl ScenarioConfig {
             link_scale: 1.0,
             parallelism: Parallelism::Auto,
             timeline: EventTimeline::default(),
+            incremental: IncrementalConfig::default(),
         }
     }
 

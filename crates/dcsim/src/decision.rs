@@ -178,12 +178,14 @@ impl PlacementDecision {
     }
 
     /// Checks structural integrity against the active VM set and per-DC
-    /// server counts and DVFS depth:
+    /// server counts and DVFS depths:
     ///
     /// * every active VM appears exactly once;
     /// * no unknown VM appears;
     /// * server indices are in range and unique per DC;
-    /// * DVFS levels are in range.
+    /// * DVFS levels are in range *for the hosting DC* — data centers may
+    ///   run heterogeneous server models, and a level that exists in one
+    ///   DC's DVFS table can overrun another's power-model lookup.
     ///
     /// # Errors
     ///
@@ -192,13 +194,20 @@ impl PlacementDecision {
         &self,
         active: &[VmId],
         dc_server_counts: &[u32],
-        dvfs_levels: usize,
+        dc_dvfs_levels: &[usize],
     ) -> Result<()> {
         if self.per_dc.len() != dc_server_counts.len() {
             return Err(Error::invalid_config(format!(
                 "decision covers {} DCs, system has {}",
                 self.per_dc.len(),
                 dc_server_counts.len()
+            )));
+        }
+        if self.per_dc.len() != dc_dvfs_levels.len() {
+            return Err(Error::invalid_config(format!(
+                "decision covers {} DCs, {} DVFS tables supplied",
+                self.per_dc.len(),
+                dc_dvfs_levels.len()
             )));
         }
         let mut seen: HashMap<VmId, DcId> = HashMap::with_capacity(active.len());
@@ -218,10 +227,10 @@ impl PlacementDecision {
                         assignment.server
                     )));
                 }
-                if assignment.freq.0 >= dvfs_levels {
+                if assignment.freq.0 >= dc_dvfs_levels[dc_index] {
                     return Err(Error::invalid_config(format!(
                         "{dc} server {} uses DVFS level {} of {}",
-                        assignment.server, assignment.freq.0, dvfs_levels
+                        assignment.server, assignment.freq.0, dc_dvfs_levels[dc_index]
                     )));
                 }
                 for &vm in &assignment.vms {
@@ -270,7 +279,7 @@ mod tests {
         let mut d = PlacementDecision::new(2);
         d.push(DcId(0), assignment(0, &[1, 2]));
         d.push(DcId(1), assignment(0, &[3]));
-        assert!(d.validate(&active(&[1, 2, 3]), &[4, 4], 2).is_ok());
+        assert!(d.validate(&active(&[1, 2, 3]), &[4, 4], &[2, 2]).is_ok());
         assert_eq!(d.vm_count(), 3);
         assert_eq!(d.active_servers(), 2);
     }
@@ -279,7 +288,7 @@ mod tests {
     fn unplaced_vm_fails() {
         let mut d = PlacementDecision::new(2);
         d.push(DcId(0), assignment(0, &[1]));
-        let err = d.validate(&active(&[1, 2]), &[4, 4], 2).unwrap_err();
+        let err = d.validate(&active(&[1, 2]), &[4, 4], &[2, 2]).unwrap_err();
         assert!(err.to_string().contains("unplaced"));
     }
 
@@ -288,7 +297,7 @@ mod tests {
         let mut d = PlacementDecision::new(2);
         d.push(DcId(0), assignment(0, &[1]));
         d.push(DcId(1), assignment(0, &[1]));
-        let err = d.validate(&active(&[1]), &[4, 4], 2).unwrap_err();
+        let err = d.validate(&active(&[1]), &[4, 4], &[2, 2]).unwrap_err();
         assert!(err.to_string().contains("placed twice"));
     }
 
@@ -296,7 +305,7 @@ mod tests {
     fn server_out_of_range_fails() {
         let mut d = PlacementDecision::new(1);
         d.push(DcId(0), assignment(9, &[1]));
-        assert!(d.validate(&active(&[1]), &[4], 2).is_err());
+        assert!(d.validate(&active(&[1]), &[4], &[2]).is_err());
     }
 
     #[test]
@@ -304,7 +313,7 @@ mod tests {
         let mut d = PlacementDecision::new(1);
         d.push(DcId(0), assignment(2, &[1]));
         d.push(DcId(0), assignment(2, &[3]));
-        let err = d.validate(&active(&[1, 3]), &[4], 2).unwrap_err();
+        let err = d.validate(&active(&[1, 3]), &[4], &[2]).unwrap_err();
         assert!(err.to_string().contains("assigned twice"));
     }
 
@@ -319,14 +328,50 @@ mod tests {
                 vms: vec![VmId(1)],
             },
         );
-        assert!(d.validate(&active(&[1]), &[4], 2).is_err());
+        assert!(d.validate(&active(&[1]), &[4], &[2]).is_err());
     }
 
     #[test]
     fn stray_vm_fails() {
         let mut d = PlacementDecision::new(1);
         d.push(DcId(0), assignment(0, &[1, 99]));
-        assert!(d.validate(&active(&[1]), &[4], 2).is_err());
+        assert!(d.validate(&active(&[1]), &[4], &[2]).is_err());
+    }
+
+    #[test]
+    fn dvfs_depth_is_checked_per_dc() {
+        // DC 0 has a two-level table, DC 1 a single-level table: level 1
+        // is valid on DC 0 only. The homogeneous check (dcs[0] everywhere)
+        // used to wave this through and the power lookup indexed out of
+        // range later.
+        let mut d = PlacementDecision::new(2);
+        d.push(
+            DcId(1),
+            ServerAssignment {
+                server: 0,
+                freq: FreqLevel(1),
+                vms: vec![VmId(1)],
+            },
+        );
+        let err = d.validate(&active(&[1]), &[4, 4], &[2, 1]).unwrap_err();
+        assert!(err.to_string().contains("DVFS level 1 of 1"), "{err}");
+        let mut ok = PlacementDecision::new(2);
+        ok.push(
+            DcId(0),
+            ServerAssignment {
+                server: 0,
+                freq: FreqLevel(1),
+                vms: vec![VmId(1)],
+            },
+        );
+        assert!(ok.validate(&active(&[1]), &[4, 4], &[2, 1]).is_ok());
+    }
+
+    #[test]
+    fn dvfs_table_count_must_match_dcs() {
+        let mut d = PlacementDecision::new(2);
+        d.push(DcId(0), assignment(0, &[1]));
+        assert!(d.validate(&active(&[1]), &[4, 4], &[2]).is_err());
     }
 
     #[test]
@@ -345,6 +390,6 @@ mod tests {
         d.push(DcId(0), assignment(0, &[]));
         d.push(DcId(0), assignment(1, &[7]));
         assert_eq!(d.active_servers(), 1);
-        assert!(d.validate(&active(&[7]), &[4], 2).is_ok());
+        assert!(d.validate(&active(&[7]), &[4], &[2]).is_ok());
     }
 }

@@ -37,6 +37,8 @@ use geoplace_types::units::{EurosPerKwh, GigabitsPerSecond, Gigabytes, Seconds};
 use geoplace_types::{DcId, Exec, Result, VmArena, VmId};
 use geoplace_workload::cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
 use geoplace_workload::fleet::VmFleet;
+use geoplace_workload::graph::TrafficGraphCache;
+use geoplace_workload::window::UtilizationWindows;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -145,6 +147,16 @@ impl Simulator {
 
     /// Runs the whole horizon under `policy` and returns the report.
     ///
+    /// The per-slot observation structures (utilization windows, traffic
+    /// CSR, arena, alignment vectors) live in a persistent scratch;
+    /// under [`Auto`](crate::config::IncrementalConfig::Auto) they are
+    /// maintained across slots from the
+    /// [`FleetDelta`](geoplace_workload::fleet::FleetDelta) the fleet
+    /// reports (arrivals connected, departures disconnected, last slot's
+    /// actual windows promoted to this slot's observation), under
+    /// [`Off`](crate::config::IncrementalConfig::Off) they are rebuilt
+    /// from scratch every slot. Both modes produce bit-identical reports.
+    ///
     /// # Panics
     ///
     /// Panics if the policy returns a structurally invalid decision — that
@@ -152,11 +164,20 @@ impl Simulator {
     pub fn run<P: GlobalPolicy>(mut self, policy: &mut P) -> SimulationReport {
         let n_dcs = self.scenario.dcs.len();
         let exec = Exec::new(self.scenario.config.parallelism);
+        let incremental = self.scenario.config.incremental.is_incremental();
         let server_counts: Vec<u32> = self.scenario.dcs.iter().map(|d| d.config.servers).collect();
-        let dvfs_levels = self.scenario.dcs[0].power_model.levels().len();
+        // DVFS depth per DC: validation and rollback must use the hosting
+        // DC's own table — heterogeneous fleets can mix server models.
+        let dvfs_levels: Vec<usize> = self
+            .scenario
+            .dcs
+            .iter()
+            .map(|d| d.power_model.levels().len())
+            .collect();
         let budget = latency_constraint_for_qos(self.scenario.config.qos);
         let mut report = SimulationReport::new(policy.name(), n_dcs);
         let mut assignment: HashMap<VmId, DcId> = HashMap::new();
+        let mut scratch = EngineScratch::new();
 
         // The event timeline resolved once into per-DC slot-indexed
         // modulators; within a slot every tick shares the slot's factors.
@@ -171,65 +192,135 @@ impl Simulator {
             let slot = TimeSlot(slot_index);
             // Per-slot world perturbations: usable servers after derates,
             // tariff and PV multipliers. All deterministic in (config, slot).
-            let usable_servers: Vec<u32> = server_counts
-                .iter()
-                .enumerate()
-                .map(|(d, &s)| events::effective_servers(s, capacity_mods[d].factor_at(slot)))
-                .collect();
-            let price_factors: Vec<f64> =
-                (0..n_dcs).map(|d| price_mods[d].factor_at(slot)).collect();
-            let pv_factors: Vec<f64> = (0..n_dcs).map(|d| pv_mods[d].factor_at(slot)).collect();
-            if slot_index > 0 {
-                self.scenario.fleet.advance_to(slot);
-            }
-            let active: Vec<VmId> = self.scenario.fleet.active().to_vec();
-            assignment.retain(|vm, _| active.binary_search(vm).is_ok());
-
-            // --- Observation phase: the previous interval's data.
-            let obs_slot = slot.prev().unwrap_or(slot);
-            let windows = self.scenario.fleet.windows(obs_slot);
-            let arena = VmArena::from_ids(windows.ids());
-            let cpu_corr = CpuCorrelationMatrix::compute_auto_exec(
-                &windows,
-                CorrelationMetric::PeakCoincidence,
-                &self.scenario.config.sparsity,
-                exec,
+            scratch.usable_servers.clear();
+            scratch.usable_servers.extend(
+                server_counts
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &s)| events::effective_servers(s, capacity_mods[d].factor_at(slot))),
             );
-            let traffic = self
-                .scenario
-                .fleet
-                .data_correlation()
-                .traffic_graph_exec(&arena, exec);
-            let vm_cores: Vec<u32> = windows
-                .ids()
-                .iter()
-                .map(|&id| self.scenario.fleet.vm(id).expect("active VM").cores())
-                .collect();
-            let vm_memory: Vec<Gigabytes> = windows
-                .ids()
-                .iter()
-                .map(|&id| self.scenario.fleet.vm(id).expect("active VM").memory())
-                .collect();
-            let dc_infos = self.dc_infos(slot, &usable_servers, &price_factors);
+            scratch.price_factors.clear();
+            scratch
+                .price_factors
+                .extend((0..n_dcs).map(|d| price_mods[d].factor_at(slot)));
+            scratch.pv_factors.clear();
+            scratch
+                .pv_factors
+                .extend((0..n_dcs).map(|d| pv_mods[d].factor_at(slot)));
+
+            // --- Observation phase: the previous interval's data. Slot 0
+            // bootstraps from an all-zero observation window — no interval
+            // has been observed yet, and peeking at the running slot's own
+            // samples would be look-ahead bias in the first decision.
+            if slot_index > 0 {
+                let delta = self.scenario.fleet.advance_to(slot);
+                if incremental {
+                    // Last slot's *actual* windows are exactly this slot's
+                    // observation for every surviving VM: swap the buffers
+                    // and reconcile the churn — only arrivals' rows are
+                    // synthesized, and only the structural edge delta is
+                    // applied to the traffic CSR.
+                    std::mem::swap(&mut scratch.observed, &mut scratch.actual);
+                    let fleet = &self.scenario.fleet;
+                    let obs_slot = slot.prev().expect("slot_index > 0");
+                    scratch.observed.reconcile(fleet.active(), |vm, row| {
+                        fleet
+                            .vm(vm)
+                            .expect("active VM")
+                            .trace()
+                            .window_into(obs_slot, row)
+                    });
+                    scratch.traffic.apply_delta(
+                        &delta.departed,
+                        &delta.connected,
+                        fleet.data_correlation(),
+                    );
+                }
+            }
+            let fleet = &self.scenario.fleet;
+            // `assignment.retain` below binary-searches the active list;
+            // the fleet's sorted-active invariant is what makes that (and
+            // the whole id-ordered incremental pipeline) sound.
+            debug_assert!(
+                fleet.active().windows(2).all(|pair| pair[0] < pair[1]),
+                "fleet active set must be strictly sorted"
+            );
+            scratch.active.clear();
+            scratch.active.extend_from_slice(fleet.active());
+            assignment.retain(|vm, _| scratch.active.binary_search(vm).is_ok());
+
+            if slot_index == 0 {
+                scratch
+                    .observed
+                    .fill(fleet.active(), TICKS_PER_SLOT, |_, _| {});
+                if incremental {
+                    scratch.traffic.rebuild(fleet.data_correlation());
+                }
+            } else if !incremental {
+                fleet.windows_into(slot.prev().expect("slot_index > 0"), &mut scratch.observed);
+            }
+            fleet.windows_into(slot, &mut scratch.actual);
+            scratch.arena.refill(scratch.observed.ids());
+
+            // Slot 0's zero observation carries no pairwise information;
+            // the canonical degenerate matrix (all pairs fully correlated,
+            // no retained edges) is what every metric computes over zero
+            // windows, and — unlike an actual compute — it is identical
+            // under the dense and the sparse pipeline configuration, so
+            // the bootstrap decision does not depend on the representation.
+            let cpu_corr = if slot_index == 0 {
+                CpuCorrelationMatrix::degenerate(
+                    scratch.observed.ids(),
+                    &self.scenario.config.sparsity,
+                )
+            } else {
+                CpuCorrelationMatrix::compute_auto_exec(
+                    &scratch.observed,
+                    CorrelationMetric::PeakCoincidence,
+                    &self.scenario.config.sparsity,
+                    exec,
+                )
+            };
+            let traffic_fresh;
+            let traffic: &geoplace_workload::graph::TrafficGraph = if incremental {
+                scratch
+                    .traffic
+                    .emit(fleet.data_correlation(), &scratch.arena)
+            } else {
+                traffic_fresh = fleet
+                    .data_correlation()
+                    .traffic_graph_exec(&scratch.arena, exec);
+                &traffic_fresh
+            };
+            scratch.vm_cores.clear();
+            scratch.vm_memory.clear();
+            for &id in scratch.observed.ids() {
+                let vm = fleet.vm(id).expect("active VM");
+                scratch.vm_cores.push(vm.cores());
+                scratch.vm_memory.push(vm.memory());
+            }
+            let dc_infos = self.dc_infos(slot, &scratch.usable_servers, &scratch.price_factors);
 
             // --- Decision phase.
             let mut decision = {
                 let snapshot = SystemSnapshot {
                     slot,
-                    windows: &windows,
-                    arena: &arena,
-                    vm_cores: &vm_cores,
-                    vm_memory: &vm_memory,
+                    windows: &scratch.observed,
+                    arena: &scratch.arena,
+                    vm_cores: &scratch.vm_cores,
+                    vm_memory: &scratch.vm_memory,
                     cpu_corr: &cpu_corr,
-                    traffic: &traffic,
-                    data: self.scenario.fleet.data_correlation(),
+                    traffic,
+                    data: fleet.data_correlation(),
                     prev_dc: &assignment,
                     dcs: &dc_infos,
                     latency: &self.scenario.latency,
                     migration_budget: budget,
                 };
                 let decision = policy.decide(&snapshot);
-                if let Err(e) = decision.validate(&active, &usable_servers, dvfs_levels) {
+                if let Err(e) =
+                    decision.validate(&scratch.active, &scratch.usable_servers, &dvfs_levels)
+                {
                     panic!(
                         "policy {} returned an invalid decision at {slot}: {e}",
                         policy.name()
@@ -251,8 +342,7 @@ impl Simulator {
                 ..HourlyRecord::default()
             };
             let mut plan = MigrationPlan::new(n_dcs);
-            let top_freq = crate::power::FreqLevel(dvfs_levels - 1);
-            for &vm in &active {
+            for &vm in &scratch.active {
                 let Some(&prev) = assignment.get(&vm) else {
                     continue;
                 };
@@ -260,7 +350,7 @@ impl Simulator {
                 if prev == dest {
                     continue;
                 }
-                let size = self.scenario.fleet.vm(vm).expect("active VM").memory();
+                let size = fleet.vm(vm).expect("active VM").memory();
                 let migration = Migration {
                     vm,
                     from: prev,
@@ -274,7 +364,9 @@ impl Simulator {
                     // Budget overrun: the VM stays in its previous DC and
                     // the rejected move must leave *no* trace — neither in
                     // the decision nor in the volume ledger (only accepted
-                    // migrations incremented it above).
+                    // migrations incremented it above). The rollback server
+                    // opens at the *previous DC's* top DVFS level — the
+                    // tables may differ across DCs.
                     record.migration_overruns += 1;
                     let removed_from = decision.remove_vm(vm);
                     debug_assert_eq!(
@@ -282,7 +374,8 @@ impl Simulator {
                         Some(dest),
                         "rejected {vm} was not placed at its requested destination"
                     );
-                    decision.force_host(prev, vm, usable_servers[prev.index()], top_freq);
+                    let top_freq = crate::power::FreqLevel(dvfs_levels[prev.index()] - 1);
+                    decision.force_host(prev, vm, scratch.usable_servers[prev.index()], top_freq);
                     debug_assert_eq!(
                         decision.host_dc(vm),
                         Some(prev),
@@ -295,7 +388,9 @@ impl Simulator {
             // valid placement — every rejected VM exactly once, back in
             // its previous DC, on an in-range server.
             #[cfg(debug_assertions)]
-            if let Err(e) = decision.validate(&active, &usable_servers, dvfs_levels) {
+            if let Err(e) =
+                decision.validate(&scratch.active, &scratch.usable_servers, &dvfs_levels)
+            {
                 panic!("migration clipping corrupted the decision at {slot}: {e}");
             }
 
@@ -305,17 +400,16 @@ impl Simulator {
             // Outputs fold into the record in ascending DC order, so the
             // accumulated totals are bit-identical to a serial loop at
             // every thread count.
-            record.active_vms = active.len() as u32;
+            record.active_vms = scratch.active.len() as u32;
             record.active_servers = decision.active_servers() as u32;
-            let actual_windows = self.scenario.fleet.windows(slot);
             let outputs = {
                 let green = &self.green;
                 let decision_ref = &decision;
-                let actual = &actual_windows;
-                let observed = &windows;
-                let cores = &vm_cores;
-                let price_factors = &price_factors;
-                let pv_factors = &pv_factors;
+                let actual = &scratch.actual;
+                let observed = &scratch.observed;
+                let cores = &scratch.vm_cores;
+                let price_factors = &scratch.price_factors;
+                let pv_factors = &scratch.pv_factors;
                 exec.map_mut(&mut self.scenario.dcs, |dc_index, dc| {
                     let dc_id = DcId(dc_index as u16);
                     let it_power = dc_it_power(
@@ -381,8 +475,8 @@ impl Simulator {
             }
 
             // --- Response time of the slot's inter-DC data traffic.
-            let traffic = self.inter_dc_traffic(&new_dc, n_dcs);
-            let response = evaluate_slot(&self.scenario.latency, &traffic, &mut self.rng);
+            let dc_traffic = self.inter_dc_traffic(&new_dc, n_dcs);
+            let response = evaluate_slot(&self.scenario.latency, &dc_traffic, &mut self.rng);
             record.response_worst_s = response.worst().0;
             record.response_mean_s = response.mean().0;
             for &(_, t) in &response.per_dc {
@@ -499,6 +593,58 @@ impl Simulator {
             traffic.add(dc_b, dc_a, data.slot_volume(b, a));
         }
         traffic
+    }
+}
+
+/// Persistent per-slot working state of the engine loop.
+///
+/// Owns every vector and matrix the slot step previously reallocated per
+/// slot: the active id list, the core/memory alignment vectors, the
+/// event-factor vectors, both utilization window matrices (observed and
+/// actual), the dense arena and the incremental traffic CSR cache. In the
+/// steady state of the incremental pipeline nothing here allocates
+/// proportionally to the fleet — buffers are refilled (or reconciled) in
+/// place.
+#[derive(Debug)]
+struct EngineScratch {
+    /// The slot's active VM ids (sorted — the fleet invariant).
+    active: Vec<VmId>,
+    /// vCPUs per VM, aligned with the observed window rows.
+    vm_cores: Vec<u32>,
+    /// Memory per VM, aligned with the observed window rows.
+    vm_memory: Vec<Gigabytes>,
+    /// Usable servers per DC after capacity derates.
+    usable_servers: Vec<u32>,
+    /// Tariff multipliers per DC from the event timeline.
+    price_factors: Vec<f64>,
+    /// PV multipliers per DC from the event timeline.
+    pv_factors: Vec<f64>,
+    /// The observation window the policy sees (previous interval; zeros
+    /// at slot 0).
+    observed: UtilizationWindows,
+    /// The running slot's actual windows (powers the interval
+    /// simulation, then becomes the next slot's observation).
+    actual: UtilizationWindows,
+    /// Dense id ↔ index mapping of the active set.
+    arena: VmArena,
+    /// Incrementally maintained traffic CSR source.
+    traffic: TrafficGraphCache,
+}
+
+impl EngineScratch {
+    fn new() -> Self {
+        EngineScratch {
+            active: Vec::new(),
+            vm_cores: Vec::new(),
+            vm_memory: Vec::new(),
+            usable_servers: Vec::new(),
+            price_factors: Vec::new(),
+            pv_factors: Vec::new(),
+            observed: UtilizationWindows::zeros(&[], TICKS_PER_SLOT),
+            actual: UtilizationWindows::zeros(&[], TICKS_PER_SLOT),
+            arena: VmArena::default(),
+            traffic: TrafficGraphCache::new(),
+        }
     }
 }
 
@@ -1001,6 +1147,201 @@ mod tests {
             assert_eq!(run(threads), reference, "t={threads}");
         }
         assert_eq!(reference.digest(), run(1).digest());
+    }
+
+    /// A single-level (no-DVFS-choice) variant of the Xeon table.
+    fn single_level_model() -> crate::power::ServerPowerModel {
+        crate::power::ServerPowerModel::new(
+            8,
+            vec![crate::power::OperatingPoint {
+                ghz: 2.0,
+                idle: geoplace_types::units::Watts(141.0),
+                full: geoplace_types::units::Watts(209.0),
+            }],
+        )
+        .unwrap()
+    }
+
+    /// Places every VM on one fixed DC at that DC's own top DVFS level.
+    struct AllOnDcAtTop {
+        dc: u16,
+    }
+
+    impl GlobalPolicy for AllOnDcAtTop {
+        fn name(&self) -> &'static str {
+            "all-on-dc-at-top"
+        }
+
+        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+            let dc = DcId(self.dc);
+            let freq = snapshot.dcs[self.dc as usize].power_model.max_level();
+            let mut decision = PlacementDecision::new(snapshot.dc_count());
+            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
+                decision.push(
+                    dc,
+                    ServerAssignment {
+                        server: chunk_index as u32,
+                        freq,
+                        vms: chunk.to_vec(),
+                    },
+                );
+            }
+            decision
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "returned an invalid decision")]
+    fn hetero_dvfs_validation_checks_the_hosting_dc() {
+        // DC 1 runs a single-level server model: level 1 exists on DC 0
+        // only. A policy that blindly uses level 1 everywhere must be
+        // caught by validation — under the old dcs[0]-only check it
+        // passed and the power lookup indexed out of range mid-slot.
+        let mut scenario = Scenario::build(&tiny_config()).unwrap();
+        scenario.dcs[1].power_model = single_level_model();
+        let _ = Simulator::new(scenario).run(&mut RoundRobinDcs);
+    }
+
+    #[test]
+    fn hetero_dvfs_models_run_clean_within_their_tables() {
+        let mut scenario = Scenario::build(&tiny_config()).unwrap();
+        scenario.dcs[1].power_model = single_level_model();
+        let report = Simulator::new(scenario).run(&mut AllOnDcAtTop { dc: 1 });
+        assert_eq!(report.hourly.len(), 4);
+        assert!(report.per_dc_energy_gj[1] > 0.0);
+    }
+
+    /// Ping-pongs the fleet between two DCs, always at the *destination*
+    /// DC's own top DVFS level.
+    struct HeteroPingPong {
+        turn: usize,
+    }
+
+    impl GlobalPolicy for HeteroPingPong {
+        fn name(&self) -> &'static str {
+            "hetero-ping-pong"
+        }
+
+        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+            self.turn += 1;
+            let dc_index = (self.turn - 1) % 2;
+            let freq = snapshot.dcs[dc_index].power_model.max_level();
+            let mut decision = PlacementDecision::new(snapshot.dc_count());
+            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
+                decision.push(
+                    DcId(dc_index as u16),
+                    ServerAssignment {
+                        server: chunk_index as u32,
+                        freq,
+                        vms: chunk.to_vec(),
+                    },
+                );
+            }
+            decision
+        }
+    }
+
+    #[test]
+    fn hetero_dvfs_rollback_uses_the_previous_dcs_table() {
+        // Zero migration budget: slot 0 lands everyone on DC 0, slot 1
+        // requests a wave to DC 1 that is fully rejected, and the engine
+        // must roll each VM back onto DC 0 at *DC 0's* top level — and
+        // vice versa had the fleet sat on the single-level DC. Under the
+        // homogeneous-top-freq rollback this corrupted the decision as
+        // soon as the tables differed.
+        let mut config = tiny_config();
+        config.qos = 1.0;
+        config.fleet.arrivals.groups_per_slot = 0.0;
+        let mut scenario = Scenario::build(&config).unwrap();
+        scenario.dcs[0].power_model = single_level_model();
+        let report = Simulator::new(scenario).run(&mut HeteroPingPong { turn: 0 });
+        let totals = report.totals();
+        assert_eq!(totals.migrations, 0, "zero budget admits no migration");
+        assert!(totals.migration_overruns > 0, "the wave must be requested");
+        // Rollback kept the fleet on the single-level DC 0 throughout.
+        assert!(report.per_dc_energy_gj[0] > 0.0);
+        assert_eq!(report.per_dc_energy_gj[1], 0.0);
+    }
+
+    /// Records the total observed-window mass per decide call.
+    struct ObservationProbe {
+        sums: Vec<f64>,
+    }
+
+    impl GlobalPolicy for ObservationProbe {
+        fn name(&self) -> &'static str {
+            "observation-probe"
+        }
+
+        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
+            let sum: f64 = (0..snapshot.vm_count())
+                .map(|pos| {
+                    snapshot
+                        .windows
+                        .row_at(pos)
+                        .iter()
+                        .map(|&u| u as f64)
+                        .sum::<f64>()
+                })
+                .sum();
+            self.sums.push(sum);
+            let mut decision = PlacementDecision::new(snapshot.dc_count());
+            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
+                decision.push(
+                    DcId(0),
+                    ServerAssignment {
+                        server: chunk_index as u32,
+                        freq: FreqLevel(0),
+                        vms: chunk.to_vec(),
+                    },
+                );
+            }
+            decision
+        }
+    }
+
+    #[test]
+    fn slot_zero_observes_a_zero_bootstrap_window() {
+        // The first decision must not see the running slot's own samples
+        // (look-ahead); it sees an all-zero bootstrap window, which
+        // provably differs from the slot's actual (always ≥ the trace
+        // floor utilization).
+        let config = tiny_config();
+        let scenario = Scenario::build(&config).unwrap();
+        let actual_slot0: f64 = {
+            let reference = Scenario::build(&config).unwrap();
+            let windows = reference.fleet.windows(TimeSlot(0));
+            (0..windows.len())
+                .map(|pos| windows.row_at(pos).iter().map(|&u| u as f64).sum::<f64>())
+                .sum()
+        };
+        let mut probe = ObservationProbe { sums: Vec::new() };
+        let _ = Simulator::new(scenario).run(&mut probe);
+        assert_eq!(probe.sums[0], 0.0, "slot 0 observation must be zero");
+        assert!(
+            actual_slot0 > 0.0,
+            "the running slot's actual window is nonzero (floor utilization)"
+        );
+        assert!(
+            probe.sums[1] > 0.0,
+            "from slot 1 on the previous interval is observed"
+        );
+    }
+
+    #[test]
+    fn incremental_and_from_scratch_reports_are_bit_identical() {
+        use crate::config::IncrementalConfig;
+        let run = |mode: IncrementalConfig| {
+            let mut config = tiny_config();
+            config.horizon_slots = 6;
+            config.incremental = mode;
+            let scenario = Scenario::build(&config).unwrap();
+            Simulator::new(scenario).run(&mut RoundRobinDcs)
+        };
+        let auto = run(IncrementalConfig::Auto);
+        let off = run(IncrementalConfig::Off);
+        assert_eq!(auto, off);
+        assert_eq!(auto.digest(), off.digest());
     }
 
     #[test]

@@ -73,7 +73,7 @@ proptest! {
             }
         }
         let counts: Vec<u32> = per_dc.iter().map(|&s| s.max(1)).collect();
-        prop_assert!(decision.validate(&active, &counts, 2).is_ok());
+        prop_assert!(decision.validate(&active, &counts, &vec![2; counts.len()]).is_ok());
         prop_assert_eq!(decision.vm_count(), active.len());
     }
 

@@ -54,6 +54,25 @@ impl VmArena {
         }
     }
 
+    /// Rebuilds the arena over a new id set in place, reusing the id
+    /// vector and index-map allocations — the per-slot path of the
+    /// incremental pipeline. Semantically identical to
+    /// [`VmArena::from_ids`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` contains a duplicate or more than `u32::MAX` VMs.
+    pub fn refill(&mut self, ids: &[VmId]) {
+        assert!(ids.len() <= u32::MAX as usize, "arena overflow");
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
+        self.index.clear();
+        for (i, &vm) in ids.iter().enumerate() {
+            let prior = self.index.insert(vm, i as u32);
+            assert!(prior.is_none(), "duplicate VM {vm} in arena");
+        }
+    }
+
     /// Number of VMs in the arena.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -133,5 +152,25 @@ mod tests {
     #[should_panic(expected = "duplicate VM")]
     fn duplicate_ids_panic() {
         let _ = VmArena::from_ids(&[VmId(1), VmId(1)]);
+    }
+
+    #[test]
+    fn refill_matches_from_ids() {
+        let mut arena = VmArena::from_ids(&[VmId(10), VmId(2)]);
+        let ids = [VmId(4), VmId(7), VmId(12)];
+        arena.refill(&ids);
+        let fresh = VmArena::from_ids(&ids);
+        assert_eq!(arena.ids(), fresh.ids());
+        for &vm in &ids {
+            assert_eq!(arena.index_of(vm), fresh.index_of(vm));
+        }
+        assert_eq!(arena.index_of(VmId(10)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate VM")]
+    fn refill_rejects_duplicates() {
+        let mut arena = VmArena::from_ids(&[]);
+        arena.refill(&[VmId(2), VmId(2)]);
     }
 }

@@ -111,38 +111,83 @@ impl CpuCorrelationMatrix {
         metric: CorrelationMetric,
         exec: Exec,
     ) -> Self {
-        let n = windows.len();
-        let mut values = vec![0.0f32; n * n];
-        let peaks: Vec<f32> = (0..n).map(|i| peak_of(windows.row_at(i))).collect();
-        // Upper-triangular row tails per chunk; the symmetric scatter is
-        // a cheap serial pass (no window scans).
-        let peaks_ref = &peaks;
-        let tails: Vec<Vec<f32>> = exec
-            .map_chunks(n, |range| {
-                range
-                    .map(|i| {
-                        ((i + 1)..n)
-                            .map(|j| pair_metric(windows, peaks_ref, i, j, metric))
-                            .collect::<Vec<f32>>()
-                    })
-                    .collect::<Vec<Vec<f32>>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-        for (i, tail) in tails.iter().enumerate() {
-            values[i * n + i] = 1.0;
-            for (offset, &c) in tail.iter().enumerate() {
-                let j = i + 1 + offset;
-                values[i * n + j] = c;
-                values[j * n + i] = c;
-            }
-        }
+        let mut values = Vec::new();
+        fill_dense_values(windows, metric, exec, &mut values);
         CpuCorrelationMatrix {
             ids: windows.ids().to_vec(),
-            n,
+            n: windows.len(),
             repr: Repr::Dense { values },
         }
+    }
+
+    /// Recomputes this matrix as the exact **dense** matrix of `windows`
+    /// under `metric`, in place. When the current representation is
+    /// already dense, the `n × n` value buffer — the dominant allocation
+    /// of a dense build — is refilled without reallocating; otherwise the
+    /// matrix is replaced wholesale. Semantically identical to
+    /// assigning [`CpuCorrelationMatrix::compute_exec`]; callers that
+    /// re-derive a matrix every slot (the Pearson-ablation path of the
+    /// proposed policy) hold one instance and recompute into it.
+    pub fn recompute_dense_exec(
+        &mut self,
+        windows: &UtilizationWindows,
+        metric: CorrelationMetric,
+        exec: Exec,
+    ) {
+        if let Repr::Dense { values } = &mut self.repr {
+            fill_dense_values(windows, metric, exec, values);
+            self.ids.clear();
+            self.ids.extend_from_slice(windows.ids());
+            self.n = windows.len();
+        } else {
+            *self = Self::compute_exec(windows, metric, exec);
+        }
+    }
+
+    /// The canonical *bootstrap* matrix over `ids`: every pair reads the
+    /// degenerate full correlation 1.0 — the value a zero observation
+    /// window produces under every metric's no-load convention — stored
+    /// as a retained-edge-free sparse structure with baseline 1.0.
+    ///
+    /// The point of a dedicated constructor (rather than computing over
+    /// the zero windows) is **representation independence**: an all-zero
+    /// window carries no pairwise information, yet a dense compute and a
+    /// sparse compute of it hand the force layout structurally different
+    /// inputs (exact all-pairs vs top-k + far field), so dense- and
+    /// sparse-configured runs would already diverge at the slot-0
+    /// decision. This matrix is identical whatever the scenario's
+    /// sparsity selection, keeping the bootstrap decision — and with it
+    /// the paired dense↔sparse comparisons — coupled.
+    pub fn degenerate(ids: &[VmId], sparsity: &SparsityConfig) -> Self {
+        let n = ids.len();
+        CpuCorrelationMatrix {
+            ids: ids.to_vec(),
+            n,
+            repr: Repr::Sparse {
+                offsets: vec![0; n + 1],
+                neighbors: Vec::new(),
+                baseline: 1.0,
+                config: *sparsity,
+            },
+        }
+    }
+
+    /// True for the canonical bootstrap matrix of
+    /// [`CpuCorrelationMatrix::degenerate`]: retained-edge-free sparse
+    /// with the no-load baseline 1.0. Consumers that would re-derive a
+    /// matrix from the observation windows (the Pearson ablation) check
+    /// this instead — no metric is computable from a zero observation,
+    /// and recomputing over it would reintroduce the representation
+    /// dependence the canonical matrix removes.
+    pub fn is_degenerate(&self) -> bool {
+        matches!(
+            &self.repr,
+            Repr::Sparse {
+                neighbors,
+                baseline,
+                ..
+            } if neighbors.is_empty() && *baseline == 1.0
+        )
     }
 
     /// Computes the representation [`SparsityConfig`] selects for this
@@ -473,6 +518,46 @@ impl CpuCorrelationMatrix {
     }
 }
 
+/// Fills `values` (cleared and resized in place) with the exact dense
+/// `n × n` matrix of `windows` under `metric` — the shared core of
+/// [`CpuCorrelationMatrix::compute_exec`] and
+/// [`CpuCorrelationMatrix::recompute_dense_exec`].
+fn fill_dense_values(
+    windows: &UtilizationWindows,
+    metric: CorrelationMetric,
+    exec: Exec,
+    values: &mut Vec<f32>,
+) {
+    let n = windows.len();
+    values.clear();
+    values.resize(n * n, 0.0);
+    let peaks: Vec<f32> = (0..n).map(|i| peak_of(windows.row_at(i))).collect();
+    // Upper-triangular row tails per chunk; the symmetric scatter is
+    // a cheap serial pass (no window scans).
+    let peaks_ref = &peaks;
+    let tails: Vec<Vec<f32>> = exec
+        .map_chunks(n, |range| {
+            range
+                .map(|i| {
+                    ((i + 1)..n)
+                        .map(|j| pair_metric(windows, peaks_ref, i, j, metric))
+                        .collect::<Vec<f32>>()
+                })
+                .collect::<Vec<Vec<f32>>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    for (i, tail) in tails.iter().enumerate() {
+        values[i * n + i] = 1.0;
+        for (offset, &c) in tail.iter().enumerate() {
+            let j = i + 1 + offset;
+            values[i * n + j] = c;
+            values[j * n + i] = c;
+        }
+    }
+}
+
 /// One pairwise statistic under the chosen metric.
 fn pair_metric(
     windows: &UtilizationWindows,
@@ -696,6 +781,77 @@ mod tests {
                 "{metric:?}: same-phase {} must exceed anti-phase {}",
                 m.at(0, 1),
                 m.at(0, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_matrix_reads_one_everywhere_in_any_configuration() {
+        let ids: Vec<VmId> = (0..9u32).map(VmId).collect();
+        for sparsity in [
+            SparsityConfig::default().dense(),
+            SparsityConfig::default().sparse(),
+        ] {
+            let matrix = CpuCorrelationMatrix::degenerate(&ids, &sparsity);
+            assert_eq!(matrix.len(), 9);
+            assert!(
+                matrix.is_sparse(),
+                "canonical repr is retained-edge-free sparse"
+            );
+            assert_eq!(matrix.edge_count(), 0);
+            for i in 0..9 {
+                assert!(matrix.neighbors(i).is_empty());
+                for j in 0..9 {
+                    assert_eq!(matrix.at(i, j), 1.0, "({i},{j})");
+                }
+            }
+            // Value-consistent with what a zero observation window
+            // computes under the no-load convention.
+            let zero = UtilizationWindows::from_rows(
+                ids.iter().map(|&id| (id, vec![0.0f32; 8])).collect(),
+            );
+            let computed = CpuCorrelationMatrix::compute(&zero);
+            for i in 0..9 {
+                for j in 0..9 {
+                    assert_eq!(computed.at(i, j), matrix.at(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_dense_matches_fresh_compute_across_shape_changes() {
+        let windows_of = |n: u32, phase_step: usize| {
+            UtilizationWindows::from_rows(
+                (0..n)
+                    .map(|i| {
+                        let row: Vec<f32> = (0..24)
+                            .map(|t| {
+                                let x = (t + i as usize * phase_step) % 24;
+                                0.1 + 0.8 * (-((x as f32 - 12.0).powi(2)) / 20.0).exp()
+                            })
+                            .collect();
+                        (VmId(i), row)
+                    })
+                    .collect(),
+            )
+        };
+        let mut cached =
+            CpuCorrelationMatrix::compute_with(&windows_of(10, 3), CorrelationMetric::Pearson);
+        // Grow, shrink, and re-metric: every recompute must equal a
+        // fresh dense build bit for bit.
+        for (n, step, metric) in [
+            (16u32, 5, CorrelationMetric::Pearson),
+            (6, 2, CorrelationMetric::PeakCoincidence),
+            (0, 1, CorrelationMetric::Pearson),
+            (12, 7, CorrelationMetric::Pearson),
+        ] {
+            let windows = windows_of(n, step);
+            cached.recompute_dense_exec(&windows, metric, Exec::serial());
+            assert_eq!(
+                cached,
+                CpuCorrelationMatrix::compute_with(&windows, metric),
+                "n={n} step={step}"
             );
         }
     }

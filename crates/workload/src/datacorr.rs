@@ -113,18 +113,24 @@ impl DataCorrelation {
     /// Wires newly arrived VMs: full mesh inside each application group at
     /// the intra-group rate plus `cross_links_per_vm` random links into the
     /// existing population at the cross-group rate.
+    ///
+    /// Returns the pairs actually inserted, as canonical `(lower, higher)`
+    /// keys — the delta the incremental traffic-graph cache consumes.
     pub fn connect_arrivals<R: Rng + ?Sized>(
         &mut self,
         arrivals: &[VmSpec],
         population: &[VmSpec],
         rng: &mut R,
-    ) {
+    ) -> Vec<(VmId, VmId)> {
+        let mut inserted = Vec::new();
         // Intra-group full mesh.
         for (pos, a) in arrivals.iter().enumerate() {
             for b in &arrivals[pos + 1..] {
                 if a.group() == b.group() {
                     let traffic = self.sample_pair(self.config.intra_group_mean_mb, rng);
-                    self.pairs.insert(key(a.id(), b.id()), traffic);
+                    if self.pairs.insert(key(a.id(), b.id()), traffic).is_none() {
+                        inserted.push(key(a.id(), b.id()));
+                    }
                 }
             }
         }
@@ -137,10 +143,16 @@ impl DataCorrelation {
                         continue;
                     }
                     let traffic = self.sample_pair(self.config.cross_group_mean_mb, rng);
-                    self.pairs.entry(key(a.id(), b.id())).or_insert(traffic);
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        self.pairs.entry(key(a.id(), b.id()))
+                    {
+                        slot.insert(traffic);
+                        inserted.push(key(a.id(), b.id()));
+                    }
                 }
             }
         }
+        inserted
     }
 
     /// Drops every pair touching a departed VM.
@@ -179,6 +191,19 @@ impl DataCorrelation {
             traffic.hi_to_lo
         };
         Megabytes(rate * TICKS_PER_SLOT as f64)
+    }
+
+    /// Directed rates of a pair in MB per tick as `(from → to, to → from)`,
+    /// or `None` when the pair does not communicate. The incremental CSR
+    /// refresh reads drifting rates through this without re-deriving the
+    /// canonical key ordering at every edge.
+    pub fn directed_rates(&self, from: VmId, to: VmId) -> Option<(f64, f64)> {
+        let traffic = self.pairs.get(&key(from, to))?;
+        if from < to {
+            Some((traffic.lo_to_hi, traffic.hi_to_lo))
+        } else {
+            Some((traffic.hi_to_lo, traffic.lo_to_hi))
+        }
     }
 
     /// Total bidirectional volume of a pair over one slot.

@@ -19,6 +19,11 @@ pub struct FleetDelta {
     pub arrived: Vec<VmId>,
     /// VMs that departed at this slot boundary.
     pub departed: Vec<VmId>,
+    /// Traffic pairs wired for the arrivals, as canonical
+    /// `(lower, higher)` keys — the structural delta the incremental
+    /// traffic-graph cache applies instead of re-sorting the whole edge
+    /// set every slot.
+    pub connected: Vec<(VmId, VmId)>,
 }
 
 /// The evolving VM population of the whole geo-distributed system.
@@ -138,7 +143,20 @@ impl VmFleet {
                     !vm.is_active_at(next)
                 })
                 .collect();
-            self.active.retain(|id| !departed.contains(id));
+            // `departed` is filtered from the sorted active list, so it is
+            // itself sorted: one in-order merge pointer removes every
+            // departure in O(active) — a `departed.contains` scan here is
+            // O(active × departed) and melts under churn-storm turnover.
+            let mut next_departure = 0usize;
+            self.active.retain(|&id| {
+                if next_departure < departed.len() && departed[next_departure] == id {
+                    next_departure += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            debug_assert_eq!(next_departure, departed.len());
             self.data.disconnect(&departed);
             delta.departed.extend(departed);
 
@@ -149,8 +167,11 @@ impl VmFleet {
                 .iter()
                 .map(|&id| self.vms[self.by_id[&id]].clone())
                 .collect();
-            self.data
-                .connect_arrivals(&newcomers, &population, &mut self.rng);
+            delta.connected.extend(self.data.connect_arrivals(
+                &newcomers,
+                &population,
+                &mut self.rng,
+            ));
             for vm in newcomers {
                 delta.arrived.push(vm.id());
                 self.register(vm);
@@ -161,6 +182,10 @@ impl VmFleet {
             self.data.evolve(&mut self.rng);
             self.current_slot = next;
         }
+        debug_assert!(
+            self.active.windows(2).all(|pair| pair[0] < pair[1]),
+            "active set must stay strictly sorted"
+        );
         delta
     }
 
@@ -177,6 +202,17 @@ impl VmFleet {
             })
             .collect();
         UtilizationWindows::from_rows(rows)
+    }
+
+    /// [`VmFleet::windows`] into a persistent buffer: identical content,
+    /// but the matrix and its index are refilled in place instead of
+    /// reallocated — the steady-state path of the incremental pipeline.
+    pub fn windows_into(&self, slot: TimeSlot, out: &mut UtilizationWindows) {
+        out.fill(
+            &self.active,
+            geoplace_types::time::TICKS_PER_SLOT,
+            |vm, row| self.vms[self.by_id[&vm]].trace().window_into(slot, row),
+        );
     }
 
     /// CPU-load correlation matrix of the active VMs over `slot`.
@@ -287,6 +323,88 @@ mod tests {
     fn unknown_vm_is_an_error() {
         let fleet = small_fleet(6);
         assert!(fleet.vm(VmId(u32::MAX)).is_err());
+    }
+
+    #[test]
+    fn windows_into_matches_from_scratch() {
+        let mut fleet = small_fleet(9);
+        let mut buffer = UtilizationWindows::zeros(&[], 1);
+        for s in 1..=6u32 {
+            fleet.advance_to(TimeSlot(s));
+            fleet.windows_into(TimeSlot(s - 1), &mut buffer);
+            assert_eq!(buffer, fleet.windows(TimeSlot(s - 1)), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn delta_reports_the_pairs_it_wires() {
+        let mut fleet = small_fleet(10);
+        let mut before: Vec<(VmId, VmId)> = fleet
+            .data_correlation()
+            .iter()
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        for s in 1..=12u32 {
+            let delta = fleet.advance_to(TimeSlot(s));
+            // Every reported pair must exist unless an endpoint already
+            // departed again; every *surviving* new pair must be reported.
+            let after: Vec<(VmId, VmId)> = fleet
+                .data_correlation()
+                .iter()
+                .map(|(a, b, _)| (a, b))
+                .collect();
+            for pair in &after {
+                let existed = before.binary_search(pair).is_ok();
+                let reported = delta.connected.contains(pair);
+                assert!(
+                    existed || reported,
+                    "slot {s}: pair {pair:?} appeared without a delta entry"
+                );
+            }
+            for &(a, b) in &delta.connected {
+                assert!(a < b, "delta pairs must be canonical");
+            }
+            before = after;
+        }
+    }
+
+    #[test]
+    fn churn_storm_departures_stay_linear() {
+        // A fleet large enough that the old O(active × departed) retain
+        // (departed.contains inside the scan) takes tens of seconds: half
+        // the population departs at one boundary. The merged retain is
+        // O(active); give it a generous-but-binding wall-clock budget.
+        use crate::arrivals::ArrivalConfig;
+        let config = FleetConfig {
+            arrivals: ArrivalConfig {
+                initial_groups: 12_000,
+                group_size_range: (4, 4),
+                groups_per_slot: 0.0,
+                mean_lifetime_slots: 1.5,
+                ..ArrivalConfig::default()
+            },
+            data: crate::datacorr::DataCorrelationConfig {
+                cross_links_per_vm: 0,
+                ..crate::datacorr::DataCorrelationConfig::default()
+            },
+        };
+        let mut fleet = VmFleet::new(config).unwrap();
+        let population = fleet.active().len();
+        assert!(population >= 40_000, "population {population}");
+        let start = std::time::Instant::now();
+        let mut departed = 0usize;
+        for s in 1..=4u32 {
+            departed += fleet.advance_to(TimeSlot(s)).departed.len();
+        }
+        // Exponential lifetimes with mean 1.5 slots: the overwhelming
+        // majority is gone after 4 boundaries, and nobody is lost.
+        assert_eq!(departed + fleet.active().len(), population);
+        assert!(departed > population / 2, "departed {departed}");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "mass departure took {elapsed:?} — departure filtering has gone quadratic"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! bidirectional — vol(i→j) ≠ vol(j→i)).
 
 use crate::datacorr::DataCorrelation;
-use geoplace_types::{Exec, VmArena};
+use geoplace_types::{Exec, VmArena, VmId};
 
 /// One directed adjacency entry of a [`TrafficGraph`] row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,6 +173,193 @@ where
         width *= 2;
     }
     entries.copy_from_slice(&source);
+}
+
+/// Incrementally maintained CSR source for [`TrafficGraph`].
+///
+/// A from-scratch [`DataCorrelation::traffic_graph_exec`] build pays an
+/// `O(E log E)` ordering sort plus fresh allocations every slot, even
+/// though the *structure* of the adjacency only changes by the slot's
+/// churn. This cache keeps the directed edge list sorted by
+/// `(row id, neighbor id)` across slots: departures are removed with one
+/// `retain`, arrivals' new pairs are merged in (both sides presorted), and
+/// the per-slot emit is a single linear pass that refreshes the drifting
+/// rates and rebuilds the CSR arrays in place — no sort, no allocation in
+/// the steady state.
+///
+/// The emitted graph is **bit-identical** to the from-scratch build (the
+/// equivalence the engine's incremental pipeline is gated on), provided
+/// the arena lists the active ids in ascending id order — the engine's
+/// invariant, asserted in debug builds.
+///
+/// # Examples
+///
+/// ```
+/// use geoplace_workload::fleet::{FleetConfig, VmFleet};
+/// use geoplace_workload::graph::TrafficGraphCache;
+/// use geoplace_types::time::TimeSlot;
+/// use geoplace_types::VmArena;
+///
+/// let mut fleet = VmFleet::new(FleetConfig::default())?;
+/// let mut cache = TrafficGraphCache::new();
+/// cache.rebuild(fleet.data_correlation());
+/// for slot in 1..=3u32 {
+///     let delta = fleet.advance_to(TimeSlot(slot));
+///     cache.apply_delta(&delta.departed, &delta.connected, fleet.data_correlation());
+///     let arena = VmArena::from_ids(fleet.active());
+///     let graph = cache.emit(fleet.data_correlation(), &arena);
+///     assert_eq!(graph, &fleet.data_correlation().traffic_graph(&arena));
+/// }
+/// # Ok::<(), geoplace_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGraphCache {
+    /// Both directions of every live pair, sorted by `(row, neighbor)`.
+    directed: Vec<(VmId, VmId)>,
+    /// Scratch for the per-boundary merge of new directed entries.
+    insert_buf: Vec<(VmId, VmId)>,
+    merge_buf: Vec<(VmId, VmId)>,
+    departed_buf: Vec<VmId>,
+    /// The emitted graph; its CSR arrays are refilled in place.
+    graph: TrafficGraph,
+}
+
+impl Default for TrafficGraphCache {
+    fn default() -> Self {
+        TrafficGraphCache::new()
+    }
+}
+
+impl TrafficGraphCache {
+    /// Creates an empty cache; call [`TrafficGraphCache::rebuild`] before
+    /// the first emit.
+    pub fn new() -> Self {
+        TrafficGraphCache {
+            directed: Vec::new(),
+            insert_buf: Vec::new(),
+            merge_buf: Vec::new(),
+            departed_buf: Vec::new(),
+            graph: TrafficGraph {
+                n: 0,
+                offsets: vec![0],
+                edges: Vec::new(),
+                max_total: 0.0,
+            },
+        }
+    }
+
+    /// Rebuilds the directed edge list from the full pair map (slot 0, or
+    /// any point the caller wants to resynchronize).
+    pub fn rebuild(&mut self, data: &DataCorrelation) {
+        self.directed.clear();
+        for (lo, hi, _) in data.iter() {
+            self.directed.push((lo, hi));
+            self.directed.push((hi, lo));
+        }
+        self.directed.sort_unstable();
+    }
+
+    /// Applies one slot boundary's structural churn: every edge touching a
+    /// departed VM is dropped, and the newly `connected` pairs (canonical
+    /// `(lower, higher)` keys, as reported by
+    /// [`crate::fleet::FleetDelta::connected`]) are merged in. Pairs whose
+    /// endpoint already departed again (multi-boundary advances) are
+    /// skipped — only pairs still present in `data` enter the list.
+    pub fn apply_delta(
+        &mut self,
+        departed: &[VmId],
+        connected: &[(VmId, VmId)],
+        data: &DataCorrelation,
+    ) {
+        if !departed.is_empty() {
+            self.departed_buf.clear();
+            self.departed_buf.extend_from_slice(departed);
+            self.departed_buf.sort_unstable();
+            let gone = &self.departed_buf;
+            self.directed.retain(|&(row, nbr)| {
+                gone.binary_search(&row).is_err() && gone.binary_search(&nbr).is_err()
+            });
+        }
+        if !connected.is_empty() {
+            self.insert_buf.clear();
+            for &(lo, hi) in connected {
+                if data.directed_rates(lo, hi).is_some() {
+                    self.insert_buf.push((lo, hi));
+                    self.insert_buf.push((hi, lo));
+                }
+            }
+            self.insert_buf.sort_unstable();
+            self.insert_buf.dedup();
+            if self.insert_buf.is_empty() {
+                return;
+            }
+            // Linear merge of two sorted runs into the reusable buffer.
+            self.merge_buf.clear();
+            self.merge_buf
+                .reserve(self.directed.len() + self.insert_buf.len());
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < self.directed.len() && b < self.insert_buf.len() {
+                if self.directed[a] <= self.insert_buf[b] {
+                    self.merge_buf.push(self.directed[a]);
+                    a += 1;
+                } else {
+                    self.merge_buf.push(self.insert_buf[b]);
+                    b += 1;
+                }
+            }
+            self.merge_buf.extend_from_slice(&self.directed[a..]);
+            self.merge_buf.extend_from_slice(&self.insert_buf[b..]);
+            std::mem::swap(&mut self.directed, &mut self.merge_buf);
+        }
+    }
+
+    /// Emits the slot's [`TrafficGraph`] over `arena`, refreshing every
+    /// edge's drifting rates from `data`. One linear pass; the CSR arrays
+    /// of the cached graph are refilled in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge references a VM outside the arena or a pair
+    /// missing from `data` — either means the caller let the cache drift
+    /// out of sync with the fleet, and silently emitting a structurally
+    /// wrong graph would surface only as a distant digest mismatch.
+    /// The arena id-ordering precondition is asserted in debug builds.
+    pub fn emit(&mut self, data: &DataCorrelation, arena: &VmArena) -> &TrafficGraph {
+        debug_assert!(
+            arena.ids().windows(2).all(|pair| pair[0] < pair[1]),
+            "incremental CSR requires an id-ordered arena"
+        );
+        let n = arena.len();
+        let graph = &mut self.graph;
+        graph.n = n;
+        graph.offsets.clear();
+        graph.offsets.resize(n + 1, 0);
+        graph.edges.clear();
+        for &(row, nbr) in &self.directed {
+            let (Some(i), Some(j)) = (arena.index_of(row), arena.index_of(nbr)) else {
+                panic!("cached edge {row}→{nbr} outside the arena — cache out of sync");
+            };
+            let (out_rate, in_rate) = data
+                .directed_rates(row, nbr)
+                .expect("cached edge must exist in the pair map");
+            graph.offsets[i as usize + 1] += 1;
+            graph.edges.push(TrafficEdge {
+                target: j,
+                out_rate,
+                in_rate,
+            });
+        }
+        for i in 0..n {
+            graph.offsets[i + 1] += graph.offsets[i];
+        }
+        graph.max_total = data.max_total_rate().unwrap_or(0.0);
+        graph
+    }
+
+    /// Number of directed entries currently tracked.
+    pub fn edge_count(&self) -> usize {
+        self.directed.len()
+    }
 }
 
 impl TrafficGraph {
@@ -375,6 +562,60 @@ mod tests {
             order,
         );
         assert_eq!(entries, expected);
+    }
+
+    #[test]
+    fn cache_tracks_churn_bit_identically() {
+        let mut config = FleetConfig::default();
+        config.arrivals.initial_groups = 12;
+        config.arrivals.groups_per_slot = 3.0;
+        config.arrivals.mean_lifetime_slots = 3.0;
+        config.arrivals.seed = 11;
+        let mut fleet = VmFleet::new(config).unwrap();
+        let mut cache = TrafficGraphCache::new();
+        cache.rebuild(fleet.data_correlation());
+        let mut saw_departure = false;
+        let mut saw_arrival = false;
+        for slot in 1..=20u32 {
+            let delta = fleet.advance_to(geoplace_types::time::TimeSlot(slot));
+            saw_departure |= !delta.departed.is_empty();
+            saw_arrival |= !delta.arrived.is_empty();
+            cache.apply_delta(&delta.departed, &delta.connected, fleet.data_correlation());
+            let arena = VmArena::from_ids(fleet.active());
+            let expected = fleet.data_correlation().traffic_graph(&arena);
+            assert_eq!(
+                cache.emit(fleet.data_correlation(), &arena),
+                &expected,
+                "slot {slot}"
+            );
+            assert_eq!(cache.edge_count(), expected.edge_count());
+        }
+        assert!(saw_departure && saw_arrival, "churn must actually occur");
+    }
+
+    #[test]
+    fn cache_survives_multi_boundary_advances() {
+        let mut config = FleetConfig::default();
+        config.arrivals.initial_groups = 8;
+        config.arrivals.groups_per_slot = 4.0;
+        config.arrivals.mean_lifetime_slots = 2.0;
+        config.arrivals.seed = 23;
+        let mut fleet = VmFleet::new(config).unwrap();
+        let mut cache = TrafficGraphCache::new();
+        cache.rebuild(fleet.data_correlation());
+        // Jump several boundaries at once: VMs may arrive *and* depart
+        // within one delta, and their pairs must not leak into the list.
+        for &slot in &[4u32, 5, 9, 16] {
+            let delta = fleet.advance_to(geoplace_types::time::TimeSlot(slot));
+            cache.apply_delta(&delta.departed, &delta.connected, fleet.data_correlation());
+            let arena = VmArena::from_ids(fleet.active());
+            let expected = fleet.data_correlation().traffic_graph(&arena);
+            assert_eq!(
+                cache.emit(fleet.data_correlation(), &arena),
+                &expected,
+                "slot {slot}"
+            );
+        }
     }
 
     #[test]

@@ -216,6 +216,20 @@ impl VmTrace {
             .collect()
     }
 
+    /// [`VmTrace::window`] into a caller-owned buffer — the incremental
+    /// slot pipeline refills persistent window matrices in place instead
+    /// of collecting one fresh `Vec` per VM per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != TICKS_PER_SLOT`.
+    pub fn window_into(&self, slot: TimeSlot, out: &mut [f32]) {
+        assert_eq!(out.len(), TICKS_PER_SLOT, "window buffer width mismatch");
+        for (sample, tick) in out.iter_mut().zip(slot.ticks()) {
+            *sample = self.utilization_at(tick) as f32;
+        }
+    }
+
     /// Mean utilization over one slot.
     pub fn slot_mean(&self, slot: TimeSlot) -> f64 {
         let sum: f64 = slot.ticks().map(|t| self.utilization_at(t)).sum();

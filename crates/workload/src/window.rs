@@ -60,6 +60,107 @@ impl UtilizationWindows {
         }
     }
 
+    /// An all-zero window matrix over `ids` — the slot-0 bootstrap
+    /// observation (the engine has no previous interval to report, and a
+    /// zero window is the honest "no information" estimate).
+    pub fn zeros(ids: &[VmId], width: usize) -> Self {
+        let mut windows = UtilizationWindows {
+            ids: Vec::new(),
+            index: HashMap::new(),
+            samples: Vec::new(),
+            width,
+        };
+        windows.fill(ids, width, |_, _| {});
+        windows
+    }
+
+    /// Refills the whole matrix in place for a new id set: `fill_row` is
+    /// called once per id, in order, with a zeroed row buffer. Reuses the
+    /// existing allocations — the steady-state slot step of the
+    /// incremental pipeline allocates nothing proportional to the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` contains a duplicate.
+    pub fn fill<F: FnMut(VmId, &mut [f32])>(
+        &mut self,
+        ids: &[VmId],
+        width: usize,
+        mut fill_row: F,
+    ) {
+        self.width = width;
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
+        self.index.clear();
+        self.samples.clear();
+        self.samples.resize(ids.len() * width, 0.0);
+        for (i, &vm) in ids.iter().enumerate() {
+            let prior = self.index.insert(vm, i);
+            assert!(prior.is_none(), "duplicate window row for {vm}");
+            fill_row(vm, &mut self.samples[i * width..(i + 1) * width]);
+        }
+    }
+
+    /// Reconciles the matrix toward a new id set, keeping the rows of
+    /// surviving VMs byte-for-byte and synthesizing only the rows of ids
+    /// not previously present (`fill_new`, called with a row buffer of
+    /// unspecified content). Both the current and the new id lists must
+    /// be sorted ascending — the engine's active set invariant. This is
+    /// the per-boundary cost of the incremental observation pipeline:
+    /// proportional to the churn (plus row moves), not to a full
+    /// re-synthesis of the fleet's windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if either id list is unsorted.
+    pub fn reconcile<F: FnMut(VmId, &mut [f32])>(&mut self, new_ids: &[VmId], mut fill_new: F) {
+        debug_assert!(self.ids.windows(2).all(|p| p[0] < p[1]), "unsorted rows");
+        debug_assert!(new_ids.windows(2).all(|p| p[0] < p[1]), "unsorted ids");
+        let w = self.width;
+        // Pass 1: compact surviving rows (old ∩ new) to the front, in
+        // order; the merged walk works because both lists are sorted.
+        let mut kept = 0usize;
+        let mut ni = 0usize;
+        for oi in 0..self.ids.len() {
+            let id = self.ids[oi];
+            while ni < new_ids.len() && new_ids[ni] < id {
+                ni += 1;
+            }
+            if ni < new_ids.len() && new_ids[ni] == id {
+                if kept != oi {
+                    self.ids[kept] = id;
+                    self.samples.copy_within(oi * w..(oi + 1) * w, kept * w);
+                }
+                kept += 1;
+                ni += 1;
+            }
+        }
+        // Pass 2: walk backwards spreading the kept rows to their final
+        // positions and synthesizing the new rows in the gaps. Sources
+        // never sit above their destination, so the in-place moves are
+        // safe.
+        self.samples.resize(new_ids.len() * w, 0.0);
+        let mut ki = kept;
+        for di in (0..new_ids.len()).rev() {
+            let id = new_ids[di];
+            if ki > 0 && self.ids[ki - 1] == id {
+                ki -= 1;
+                if ki != di {
+                    self.samples.copy_within(ki * w..(ki + 1) * w, di * w);
+                }
+            } else {
+                fill_new(id, &mut self.samples[di * w..(di + 1) * w]);
+            }
+        }
+        debug_assert_eq!(ki, 0, "every kept row must land");
+        self.ids.clear();
+        self.ids.extend_from_slice(new_ids);
+        self.index.clear();
+        for (i, &vm) in new_ids.iter().enumerate() {
+            self.index.insert(vm, i);
+        }
+    }
+
     /// Number of VMs.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -180,5 +281,57 @@ mod tests {
     fn helper_functions_on_empty_slices() {
         assert_eq!(peak_of(&[]), 0.0);
         assert_eq!(mean_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn zeros_matches_from_rows_of_zero_vectors() {
+        let ids = [VmId(1), VmId(4), VmId(9)];
+        let via_rows =
+            UtilizationWindows::from_rows(ids.iter().map(|&id| (id, vec![0.0f32; 5])).collect());
+        assert_eq!(UtilizationWindows::zeros(&ids, 5), via_rows);
+    }
+
+    #[test]
+    fn fill_reuses_buffers_and_matches_from_rows() {
+        let row_of = |id: VmId| vec![id.0 as f32, id.0 as f32 * 0.5, 0.25];
+        let mut windows = UtilizationWindows::zeros(&[VmId(0), VmId(1)], 3);
+        let ids = [VmId(2), VmId(5), VmId(6), VmId(9)];
+        windows.fill(&ids, 3, |id, row| row.copy_from_slice(&row_of(id)));
+        let expected =
+            UtilizationWindows::from_rows(ids.iter().map(|&id| (id, row_of(id))).collect());
+        assert_eq!(windows, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate window row")]
+    fn fill_rejects_duplicate_ids() {
+        let mut windows = UtilizationWindows::zeros(&[], 2);
+        windows.fill(&[VmId(3), VmId(3)], 2, |_, _| {});
+    }
+
+    #[test]
+    fn reconcile_keeps_survivors_and_synthesizes_arrivals() {
+        let row_of = |id: VmId| vec![id.0 as f32 + 0.125, id.0 as f32 - 0.5];
+        let old_ids = [VmId(1), VmId(3), VmId(4), VmId(8)];
+        let mut windows = UtilizationWindows::zeros(&[], 2);
+        windows.fill(&old_ids, 2, |id, row| row.copy_from_slice(&row_of(id)));
+        // 3 and 8 depart; 2, 6, 9 arrive.
+        let new_ids = [VmId(1), VmId(2), VmId(4), VmId(6), VmId(9)];
+        windows.reconcile(&new_ids, |id, row| row.copy_from_slice(&row_of(id)));
+        let expected =
+            UtilizationWindows::from_rows(new_ids.iter().map(|&id| (id, row_of(id))).collect());
+        assert_eq!(windows, expected);
+    }
+
+    #[test]
+    fn reconcile_handles_total_turnover_and_emptiness() {
+        let mut windows = UtilizationWindows::zeros(&[VmId(0), VmId(1)], 2);
+        windows.reconcile(&[VmId(7), VmId(8)], |id, row| row.fill(id.0 as f32));
+        assert_eq!(windows.row(VmId(7)).unwrap(), &[7.0, 7.0]);
+        assert_eq!(windows.row(VmId(8)).unwrap(), &[8.0, 8.0]);
+        windows.reconcile(&[], |_, _| {});
+        assert!(windows.is_empty());
+        windows.reconcile(&[VmId(2)], |_, row| row.fill(0.5));
+        assert_eq!(windows.row(VmId(2)).unwrap(), &[0.5, 0.5]);
     }
 }

@@ -399,4 +399,75 @@ proptest! {
             );
         }
     }
+
+    /// The fleet's active id list stays strictly sorted (and duplicate
+    /// free) through arbitrary arrival/departure sequences — the engine's
+    /// `assignment.retain` binary-searches it, and the whole incremental
+    /// pipeline assumes id-ordered structures.
+    #[test]
+    fn active_set_stays_sorted_under_arbitrary_churn(
+        seed in 0u64..500,
+        initial_groups in 0u32..20,
+        groups_per_slot in 0.0f64..6.0,
+        mean_lifetime in 1.0f64..10.0,
+        advances in proptest::collection::vec(1u32..4, 1..12),
+    ) {
+        let mut config = FleetConfig::default();
+        config.arrivals.seed = seed;
+        config.arrivals.initial_groups = initial_groups;
+        config.arrivals.groups_per_slot = groups_per_slot;
+        config.arrivals.mean_lifetime_slots = mean_lifetime;
+        let mut fleet = VmFleet::new(config).unwrap();
+        let mut slot = 0u32;
+        prop_assert!(fleet.active().windows(2).all(|p| p[0] < p[1]));
+        for step in advances {
+            slot += step;
+            let delta = fleet.advance_to(TimeSlot(slot));
+            prop_assert!(
+                fleet.active().windows(2).all(|p| p[0] < p[1]),
+                "active set unsorted after advancing to slot {slot}"
+            );
+            // Departed ids must be gone, arrived ids present (unless they
+            // already departed again within a multi-boundary advance).
+            for gone in &delta.departed {
+                prop_assert!(fleet.active().binary_search(gone).is_err());
+            }
+            for vm in &delta.arrived {
+                let still_active = fleet.vm(*vm).unwrap().is_active_at(TimeSlot(slot));
+                prop_assert_eq!(fleet.active().binary_search(vm).is_ok(), still_active);
+            }
+        }
+    }
+
+    /// The incremental traffic-CSR cache emits a graph bit-identical to
+    /// the from-scratch build at every churn step.
+    #[test]
+    fn traffic_cache_equals_from_scratch_under_churn(
+        seed in 0u64..300,
+        initial_groups in 1u32..16,
+        groups_per_slot in 0.0f64..5.0,
+        mean_lifetime in 1.0f64..8.0,
+        slots in 1u32..14,
+    ) {
+        use geoplace_workload::graph::TrafficGraphCache;
+        let mut config = FleetConfig::default();
+        config.arrivals.seed = seed;
+        config.arrivals.initial_groups = initial_groups;
+        config.arrivals.groups_per_slot = groups_per_slot;
+        config.arrivals.mean_lifetime_slots = mean_lifetime;
+        let mut fleet = VmFleet::new(config).unwrap();
+        let mut cache = TrafficGraphCache::new();
+        cache.rebuild(fleet.data_correlation());
+        for s in 1..=slots {
+            let delta = fleet.advance_to(TimeSlot(s));
+            cache.apply_delta(&delta.departed, &delta.connected, fleet.data_correlation());
+            let arena = VmArena::from_ids(fleet.active());
+            let expected = fleet.data_correlation().traffic_graph(&arena);
+            prop_assert_eq!(
+                cache.emit(fleet.data_correlation(), &arena),
+                &expected,
+                "slot {}", s
+            );
+        }
+    }
 }
