@@ -1,21 +1,25 @@
-//! Per-slot wall-clock of the incremental vs from-scratch slot pipeline,
-//! emitted as `BENCH_5.json` so the perf trajectory accumulates in CI.
+//! Per-slot wall-clock of the slot pipeline's three driving modes —
+//! incremental, from-scratch and the `geoplace-serve` service path —
+//! emitted as `BENCH_6.json` so the perf trajectory accumulates in CI.
 //!
 //! Runs the Proposed policy over the paper-scale fleet (≈1,200 VMs) and
 //! the stress fleet (≈10,000 VMs), once per
-//! [`IncrementalConfig`](geoplace_dcsim::config::IncrementalConfig) mode.
-//! Each cell is timed twice — a 1-slot run isolates the slot-0 cost, the
-//! full run then yields the *steady-state* per-slot wall-clock, which is
-//! the number the incremental pipeline exists to shrink. The two modes'
-//! report digests are asserted identical while we are at it, so the bench
-//! doubles as an end-to-end equivalence smoke at both scales.
+//! [`IncrementalConfig`](geoplace_dcsim::config::IncrementalConfig) mode
+//! plus once through an in-process serve [`Session`] driven by scripted
+//! `advance`/`decide` JSON lines (the full protocol round-trip: request
+//! parse + stepper + response encode). Each cell is timed twice — a
+//! 1-slot run isolates the slot-0 cost, the full run then yields the
+//! *steady-state* per-slot wall-clock. All modes' report digests are
+//! asserted identical, so the bench doubles as an end-to-end
+//! equivalence smoke at both scales.
 //!
 //! Flags: `--slots N` (horizon, default 6), `--seed N`, `--only N`
 //! (restrict to the cell with that target fleet size, e.g. `--only 1200`),
-//! `--out PATH` (default `BENCH_5.json` in the working directory).
+//! `--out PATH` (default `BENCH_6.json` in the working directory).
 
 use geoplace_bench::flag_from_args;
-use geoplace_bench::scenario::proposed_config_for;
+use geoplace_bench::scenario::{proposed_config_for, PolicyKind};
+use geoplace_bench::serve::Session;
 use geoplace_core::ProposedPolicy;
 use geoplace_dcsim::config::{IncrementalConfig, ScenarioConfig};
 use geoplace_dcsim::engine::{Scenario, Simulator};
@@ -72,11 +76,56 @@ fn run_cell(base: &ScenarioConfig, n_target: u32, mode: IncrementalConfig, slots
     }
 }
 
+/// Times the service path: the same world pumped through an in-process
+/// serve session with scripted protocol lines, so the cell includes the
+/// JSON decode/encode of one `advance` + one `decide` round-trip per
+/// slot on top of the stepper itself.
+fn run_service_cell(base: &ScenarioConfig, n_target: u32, slots: u32) -> Cell {
+    let drive = |horizon: u32| -> (f64, f64, String) {
+        let mut config = base.clone();
+        config.horizon_slots = horizon;
+        let build_start = Instant::now();
+        let mut session = Session::new(&config, PolicyKind::Proposed, false).expect("valid config");
+        let build = build_start.elapsed();
+        let start = Instant::now();
+        for _ in 0..horizon {
+            for cmd in [r#"{"cmd":"advance"}"#, r#"{"cmd":"decide"}"#] {
+                let response = session.handle_line(cmd);
+                assert!(
+                    response.line.starts_with(r#"{"ok":true"#),
+                    "{cmd} failed: {}",
+                    response.line
+                );
+            }
+        }
+        (ms(build), ms(start.elapsed()), session.digest())
+    };
+
+    let (_, slot0_ms, _) = drive(1);
+    let (build_ms, total_ms, digest) = drive(slots);
+    Cell {
+        n_target,
+        mode: "service",
+        build_ms,
+        slot0_ms,
+        steady_per_slot_ms: (total_ms - slot0_ms).max(0.0)
+            / f64::from(slots.saturating_sub(1).max(1)),
+        total_ms,
+        digest,
+    }
+}
+
 fn main() {
+    geoplace_bench::enforce_flags_or_exit(&[
+        ("--slots", true),
+        ("--seed", true),
+        ("--only", true),
+        ("--out", true),
+    ]);
     let slots = flag_from_args::<u32>("--slots").unwrap_or(6).max(2);
     let seed = flag_from_args::<u64>("--seed").unwrap_or(42);
     let only = flag_from_args::<u32>("--only");
-    let out = flag_from_args::<String>("--out").unwrap_or_else(|| "BENCH_5.json".into());
+    let out = flag_from_args::<String>("--out").unwrap_or_else(|| "BENCH_6.json".into());
 
     let mut scales: Vec<(u32, ScenarioConfig)> = Vec::new();
     let mut paper = ScenarioConfig::paper(seed);
@@ -94,20 +143,27 @@ fn main() {
     for (n_target, config) in &scales {
         let incremental = run_cell(config, *n_target, IncrementalConfig::Auto, slots);
         let from_scratch = run_cell(config, *n_target, IncrementalConfig::Off, slots);
+        let service = run_service_cell(config, *n_target, slots);
         assert_eq!(
             incremental.digest, from_scratch.digest,
             "n={n_target}: incremental and from-scratch reports diverged"
         );
+        assert_eq!(
+            incremental.digest, service.digest,
+            "n={n_target}: the serve session diverged from the engine"
+        );
         println!(
             "n≈{:>5}: incremental {:8.1} ms/slot vs from-scratch {:8.1} ms/slot \
-             (steady state, {:.2}x)",
+             (steady state, {:.2}x); service round-trip {:8.1} ms/slot",
             n_target,
             incremental.steady_per_slot_ms,
             from_scratch.steady_per_slot_ms,
             from_scratch.steady_per_slot_ms / incremental.steady_per_slot_ms.max(1e-9),
+            service.steady_per_slot_ms,
         );
         cells.push(incremental);
         cells.push(from_scratch);
+        cells.push(service);
     }
 
     let rows: Vec<String> = cells
@@ -128,7 +184,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"incremental_vs_from_scratch\",\n  \"policy\": \"Proposed\",\n  \
+        "{{\n  \"bench\": \"slot_pipeline_modes\",\n  \"policy\": \"Proposed\",\n  \
          \"slots\": {slots},\n  \"seed\": {seed},\n  \"cells\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

@@ -19,7 +19,7 @@ use geoplace_bench::{flag_from_args, CliArgs, Scale};
 use geoplace_core::ProposedConfig;
 
 fn main() {
-    let cli = CliArgs::parse();
+    let cli = CliArgs::parse_strict(&[("--slots", true), ("--seeds", true)]);
     let slots: u32 = flag_from_args("--slots").unwrap_or(48);
     let seeds: Vec<u64> = flag_from_args::<String>("--seeds")
         .map(|v| {

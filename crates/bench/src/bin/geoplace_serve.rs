@@ -1,0 +1,68 @@
+//! `geoplace-serve` — the online placement service: line-delimited JSON
+//! commands on stdin, one JSON response per line on stdout.
+//!
+//! Accepts the shared harness flags (`--paper`/`--bench`/`--stress`,
+//! `--seed N`, `--scenario NAME`) plus:
+//!
+//! * `--slots N` — horizon override (e.g. `--bench --seed 42 --slots 12`
+//!   is exactly the quick-matrix `paper`/seed-42 golden cell);
+//! * `--policy proposed|ener|pri|net` — the served policy (default
+//!   `proposed`);
+//! * `--external` — fleet changes come from `vm_arrive`/`vm_depart`/
+//!   `wire_traffic` commands instead of the synthetic arrival process.
+//!
+//! See `geoplace_bench::serve` for the command set. The process exits 0
+//! on a `shutdown` command or stdin EOF; malformed commands produce
+//! `{"ok":false,"error":...}` responses and never kill the session.
+
+use geoplace_bench::serve::Session;
+use geoplace_bench::{flag_from_args, CliArgs, PolicyKind};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let cli =
+        CliArgs::parse_strict(&[("--slots", true), ("--policy", true), ("--external", false)]);
+    let mut config = cli.config();
+    if let Some(slots) = flag_from_args::<u32>("--slots") {
+        config.horizon_slots = slots;
+    }
+    let policy = match flag_from_args::<String>("--policy").as_deref() {
+        None | Some("proposed") => PolicyKind::Proposed,
+        Some("ener") => PolicyKind::EnerAware,
+        Some("pri") => PolicyKind::PriAware,
+        Some("net") => PolicyKind::NetAware,
+        Some(other) => {
+            eprintln!("error: --policy expects proposed, ener, pri or net, got {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let external = std::env::args().any(|a| a == "--external");
+
+    let mut session = match Session::new(&config, policy, external) {
+        Ok(session) => session,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = session.handle_line(&line);
+        writeln!(out, "{}", response.line).expect("stdout closed");
+        out.flush().expect("stdout closed");
+        if response.shutdown {
+            return;
+        }
+    }
+    // stdin EOF without an explicit shutdown is a clean exit too.
+}

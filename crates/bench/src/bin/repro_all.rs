@@ -7,7 +7,7 @@
 use geoplace_bench::{figures, run_all, CliArgs};
 
 fn main() {
-    let cli = CliArgs::parse();
+    let cli = CliArgs::parse_strict(&[("--csv", false)]);
     let config = cli.config();
     eprintln!(
         "running 4 policies at {:?} scale, scenario {:?}: {} DCs, {} slots, ~{:.0} VMs…",

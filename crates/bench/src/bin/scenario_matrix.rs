@@ -73,7 +73,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let check = std::env::args().any(|a| a == "--check");
     let update = std::env::args().any(|a| a == "--update");
-    let cli = CliArgs::parse();
+    let cli = CliArgs::parse_strict(&[("--quick", false), ("--check", false), ("--update", false)]);
 
     // `--scenario NAME` narrows the matrix to that preset's rows; a
     // bare invocation runs the whole registry.

@@ -15,7 +15,7 @@ use geoplace_types::Parallelism;
 use std::time::Instant;
 
 fn main() {
-    let cli = CliArgs::parse();
+    let cli = CliArgs::parse_strict(&[("--slots", true), ("--threads", true)]);
     let mut config = cli.world.apply(Scale::Stress.config(cli.seed));
     if let Some(slots) = flag_from_args::<u32>("--slots") {
         config.horizon_slots = slots.max(1);

@@ -26,17 +26,26 @@
 //! mini scale) and `--stress` (≈10k-VM one-day scale); the default is
 //! the 1/5-fleet weekly "repro" scale. They also accept `--seed N` and
 //! `--scenario NAME` (a preset from the [`geoplace_scenarios`]
-//! registry) — all parsed by one [`scenario::CliArgs`]. The
-//! `scenario_matrix` binary runs every preset × every policy and emits
-//! one canonical report digest per cell; `--quick --check` is the CI
-//! golden-regression gate.
+//! registry) — all parsed by one [`scenario::CliArgs`], which rejects
+//! anything outside each binary's declared flag vocabulary with exit
+//! code 2. The `scenario_matrix` binary runs every preset × every
+//! policy and emits one canonical report digest per cell; `--quick
+//! --check` is the CI golden-regression gate.
+//!
+//! The `geoplace-serve` binary turns the stepper lifecycle into a
+//! long-running placement service over line-delimited JSON on
+//! stdin/stdout — see [`serve`] for the protocol and [`json`] for the
+//! hand-rolled (serde-free) JSON layer beneath it.
 
 pub mod figures;
+pub mod json;
 pub mod scenario;
+pub mod serve;
 pub mod table;
 
 pub use scenario::{
-    flag_from_args, golden_row, parse_seed, proposed_config_for, quick_matrix_config, run_all,
-    run_policy, run_policy_threads, run_proposed_with, seed_from_args, stress_proposed_config,
-    CliArgs, PolicyKind, Scale, QUICK_MATRIX_SEEDS, QUICK_MATRIX_SLOTS,
+    check_unknown_flags, enforce_flags_or_exit, flag_from_args, golden_row, parse_seed,
+    proposed_config_for, quick_matrix_config, run_all, run_policy, run_policy_threads,
+    run_proposed_with, seed_from_args, stress_proposed_config, CliArgs, PolicyKind, Scale,
+    BASE_FLAGS, QUICK_MATRIX_SEEDS, QUICK_MATRIX_SLOTS,
 };

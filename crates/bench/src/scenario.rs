@@ -144,12 +144,27 @@ pub struct CliArgs {
 }
 
 impl CliArgs {
-    /// Parses the process arguments; any malformed flag or unknown
-    /// scenario name terminates the process with exit code 2 — for an
-    /// unknown name the error lists the whole registry, so a typo in a
-    /// sweep script fails loudly with the fix on screen.
+    /// Parses the process arguments; any malformed flag, unknown flag
+    /// or unknown scenario name terminates the process with exit code
+    /// 2 — for an unknown name the error lists the whole registry, so a
+    /// typo in a sweep script fails loudly with the fix on screen.
     pub fn parse() -> CliArgs {
+        CliArgs::parse_strict(&[])
+    }
+
+    /// [`CliArgs::parse`] for binaries with extra flags beyond the
+    /// shared vocabulary: `extras` lists them as
+    /// `(name, takes_value)` pairs. Anything outside the combined
+    /// vocabulary — a typoed `--sede`, a stray positional — terminates
+    /// the process with exit code 2 naming the offending argument.
+    pub fn parse_strict(extras: &[(&str, bool)]) -> CliArgs {
         let args: Vec<String> = std::env::args().collect();
+        let mut known: Vec<(&str, bool)> = BASE_FLAGS.to_vec();
+        known.extend_from_slice(extras);
+        if let Err(message) = check_unknown_flags(&args, &known) {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
         match CliArgs::from_slice(&args) {
             Ok(cli) => cli,
             Err(message) => {
@@ -186,6 +201,58 @@ impl CliArgs {
     /// base scale configuration at this seed.
     pub fn config(&self) -> ScenarioConfig {
         self.world.apply(self.scale.config(self.seed))
+    }
+}
+
+/// The flag vocabulary every [`CliArgs`] binary shares, as
+/// `(name, takes_value)` pairs.
+pub const BASE_FLAGS: &[(&str, bool)] = &[
+    ("--paper", false),
+    ("--bench", false),
+    ("--stress", false),
+    ("--seed", true),
+    ("--scenario", true),
+];
+
+/// Scans `args` (skipping `args[0]`) against an explicit vocabulary of
+/// `(name, takes_value)` flags. Value-taking flags consume the next
+/// token. The error names the offending argument: `unknown flag --x`
+/// for an out-of-vocabulary flag, `--x requires a value` for a dangling
+/// value flag, `unexpected argument "x"` for a stray positional.
+pub fn check_unknown_flags(
+    args: &[String],
+    known: &[(&str, bool)],
+) -> std::result::Result<(), String> {
+    let mut i = 1;
+    while i < args.len() {
+        let token = &args[i];
+        match known.iter().find(|(name, _)| name == token) {
+            Some(&(name, takes_value)) => {
+                if takes_value {
+                    if i + 1 >= args.len() {
+                        return Err(format!("{name} requires a value"));
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            None if token.starts_with('-') => return Err(format!("unknown flag {token}")),
+            None => return Err(format!("unexpected argument {token:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// The strict-vocabulary gate for binaries that do not go through
+/// [`CliArgs`] (they list their *whole* vocabulary explicitly): any
+/// argument outside it terminates the process with exit code 2 naming
+/// the offender, matching every other harness binary's convention.
+pub fn enforce_flags_or_exit(known: &[(&str, bool)]) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Err(message) = check_unknown_flags(&args, known) {
+        eprintln!("error: {message}");
+        std::process::exit(2);
     }
 }
 
@@ -493,6 +560,39 @@ mod tests {
         assert!(CliArgs::from_slice(&args(&["bin", "--scenario"])).is_err());
         assert!(CliArgs::from_slice(&args(&["bin", "--seed", "nope"])).is_err());
         assert!(CliArgs::from_slice(&args(&["bin", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_errors_name_the_offender() {
+        // The shared vocabulary passes clean…
+        assert!(check_unknown_flags(&args(&["bin", "--bench", "--seed", "7"]), BASE_FLAGS).is_ok());
+        // …a typo names itself…
+        let err = check_unknown_flags(&args(&["bin", "--sede", "7"]), BASE_FLAGS).unwrap_err();
+        assert!(err.contains("unknown flag --sede"), "{err}");
+        // …a dangling value flag names itself…
+        let err = check_unknown_flags(&args(&["bin", "--scenario"]), BASE_FLAGS).unwrap_err();
+        assert!(err.contains("--scenario requires a value"), "{err}");
+        // …and a stray positional is rejected too.
+        let err = check_unknown_flags(&args(&["bin", "oops"]), BASE_FLAGS).unwrap_err();
+        assert!(err.contains("\"oops\""), "{err}");
+    }
+
+    #[test]
+    fn extras_extend_the_flag_vocabulary() {
+        let mut known: Vec<(&str, bool)> = BASE_FLAGS.to_vec();
+        known.extend_from_slice(&[("--slots", true), ("--external", false)]);
+        assert!(check_unknown_flags(
+            &args(&["bin", "--bench", "--slots", "12", "--external"]),
+            &known
+        )
+        .is_ok());
+        let err = check_unknown_flags(&args(&["bin", "--slots"]), &known).unwrap_err();
+        assert!(err.contains("--slots requires a value"), "{err}");
+        // A scenario-name value that looks like a word is consumed, not
+        // mistaken for a positional.
+        assert!(
+            check_unknown_flags(&args(&["bin", "--scenario", "churn_storm"]), BASE_FLAGS).is_ok()
+        );
     }
 
     #[test]

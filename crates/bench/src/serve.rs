@@ -1,0 +1,519 @@
+//! The `geoplace-serve` session: an online placement service over
+//! line-delimited JSON.
+//!
+//! One [`Session`] wraps a [`SlotStepper`] plus a policy and a
+//! [`DeltaSource`], and maps protocol commands onto the slot lifecycle:
+//!
+//! | Command | Phase | Effect |
+//! |---|---|---|
+//! | `advance` | awaiting advance | cross one slot boundary (`advance_world`) |
+//! | `decide` | awaiting decision | run the policy over `observe`, then `apply` |
+//! | `get_state` | any | phase, progress and (mid-decision) per-DC facts |
+//! | `metrics` | any | report totals + digest so far |
+//! | `shutdown` | any | final digest, then the transport should close |
+//! | `vm_arrive` | external mode | queue an arrival for the next `advance` |
+//! | `vm_depart` | external mode | queue a departure for the next `advance` |
+//! | `wire_traffic` | external mode | queue a traffic pair for the next `advance` |
+//!
+//! Every response is a single JSON line: `{"ok":true,...}` on success,
+//! `{"ok":false,"error":"..."}` otherwise. A malformed or mistimed
+//! command never kills the session — the stepper's phase machine rejects
+//! it and the slot stays drivable, which is what lets one long-running
+//! process serve thousands of commands.
+//!
+//! The session is transport-agnostic (the `geoplace-serve` binary feeds
+//! it stdin lines; tests and the service benchmark feed it in-process),
+//! and digest-faithful: a scripted `advance`/`decide` session over a
+//! synthetic world produces bit-for-bit the digest `Simulator::run`
+//! produces for the same configuration and policy.
+
+use crate::json::{object, Value};
+use crate::scenario::{proposed_config_for, PolicyKind};
+use geoplace_baselines::{EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy};
+use geoplace_core::ProposedPolicy;
+use geoplace_dcsim::config::ScenarioConfig;
+use geoplace_dcsim::engine::Scenario;
+use geoplace_dcsim::policy::GlobalPolicy;
+use geoplace_dcsim::stepper::SlotStepper;
+use geoplace_types::VmId;
+use geoplace_workload::fleet::{ExternalArrival, ExternalPair};
+use geoplace_workload::source::{ExternalDeltaSource, SyntheticSource};
+use geoplace_workload::trace::TraceKind;
+
+/// Where slot boundaries get their fleet changes from.
+enum Source {
+    /// The scenario's own synthetic arrival/departure process.
+    Synthetic(SyntheticSource),
+    /// Externally announced events (`vm_arrive` / `vm_depart` /
+    /// `wire_traffic`), applied at the next `advance`.
+    External(ExternalDeltaSource),
+}
+
+/// One response line plus whether the session asked the transport to
+/// close.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The single-line JSON response.
+    pub line: String,
+    /// `true` after a successful `shutdown` command.
+    pub shutdown: bool,
+}
+
+/// A long-running placement service over one scenario.
+pub struct Session {
+    stepper: SlotStepper,
+    policy: Box<dyn GlobalPolicy>,
+    source: Source,
+    /// Next id handed to an external arrival; kept monotonic so several
+    /// `vm_arrive` commands between two advances never collide.
+    next_external_id: u32,
+}
+
+impl Session {
+    /// Builds the world and the policy. `external` selects the event
+    /// source: `false` runs the scenario's synthetic fleet process,
+    /// `true` starts an empty event queue fed by `vm_arrive` & friends
+    /// (natural lifetime expiries still happen on their own).
+    pub fn new(
+        config: &ScenarioConfig,
+        kind: PolicyKind,
+        external: bool,
+    ) -> Result<Session, String> {
+        let scenario = Scenario::build(config).map_err(|e| e.to_string())?;
+        let policy: Box<dyn GlobalPolicy> = match kind {
+            PolicyKind::Proposed => Box::new(ProposedPolicy::new(proposed_config_for(config))),
+            PolicyKind::PriAware => Box::new(PriAwarePolicy::new()),
+            PolicyKind::EnerAware => Box::new(EnerAwarePolicy::new()),
+            PolicyKind::NetAware => Box::new(NetAwarePolicy::new()),
+        };
+        let source = if external {
+            Source::External(ExternalDeltaSource::new())
+        } else {
+            Source::Synthetic(SyntheticSource)
+        };
+        let stepper = SlotStepper::new(scenario);
+        Ok(Session {
+            stepper,
+            policy,
+            source,
+            next_external_id: 0,
+        })
+    }
+
+    /// The underlying stepper (inspection from tests and benches).
+    pub fn stepper(&self) -> &SlotStepper {
+        &self.stepper
+    }
+
+    /// The served policy's display name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// The report digest over the slots completed so far.
+    pub fn digest(&self) -> String {
+        self.stepper.report_with_policy(self.policy.name()).digest()
+    }
+
+    /// Handles one protocol line. Always returns a response; errors are
+    /// structured (`{"ok":false,...}`), never fatal.
+    pub fn handle_line(&mut self, line: &str) -> Response {
+        match self.dispatch(line) {
+            Ok((value, shutdown)) => Response {
+                line: value.render(),
+                shutdown,
+            },
+            Err(error) => Response {
+                line: object(vec![("ok", Value::Bool(false)), ("error", error.into())]).render(),
+                shutdown: false,
+            },
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(Value, bool), String> {
+        let request = Value::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let cmd = request
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or("missing string field \"cmd\"")?;
+        let value = match cmd {
+            "advance" => self.advance()?,
+            "decide" => self.decide()?,
+            "get_state" => self.get_state(),
+            "metrics" => self.metrics(),
+            "shutdown" => return Ok((self.shutdown(), true)),
+            "vm_arrive" => self.vm_arrive(&request)?,
+            "vm_depart" => self.vm_depart(&request)?,
+            "wire_traffic" => self.wire_traffic(&request)?,
+            other => return Err(format!("unknown command {other:?}")),
+        };
+        Ok((value, false))
+    }
+
+    fn advance(&mut self) -> Result<Value, String> {
+        let delta = match &mut self.source {
+            Source::Synthetic(source) => self.stepper.advance_world(source),
+            Source::External(source) => self.stepper.advance_world(source),
+        }
+        .map_err(|e| e.to_string())?;
+        let snapshot = self.stepper.observe();
+        Ok(object(vec![
+            ("ok", Value::Bool(true)),
+            ("slot", self.stepper.current_slot().0.into()),
+            ("arrived", delta.arrived.len().into()),
+            ("departed", delta.departed.len().into()),
+            ("active_vms", snapshot.vm_count().into()),
+        ]))
+    }
+
+    fn decide(&mut self) -> Result<Value, String> {
+        if !self.stepper.awaiting_decision() {
+            return Err("no slot is awaiting a decision: send advance first".into());
+        }
+        let decision = self.policy.decide(&self.stepper.observe());
+        let metrics = self.stepper.apply(decision).map_err(|e| e.to_string())?;
+        let record = metrics.record;
+        Ok(object(vec![
+            ("ok", Value::Bool(true)),
+            ("slot", metrics.slot.0.into()),
+            ("cost_eur", record.cost_eur.into()),
+            ("total_energy_j", record.total_energy_j.into()),
+            ("grid_energy_j", record.grid_energy_j.into()),
+            ("migrations", record.migrations.into()),
+            ("migration_volume_gb", record.migration_volume_gb.into()),
+            ("active_vms", record.active_vms.into()),
+            ("active_servers", record.active_servers.into()),
+            ("response_worst_s", record.response_worst_s.into()),
+            ("done", self.stepper.is_done().into()),
+        ]))
+    }
+
+    fn get_state(&self) -> Value {
+        let fleet_size = self.stepper.scenario().fleet.active().len();
+        let mut members = vec![
+            ("ok", Value::Bool(true)),
+            ("slot", self.stepper.current_slot().0.into()),
+            ("completed_slots", self.stepper.completed_slots().into()),
+            ("horizon", self.stepper.horizon().into()),
+            ("awaiting_decision", self.stepper.awaiting_decision().into()),
+            ("done", self.stepper.is_done().into()),
+            ("active_vms", fleet_size.into()),
+            ("policy", self.policy.name().into()),
+            (
+                "external",
+                matches!(self.source, Source::External(_)).into(),
+            ),
+        ];
+        if let Source::External(source) = &self.source {
+            let pending = source.pending();
+            members.push((
+                "pending",
+                object(vec![
+                    ("arrivals", pending.arrivals.len().into()),
+                    ("departures", pending.departures.len().into()),
+                    ("traffic", pending.traffic.len().into()),
+                ]),
+            ));
+        }
+        if self.stepper.awaiting_decision() {
+            let dcs: Vec<Value> = self
+                .stepper
+                .dc_infos()
+                .iter()
+                .map(|dc| {
+                    object(vec![
+                        ("id", u32::from(dc.id.0).into()),
+                        ("servers", dc.servers.into()),
+                        ("price_eur_per_kwh", dc.price.0.into()),
+                        ("price_level", format!("{:?}", dc.price_level).into()),
+                        ("pue", dc.pue.into()),
+                        ("battery_available_j", dc.battery_available.0.into()),
+                        ("pv_forecast_j", dc.pv_forecast.0.into()),
+                    ])
+                })
+                .collect();
+            members.push(("dcs", Value::Array(dcs)));
+        }
+        object(members)
+    }
+
+    fn metrics(&self) -> Value {
+        let report = self.stepper.report_with_policy(self.policy.name());
+        let totals = report.totals();
+        object(vec![
+            ("ok", Value::Bool(true)),
+            ("slots", report.hourly.len().into()),
+            ("digest", report.digest().into()),
+            (
+                "totals",
+                object(vec![
+                    ("cost_eur", totals.cost_eur.into()),
+                    ("energy_gj", totals.energy_gj.into()),
+                    ("grid_energy_gj", totals.grid_energy_gj.into()),
+                    ("migrations", totals.migrations.into()),
+                    ("migration_volume_gb", totals.migration_volume_gb.into()),
+                    ("mean_response_s", totals.mean_response_s.into()),
+                    ("worst_response_s", totals.worst_response_s.into()),
+                    ("p95_response_s", totals.p95_response_s.into()),
+                    ("mean_active_servers", totals.mean_active_servers.into()),
+                ]),
+            ),
+        ])
+    }
+
+    fn shutdown(&self) -> Value {
+        let report = self.stepper.report_with_policy(self.policy.name());
+        object(vec![
+            ("ok", Value::Bool(true)),
+            ("shutdown", Value::Bool(true)),
+            ("slots", report.hourly.len().into()),
+            ("digest", report.digest().into()),
+        ])
+    }
+
+    fn external_source(&mut self) -> Result<&mut ExternalDeltaSource, String> {
+        match &mut self.source {
+            Source::External(source) => Ok(source),
+            Source::Synthetic(_) => Err("external fleet commands require --external mode".into()),
+        }
+    }
+
+    fn vm_arrive(&mut self, request: &Value) -> Result<Value, String> {
+        let memory_gb = require_f64(request, "memory_gb")?;
+        if !memory_gb.is_finite() || memory_gb <= 0.0 {
+            return Err(format!(
+                "memory_gb must be finite and positive, got {memory_gb}"
+            ));
+        }
+        let lifetime_slots = require_u64(request, "lifetime_slots")?;
+        let lifetime_slots =
+            u32::try_from(lifetime_slots).map_err(|_| "lifetime_slots out of range".to_string())?;
+        let kind = match request.get("profile").map(|v| v.as_str()) {
+            None => TraceKind::WebServing,
+            Some(Some("web")) => TraceKind::WebServing,
+            Some(Some("batch")) => TraceKind::Batch,
+            Some(Some("hpc")) => TraceKind::Hpc,
+            Some(other) => {
+                return Err(format!(
+                    "profile must be \"web\", \"batch\" or \"hpc\", got {other:?}"
+                ))
+            }
+        };
+        let id = {
+            let fresh = self.stepper.scenario().fleet.fresh_vm_id().0;
+            let id = self.next_external_id.max(fresh);
+            self.next_external_id = id + 1;
+            VmId(id)
+        };
+        let trace_seed = match request.get("trace_seed") {
+            None => u64::from(id.0),
+            Some(v) => v.as_u64().ok_or("trace_seed must be an unsigned integer")?,
+        };
+        let source = self.external_source()?;
+        source.queue_arrival(ExternalArrival {
+            id,
+            memory_gb,
+            lifetime_slots,
+            kind,
+            trace_seed,
+        });
+        Ok(object(vec![
+            ("ok", Value::Bool(true)),
+            ("id", id.0.into()),
+            ("pending_arrivals", source.pending().arrivals.len().into()),
+        ]))
+    }
+
+    fn vm_depart(&mut self, request: &Value) -> Result<Value, String> {
+        let id = require_u64(request, "id")?;
+        let id = u32::try_from(id).map_err(|_| "id out of range".to_string())?;
+        let source = self.external_source()?;
+        source.queue_departure(VmId(id));
+        Ok(object(vec![
+            ("ok", Value::Bool(true)),
+            (
+                "pending_departures",
+                source.pending().departures.len().into(),
+            ),
+        ]))
+    }
+
+    fn wire_traffic(&mut self, request: &Value) -> Result<Value, String> {
+        let a = require_u64(request, "a")?;
+        let b = require_u64(request, "b")?;
+        let a = u32::try_from(a).map_err(|_| "a out of range".to_string())?;
+        let b = u32::try_from(b).map_err(|_| "b out of range".to_string())?;
+        let a_to_b_mb = require_f64(request, "a_to_b_mb")?;
+        let b_to_a_mb = require_f64(request, "b_to_a_mb")?;
+        let source = self.external_source()?;
+        source.queue_traffic(ExternalPair {
+            a: VmId(a),
+            b: VmId(b),
+            a_to_b_mb,
+            b_to_a_mb,
+        });
+        Ok(object(vec![
+            ("ok", Value::Bool(true)),
+            ("pending_traffic", source.pending().traffic.len().into()),
+        ]))
+    }
+}
+
+fn require_f64(request: &Value, key: &str) -> Result<f64, String> {
+    request
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn require_u64(request: &Value, key: &str) -> Result<u64, String> {
+    request
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing unsigned-integer field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::run_policy;
+    use geoplace_dcsim::config::ScenarioConfig;
+
+    fn tiny() -> ScenarioConfig {
+        let mut config = ScenarioConfig::scaled(11);
+        config.horizon_slots = 3;
+        config
+    }
+
+    fn ok(response: &Response) -> Value {
+        let value = Value::parse(&response.line).expect("response is valid JSON");
+        assert_eq!(
+            value.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{}",
+            response.line
+        );
+        value
+    }
+
+    fn err(response: &Response) -> String {
+        let value = Value::parse(&response.line).expect("response is valid JSON");
+        assert_eq!(
+            value.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "{}",
+            response.line
+        );
+        value
+            .get("error")
+            .and_then(Value::as_str)
+            .expect("error field")
+            .to_owned()
+    }
+
+    #[test]
+    fn scripted_session_matches_run_digest() {
+        let config = tiny();
+        let mut session = Session::new(&config, PolicyKind::Proposed, false).unwrap();
+        for _ in 0..config.horizon_slots {
+            ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+            ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+        }
+        let response = session.handle_line(r#"{"cmd":"shutdown"}"#);
+        assert!(response.shutdown);
+        let digest = ok(&response)
+            .get("digest")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_owned();
+        assert_eq!(digest, run_policy(&config, PolicyKind::Proposed).digest());
+    }
+
+    #[test]
+    fn malformed_and_mistimed_commands_are_structured_errors() {
+        let mut session = Session::new(&tiny(), PolicyKind::NetAware, false).unwrap();
+        assert!(err(&session.handle_line("not json")).contains("malformed JSON"));
+        assert!(err(&session.handle_line(r#"{"no_cmd":1}"#)).contains("cmd"));
+        assert!(err(&session.handle_line(r#"{"cmd":"frobnicate"}"#)).contains("unknown command"));
+        // decide before advance, then double advance.
+        assert!(err(&session.handle_line(r#"{"cmd":"decide"}"#)).contains("advance"));
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+        assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#)).contains("apply"));
+        // External commands are rejected in synthetic mode.
+        assert!(err(
+            &session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":2.0,"lifetime_slots":4}"#)
+        )
+        .contains("--external"));
+        // The session is still alive and drivable.
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+        assert_eq!(session.stepper().completed_slots(), 1);
+    }
+
+    #[test]
+    fn get_state_reports_phase_and_dcs() {
+        let mut session = Session::new(&tiny(), PolicyKind::EnerAware, false).unwrap();
+        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#));
+        assert_eq!(
+            state.get("awaiting_decision").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert_eq!(state.get("dcs"), None, "no DC facts before an advance");
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#));
+        assert_eq!(
+            state.get("awaiting_decision").and_then(Value::as_bool),
+            Some(true)
+        );
+        let dcs = state.get("dcs").and_then(Value::as_array).unwrap();
+        assert_eq!(dcs.len(), 3);
+        assert!(
+            dcs[0]
+                .get("price_eur_per_kwh")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn external_session_queues_and_applies_events() {
+        let mut config = tiny();
+        config.fleet.arrivals.groups_per_slot = 0.0;
+        config.horizon_slots = 4;
+        let mut session = Session::new(&config, PolicyKind::Proposed, true).unwrap();
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+        let response = ok(&session.handle_line(
+            r#"{"cmd":"vm_arrive","memory_gb":4.0,"lifetime_slots":8,"profile":"batch"}"#,
+        ));
+        let id = response.get("id").and_then(Value::as_u64).unwrap();
+        let peer = session.stepper().scenario().fleet.active()[0].0;
+        ok(&session.handle_line(&format!(
+            r#"{{"cmd":"wire_traffic","a":{id},"b":{peer},"a_to_b_mb":9.0,"b_to_a_mb":2.0}}"#
+        )));
+        let advanced = ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+        assert_eq!(advanced.get("arrived").and_then(Value::as_u64), Some(1));
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+        // Departing a never-seen VM is rejected at the boundary but the
+        // session survives and the next advance (empty batch) succeeds.
+        ok(&session.handle_line(r#"{"cmd":"vm_depart","id":4000000}"#));
+        assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#)).contains("depart"));
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+    }
+
+    #[test]
+    fn consecutive_arrivals_get_distinct_ids() {
+        let mut session = Session::new(&tiny(), PolicyKind::Proposed, true).unwrap();
+        let a =
+            ok(&session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":1.0,"lifetime_slots":2}"#))
+                .get("id")
+                .and_then(Value::as_u64)
+                .unwrap();
+        let b =
+            ok(&session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":1.0,"lifetime_slots":2}"#))
+                .get("id")
+                .and_then(Value::as_u64)
+                .unwrap();
+        assert_ne!(a, b);
+    }
+}

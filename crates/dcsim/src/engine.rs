@@ -15,33 +15,31 @@
 //! * at the end of the slot: evaluate the response time (Eq. 1) of the
 //!   slot's inter-DC data-correlation traffic and feed the WCMA
 //!   forecaster with the actually harvested PV energy.
+//!
+//! The machinery itself lives in [`crate::stepper`]: the slot lifecycle
+//! is an explicit `advance_world → observe → apply` state machine, and
+//! [`Simulator::run`] is a thin batch loop pumping it with the synthetic
+//! fleet as its delta source. Online drivers (the `geoplace-serve` JSON
+//! session) pump the same stepper one phase at a time with external
+//! deltas instead.
+//!
+//! [`SystemSnapshot`]: crate::snapshot::SystemSnapshot
 
 use crate::config::ScenarioConfig;
 use crate::dc::DataCenter;
-use crate::decision::PlacementDecision;
-use crate::events;
-use crate::metrics::{HourlyRecord, SimulationReport};
+use crate::metrics::SimulationReport;
 use crate::policy::GlobalPolicy;
-use crate::snapshot::{DcInfo, SystemSnapshot};
+use crate::stepper::SlotStepper;
 use geoplace_energy::green::GreenController;
-use geoplace_energy::modulate::SlotModulator;
-use geoplace_energy::price::{PriceLevel, PriceSchedule};
 use geoplace_network::ber::BerDistribution;
 use geoplace_network::latency::LatencyModel;
-use geoplace_network::migration::{latency_constraint_for_qos, Migration, MigrationPlan};
-use geoplace_network::response::evaluate_slot;
 use geoplace_network::topology::{DcSite, Topology};
-use geoplace_network::traffic::TrafficMatrix;
-use geoplace_types::time::{TimeSlot, TICKS_PER_SLOT, TICK_SECONDS};
-use geoplace_types::units::{EurosPerKwh, GigabitsPerSecond, Gigabytes, Seconds};
-use geoplace_types::{DcId, Exec, Result, VmArena, VmId};
-use geoplace_workload::cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
+use geoplace_types::units::GigabitsPerSecond;
+use geoplace_types::{DcId, Result};
 use geoplace_workload::fleet::VmFleet;
-use geoplace_workload::graph::TrafficGraphCache;
-use geoplace_workload::window::UtilizationWindows;
+use geoplace_workload::source::SyntheticSource;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// A fully built simulation world, ready to run.
 ///
@@ -147,635 +145,53 @@ impl Simulator {
 
     /// Runs the whole horizon under `policy` and returns the report.
     ///
-    /// The per-slot observation structures (utilization windows, traffic
-    /// CSR, arena, alignment vectors) live in a persistent scratch;
-    /// under [`Auto`](crate::config::IncrementalConfig::Auto) they are
+    /// A thin batch loop over the [`SlotStepper`] lifecycle with the
+    /// synthetic fleet as the delta source — advance, observe, decide,
+    /// apply, next slot. The per-slot observation structures live in the
+    /// stepper's persistent scratch; under
+    /// [`Auto`](crate::config::IncrementalConfig::Auto) they are
     /// maintained across slots from the
     /// [`FleetDelta`](geoplace_workload::fleet::FleetDelta) the fleet
     /// reports (arrivals connected, departures disconnected, last slot's
     /// actual windows promoted to this slot's observation), under
     /// [`Off`](crate::config::IncrementalConfig::Off) they are rebuilt
-    /// from scratch every slot. Both modes produce bit-identical reports.
+    /// from scratch every slot. Both modes produce bit-identical reports,
+    /// and a hand-driven stepper produces a report bit-identical to this
+    /// loop.
     ///
     /// # Panics
     ///
     /// Panics if the policy returns a structurally invalid decision — that
     /// is a programming error in the policy, not a recoverable condition.
-    pub fn run<P: GlobalPolicy>(mut self, policy: &mut P) -> SimulationReport {
-        let n_dcs = self.scenario.dcs.len();
-        let exec = Exec::new(self.scenario.config.parallelism);
-        let incremental = self.scenario.config.incremental.is_incremental();
-        let server_counts: Vec<u32> = self.scenario.dcs.iter().map(|d| d.config.servers).collect();
-        // DVFS depth per DC: validation and rollback must use the hosting
-        // DC's own table — heterogeneous fleets can mix server models.
-        let dvfs_levels: Vec<usize> = self
-            .scenario
-            .dcs
-            .iter()
-            .map(|d| d.power_model.levels().len())
-            .collect();
-        let budget = latency_constraint_for_qos(self.scenario.config.qos);
-        let mut report = SimulationReport::new(policy.name(), n_dcs);
-        let mut assignment: HashMap<VmId, DcId> = HashMap::new();
-        let mut scratch = EngineScratch::new();
-
-        // The event timeline resolved once into per-DC slot-indexed
-        // modulators; within a slot every tick shares the slot's factors.
-        let timeline = self.scenario.config.timeline.clone();
-        let capacity_mods: Vec<SlotModulator> =
-            (0..n_dcs).map(|d| timeline.capacity_modulator(d)).collect();
-        let price_mods: Vec<SlotModulator> =
-            (0..n_dcs).map(|d| timeline.price_modulator(d)).collect();
-        let pv_mods: Vec<SlotModulator> = (0..n_dcs).map(|d| timeline.pv_modulator(d)).collect();
-
-        for slot_index in 0..self.scenario.config.horizon_slots {
-            let slot = TimeSlot(slot_index);
-            // Per-slot world perturbations: usable servers after derates,
-            // tariff and PV multipliers. All deterministic in (config, slot).
-            scratch.usable_servers.clear();
-            scratch.usable_servers.extend(
-                server_counts
-                    .iter()
-                    .enumerate()
-                    .map(|(d, &s)| events::effective_servers(s, capacity_mods[d].factor_at(slot))),
-            );
-            scratch.price_factors.clear();
-            scratch
-                .price_factors
-                .extend((0..n_dcs).map(|d| price_mods[d].factor_at(slot)));
-            scratch.pv_factors.clear();
-            scratch
-                .pv_factors
-                .extend((0..n_dcs).map(|d| pv_mods[d].factor_at(slot)));
-
-            // --- Observation phase: the previous interval's data. Slot 0
-            // bootstraps from an all-zero observation window — no interval
-            // has been observed yet, and peeking at the running slot's own
-            // samples would be look-ahead bias in the first decision.
-            if slot_index > 0 {
-                let delta = self.scenario.fleet.advance_to(slot);
-                if incremental {
-                    // Last slot's *actual* windows are exactly this slot's
-                    // observation for every surviving VM: swap the buffers
-                    // and reconcile the churn — only arrivals' rows are
-                    // synthesized, and only the structural edge delta is
-                    // applied to the traffic CSR.
-                    std::mem::swap(&mut scratch.observed, &mut scratch.actual);
-                    let fleet = &self.scenario.fleet;
-                    let obs_slot = slot.prev().expect("slot_index > 0");
-                    scratch.observed.reconcile(fleet.active(), |vm, row| {
-                        fleet
-                            .vm(vm)
-                            .expect("active VM")
-                            .trace()
-                            .window_into(obs_slot, row)
-                    });
-                    scratch.traffic.apply_delta(
-                        &delta.departed,
-                        &delta.connected,
-                        fleet.data_correlation(),
-                    );
-                }
-            }
-            let fleet = &self.scenario.fleet;
-            // `assignment.retain` below binary-searches the active list;
-            // the fleet's sorted-active invariant is what makes that (and
-            // the whole id-ordered incremental pipeline) sound.
-            debug_assert!(
-                fleet.active().windows(2).all(|pair| pair[0] < pair[1]),
-                "fleet active set must be strictly sorted"
-            );
-            scratch.active.clear();
-            scratch.active.extend_from_slice(fleet.active());
-            assignment.retain(|vm, _| scratch.active.binary_search(vm).is_ok());
-
-            if slot_index == 0 {
-                scratch
-                    .observed
-                    .fill(fleet.active(), TICKS_PER_SLOT, |_, _| {});
-                if incremental {
-                    scratch.traffic.rebuild(fleet.data_correlation());
-                }
-            } else if !incremental {
-                fleet.windows_into(slot.prev().expect("slot_index > 0"), &mut scratch.observed);
-            }
-            fleet.windows_into(slot, &mut scratch.actual);
-            scratch.arena.refill(scratch.observed.ids());
-
-            // Slot 0's zero observation carries no pairwise information;
-            // the canonical degenerate matrix (all pairs fully correlated,
-            // no retained edges) is what every metric computes over zero
-            // windows, and — unlike an actual compute — it is identical
-            // under the dense and the sparse pipeline configuration, so
-            // the bootstrap decision does not depend on the representation.
-            let cpu_corr = if slot_index == 0 {
-                CpuCorrelationMatrix::degenerate(
-                    scratch.observed.ids(),
-                    &self.scenario.config.sparsity,
-                )
-            } else {
-                CpuCorrelationMatrix::compute_auto_exec(
-                    &scratch.observed,
-                    CorrelationMetric::PeakCoincidence,
-                    &self.scenario.config.sparsity,
-                    exec,
-                )
-            };
-            let traffic_fresh;
-            let traffic: &geoplace_workload::graph::TrafficGraph = if incremental {
-                scratch
-                    .traffic
-                    .emit(fleet.data_correlation(), &scratch.arena)
-            } else {
-                traffic_fresh = fleet
-                    .data_correlation()
-                    .traffic_graph_exec(&scratch.arena, exec);
-                &traffic_fresh
-            };
-            scratch.vm_cores.clear();
-            scratch.vm_memory.clear();
-            for &id in scratch.observed.ids() {
-                let vm = fleet.vm(id).expect("active VM");
-                scratch.vm_cores.push(vm.cores());
-                scratch.vm_memory.push(vm.memory());
-            }
-            let dc_infos = self.dc_infos(slot, &scratch.usable_servers, &scratch.price_factors);
-
-            // --- Decision phase.
-            let mut decision = {
-                let snapshot = SystemSnapshot {
-                    slot,
-                    windows: &scratch.observed,
-                    arena: &scratch.arena,
-                    vm_cores: &scratch.vm_cores,
-                    vm_memory: &scratch.vm_memory,
-                    cpu_corr: &cpu_corr,
-                    traffic,
-                    data: fleet.data_correlation(),
-                    prev_dc: &assignment,
-                    dcs: &dc_infos,
-                    latency: &self.scenario.latency,
-                    migration_budget: budget,
-                };
-                let decision = policy.decide(&snapshot);
-                if let Err(e) =
-                    decision.validate(&scratch.active, &scratch.usable_servers, &dvfs_levels)
-                {
-                    panic!(
-                        "policy {} returned an invalid decision at {slot}: {e}",
-                        policy.name()
-                    );
-                }
-                decision
-            };
-            let mut new_dc = decision.dc_of();
-
-            // --- Migration feasibility (deterministic order: sorted ids).
-            // The QoS latency budget is a *system* constraint (Sect. V-A:
-            // "a hard time constraint for migrating the VMs across DCs"):
-            // moves that cannot complete within it are rejected and the VM
-            // stays in its previous DC — whichever policy asked. Policies
-            // that plan within the budget (Algorithm 2) are unaffected;
-            // latency-blind chasers get clipped and pay the consequences.
-            let mut record = HourlyRecord {
-                slot: slot_index,
-                ..HourlyRecord::default()
-            };
-            let mut plan = MigrationPlan::new(n_dcs);
-            for &vm in &scratch.active {
-                let Some(&prev) = assignment.get(&vm) else {
-                    continue;
-                };
-                let dest = new_dc[&vm];
-                if prev == dest {
-                    continue;
-                }
-                let size = fleet.vm(vm).expect("active VM").memory();
-                let migration = Migration {
-                    vm,
-                    from: prev,
-                    to: dest,
-                    size,
-                };
-                if plan.try_add(migration, &self.scenario.latency, budget, &mut self.rng) {
-                    record.migrations += 1;
-                    record.migration_volume_gb += size.0;
-                } else {
-                    // Budget overrun: the VM stays in its previous DC and
-                    // the rejected move must leave *no* trace — neither in
-                    // the decision nor in the volume ledger (only accepted
-                    // migrations incremented it above). The rollback server
-                    // opens at the *previous DC's* top DVFS level — the
-                    // tables may differ across DCs.
-                    record.migration_overruns += 1;
-                    let removed_from = decision.remove_vm(vm);
-                    debug_assert_eq!(
-                        removed_from,
-                        Some(dest),
-                        "rejected {vm} was not placed at its requested destination"
-                    );
-                    let top_freq = crate::power::FreqLevel(dvfs_levels[prev.index()] - 1);
-                    decision.force_host(prev, vm, scratch.usable_servers[prev.index()], top_freq);
-                    debug_assert_eq!(
-                        decision.host_dc(vm),
-                        Some(prev),
-                        "rejected {vm} must be rolled back to its previous DC"
-                    );
-                    new_dc.insert(vm, prev);
-                }
-            }
-            // The clipped decision must still be a complete, structurally
-            // valid placement — every rejected VM exactly once, back in
-            // its previous DC, on an in-range server.
-            #[cfg(debug_assertions)]
-            if let Err(e) =
-                decision.validate(&scratch.active, &scratch.usable_servers, &dvfs_levels)
-            {
-                panic!("migration clipping corrupted the decision at {slot}: {e}");
-            }
-
-            // --- Interval simulation at tick resolution, one DC per
-            // worker: a DC's tick loop touches only that DC's state
-            // (battery, forecaster, PV) plus shared read-only inputs.
-            // Outputs fold into the record in ascending DC order, so the
-            // accumulated totals are bit-identical to a serial loop at
-            // every thread count.
-            record.active_vms = scratch.active.len() as u32;
-            record.active_servers = decision.active_servers() as u32;
-            let outputs = {
-                let green = &self.green;
-                let decision_ref = &decision;
-                let actual = &scratch.actual;
-                let observed = &scratch.observed;
-                let cores = &scratch.vm_cores;
-                let price_factors = &scratch.price_factors;
-                let pv_factors = &scratch.pv_factors;
-                exec.map_mut(&mut self.scenario.dcs, |dc_index, dc| {
-                    let dc_id = DcId(dc_index as u16);
-                    let it_power = dc_it_power(
-                        &dc.power_model,
-                        dc_id,
-                        decision_ref,
-                        actual,
-                        cores,
-                        observed,
-                    );
-                    let pue = dc.pue_at(slot);
-                    let (price, level) = effective_tariff(&dc.price, slot, price_factors[dc_index]);
-                    let pv_factor = pv_factors[dc_index];
-                    let mut output = DcSlotOutput::default();
-                    let mut pv_harvest = 0.0f64;
-                    // Forecast-aware arbitrage: reserve battery headroom
-                    // for the PV the WCMA forecaster expects over the next
-                    // 12 h, so cheap-hour grid charging cannot force
-                    // daylight curtailment.
-                    let pv_reserve: geoplace_types::units::Joules =
-                        (1..=12u32).map(|k| dc.forecaster.forecast(slot + k)).sum();
-                    for (k, tick) in slot.ticks().enumerate() {
-                        // Droughts scale the *produced* power, so the
-                        // forecaster observes (and learns) the derated
-                        // harvest on its own.
-                        let pv_power =
-                            geoplace_types::units::Watts(dc.pv.power_at(tick).0 * pv_factor);
-                        pv_harvest += pv_power.0 * TICK_SECONDS;
-                        let it = it_power[k];
-                        let demand = geoplace_types::units::Watts(it * pue);
-                        let out = green.step_with_reserve(
-                            pv_power,
-                            demand,
-                            level,
-                            &mut dc.battery,
-                            Seconds(TICK_SECONDS),
-                            pv_reserve,
-                        );
-                        output.it_energy += it * TICK_SECONDS;
-                        output.total_energy += demand.0 * TICK_SECONDS;
-                        output.grid_energy += out.grid.0 * TICK_SECONDS;
-                        output.pv_used += (out.pv_used.0 + out.pv_to_battery.0) * TICK_SECONDS;
-                        output.pv_curtailed += out.pv_curtailed.0 * TICK_SECONDS;
-                        output.battery_out += out.battery_to_load.0 * TICK_SECONDS;
-                    }
-                    output.cost = cost_of_joules(price, output.grid_energy);
-                    dc.forecaster
-                        .observe(slot, geoplace_types::units::Joules(pv_harvest));
-                    dc.last_it_energy = geoplace_types::units::Joules(output.it_energy);
-                    dc.last_total_energy = geoplace_types::units::Joules(output.total_energy);
-                    output
-                })
-            };
-            for (dc_index, output) in outputs.iter().enumerate() {
-                record.cost_eur += output.cost;
-                record.it_energy_j += output.it_energy;
-                record.total_energy_j += output.total_energy;
-                record.grid_energy_j += output.grid_energy;
-                record.pv_used_j += output.pv_used;
-                record.pv_curtailed_j += output.pv_curtailed;
-                record.battery_discharge_j += output.battery_out;
-                report.per_dc_energy_gj[dc_index] += output.total_energy / 1e9;
-            }
-
-            // --- Response time of the slot's inter-DC data traffic.
-            let dc_traffic = self.inter_dc_traffic(&new_dc, n_dcs);
-            let response = evaluate_slot(&self.scenario.latency, &dc_traffic, &mut self.rng);
-            record.response_worst_s = response.worst().0;
-            record.response_mean_s = response.mean().0;
-            for &(_, t) in &response.per_dc {
-                report.response_samples.push(t.0);
-            }
-
-            assignment = new_dc;
-            report.push_hour(record);
-        }
-        report
-    }
-
-    /// Per-DC info block for the snapshot.
-    ///
-    /// `usable_servers` and `price_factors` carry the slot's event-
-    /// timeline effects: policies observe the derated capacity and the
-    /// spiked tariff — and are expected to react to both.
-    fn dc_infos(
-        &self,
-        slot: TimeSlot,
-        usable_servers: &[u32],
-        price_factors: &[f64],
-    ) -> Vec<DcInfo> {
-        let effective: Vec<(EurosPerKwh, geoplace_energy::price::PriceLevel)> = self
-            .scenario
-            .dcs
-            .iter()
-            .zip(price_factors)
-            .map(|(d, &factor)| effective_tariff(&d.price, slot, factor))
-            .collect();
-        let prices: Vec<EurosPerKwh> = effective.iter().map(|&(p, _)| p).collect();
-        // Day-averaged tariffs, normalized over the fleet. Deliberately
-        // the *base* schedule: placements weigh the structural daily
-        // landscape; transient spikes act through the spot price above.
-        let daily_avg: Vec<f64> = self
-            .scenario
-            .dcs
-            .iter()
-            .map(|d| {
-                (0..24u32)
-                    .map(|h| d.price.price_at(TimeSlot(h)).0)
-                    .sum::<f64>()
-                    / 24.0
-            })
-            .collect();
-        let avg_min = daily_avg.iter().cloned().fold(f64::MAX, f64::min);
-        let avg_max = daily_avg.iter().cloned().fold(0.0f64, f64::max);
-        let avg_span = (avg_max - avg_min).max(1e-12);
-        let min_p =
-            prices.iter().cloned().fold(
-                EurosPerKwh(f64::MAX),
-                |a, b| {
-                    if b.0 < a.0 {
-                        b
-                    } else {
-                        a
-                    }
-                },
-            );
-        let max_p = prices
-            .iter()
-            .cloned()
-            .fold(EurosPerKwh(0.0), |a, b| if b.0 > a.0 { b } else { a });
-        self.scenario
-            .dcs
-            .iter()
-            .enumerate()
-            .zip(daily_avg.iter())
-            .map(|((index, d), &avg)| {
-                let (price, price_level) = effective[index];
-                let relative_price = geoplace_energy::price::relative_of(price, min_p, max_p);
-                DcInfo {
-                    id: d.id,
-                    servers: usable_servers[index],
-                    power_model: d.power_model.clone(),
-                    battery_available: d.battery.available_energy(),
-                    battery_headroom: d.battery.headroom(),
-                    pv_forecast: d.forecaster.forecast(slot),
-                    pv_forecast_day: (0..24u32).map(|k| d.forecaster.forecast(slot + k)).sum(),
-                    battery_day: (d.battery.capacity() - d.battery.reserve_floor()) * 0.95,
-                    price,
-                    price_level,
-                    relative_price,
-                    avg_relative_price: ((avg - avg_min) / avg_span).clamp(0.0, 1.0),
-                    last_it_energy: d.last_it_energy,
-                    last_total_energy: d.last_total_energy,
-                    pue: d.pue_at(slot),
-                }
-            })
-            .collect()
-    }
-
-    /// Aggregates the fleet's pairwise volumes into a DC-level traffic
-    /// matrix under the new assignment (sorted iteration for determinism).
-    fn inter_dc_traffic(&self, dc_of: &HashMap<VmId, DcId>, n_dcs: usize) -> TrafficMatrix {
-        let mut pairs: Vec<(VmId, VmId)> = self
-            .scenario
-            .fleet
-            .data_correlation()
-            .iter()
-            .map(|(a, b, _)| (a, b))
-            .collect();
-        pairs.sort_unstable();
-        let mut traffic = TrafficMatrix::new(n_dcs);
-        let data = self.scenario.fleet.data_correlation();
-        for (a, b) in pairs {
-            let (Some(&dc_a), Some(&dc_b)) = (dc_of.get(&a), dc_of.get(&b)) else {
-                continue;
-            };
-            // Co-located pairs land on the diagonal: their data still
-            // traverses the DC's local links (NAS access), which is what
-            // makes over-consolidation hurt the response time.
-            traffic.add(dc_a, dc_b, data.slot_volume(a, b));
-            traffic.add(dc_b, dc_a, data.slot_volume(b, a));
-        }
-        traffic
-    }
-}
-
-/// Persistent per-slot working state of the engine loop.
-///
-/// Owns every vector and matrix the slot step previously reallocated per
-/// slot: the active id list, the core/memory alignment vectors, the
-/// event-factor vectors, both utilization window matrices (observed and
-/// actual), the dense arena and the incremental traffic CSR cache. In the
-/// steady state of the incremental pipeline nothing here allocates
-/// proportionally to the fleet — buffers are refilled (or reconciled) in
-/// place.
-#[derive(Debug)]
-struct EngineScratch {
-    /// The slot's active VM ids (sorted — the fleet invariant).
-    active: Vec<VmId>,
-    /// vCPUs per VM, aligned with the observed window rows.
-    vm_cores: Vec<u32>,
-    /// Memory per VM, aligned with the observed window rows.
-    vm_memory: Vec<Gigabytes>,
-    /// Usable servers per DC after capacity derates.
-    usable_servers: Vec<u32>,
-    /// Tariff multipliers per DC from the event timeline.
-    price_factors: Vec<f64>,
-    /// PV multipliers per DC from the event timeline.
-    pv_factors: Vec<f64>,
-    /// The observation window the policy sees (previous interval; zeros
-    /// at slot 0).
-    observed: UtilizationWindows,
-    /// The running slot's actual windows (powers the interval
-    /// simulation, then becomes the next slot's observation).
-    actual: UtilizationWindows,
-    /// Dense id ↔ index mapping of the active set.
-    arena: VmArena,
-    /// Incrementally maintained traffic CSR source.
-    traffic: TrafficGraphCache,
-}
-
-impl EngineScratch {
-    fn new() -> Self {
-        EngineScratch {
-            active: Vec::new(),
-            vm_cores: Vec::new(),
-            vm_memory: Vec::new(),
-            usable_servers: Vec::new(),
-            price_factors: Vec::new(),
-            pv_factors: Vec::new(),
-            observed: UtilizationWindows::zeros(&[], TICKS_PER_SLOT),
-            actual: UtilizationWindows::zeros(&[], TICKS_PER_SLOT),
-            arena: VmArena::default(),
-            traffic: TrafficGraphCache::new(),
-        }
-    }
-}
-
-/// Per-slot accumulators of one DC's interval simulation, returned from
-/// the per-DC workers and folded into the hourly record in DC order.
-#[derive(Debug, Clone, Copy, Default)]
-struct DcSlotOutput {
-    cost: f64,
-    it_energy: f64,
-    total_energy: f64,
-    grid_energy: f64,
-    pv_used: f64,
-    pv_curtailed: f64,
-    battery_out: f64,
-}
-
-/// IT power series (one value per tick) of one DC under `decision`,
-/// using the *actual* utilization windows of the running slot. A free
-/// function (not a `Simulator` method) so the per-DC workers can call it
-/// while holding their DC mutably.
-fn dc_it_power(
-    model: &crate::power::ServerPowerModel,
-    dc: DcId,
-    decision: &PlacementDecision,
-    actual_windows: &geoplace_workload::window::UtilizationWindows,
-    vm_cores: &[u32],
-    observed_windows: &geoplace_workload::window::UtilizationWindows,
-) -> Vec<f64> {
-    let width = actual_windows.width().max(1);
-    let mut power = vec![0.0f64; width];
-    for server in decision.dc_assignments(dc) {
-        if server.vms.is_empty() {
-            continue;
-        }
-        let mut load = vec![0.0f32; width];
-        for &vm in &server.vms {
-            // Cores are aligned with the *observed* windows' row order.
-            let cores = observed_windows
-                .position(vm)
-                .map(|pos| vm_cores[pos])
-                .unwrap_or(1) as f32;
-            if let Some(row) = actual_windows.row(vm) {
-                for (slot_load, &u) in load.iter_mut().zip(row.iter()) {
-                    *slot_load += u * cores;
-                }
+    pub fn run<P: GlobalPolicy>(self, policy: &mut P) -> SimulationReport {
+        let mut stepper = SlotStepper::from_parts(self.scenario, self.rng, self.green);
+        let mut source = SyntheticSource;
+        while !stepper.is_done() {
+            stepper
+                .advance_world(&mut source)
+                .expect("the synthetic source never rejects a boundary");
+            let decision = policy.decide(&stepper.observe());
+            let slot = stepper.current_slot();
+            if let Err(e) = stepper.apply(decision) {
+                panic!(
+                    "policy {} returned an invalid decision at {slot}: {e}",
+                    policy.name()
+                );
             }
         }
-        let point = model.levels()[server.freq.0];
-        let capacity = model.capacity_cores(server.freq) as f32;
-        let slope = point.full.0 - point.idle.0;
-        for (total, &l) in power.iter_mut().zip(load.iter()) {
-            let utilization = (l / capacity).clamp(0.0, 1.0) as f64;
-            *total += point.idle.0 + slope * utilization;
-        }
+        stepper.into_report(policy.name())
     }
-    debug_assert_eq!(width, TICKS_PER_SLOT);
-    power
-}
-
-/// Spot tariff and qualitative level of one DC during `slot`, after the
-/// event timeline's price factor. A spike that lifts the effective price
-/// to the site's peak tariff (or beyond) escalates the level to `High`,
-/// so the green controller stops cheap-hour arbitrage for the duration;
-/// discounts never demote the level — transients may only make a site
-/// look *more* expensive, the conservative direction for battery policy.
-fn effective_tariff(
-    schedule: &PriceSchedule,
-    slot: TimeSlot,
-    factor: f64,
-) -> (EurosPerKwh, PriceLevel) {
-    let base = schedule.price_at(slot);
-    if factor == 1.0 {
-        return (base, schedule.level(slot));
-    }
-    let price = EurosPerKwh(base.0 * factor);
-    let level = if price.0 >= schedule.peak().0 - 1e-12 {
-        PriceLevel::High
-    } else {
-        schedule.level(slot)
-    };
-    (price, level)
-}
-
-/// Grid cost of an energy amount in joules at a kWh tariff, clamped at
-/// zero draw: when PV plus battery over-cover a site the green
-/// controller's ledger can report (numerically) negative grid energy,
-/// and a negative energy bill must never credit the cost total — the
-/// model has no feed-in remuneration.
-fn cost_of_joules(price: EurosPerKwh, joules: f64) -> f64 {
-    price.0 * (joules.max(0.0) / 3.6e6)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decision::ServerAssignment;
-    use crate::power::FreqLevel;
-
-    /// A trivial policy: every VM onto DC 0, round-robin across servers,
-    /// top frequency.
-    struct AllOnFirstDc;
-
-    impl GlobalPolicy for AllOnFirstDc {
-        fn name(&self) -> &'static str {
-            "all-on-dc0"
-        }
-
-        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
-            let mut decision = PlacementDecision::new(snapshot.dc_count());
-            let per_server = 4usize;
-            for (chunk_index, chunk) in snapshot.vm_ids().chunks(per_server).enumerate() {
-                decision.push(
-                    DcId(0),
-                    ServerAssignment {
-                        server: chunk_index as u32,
-                        freq: FreqLevel(1),
-                        vms: chunk.to_vec(),
-                    },
-                );
-            }
-            decision
-        }
-    }
-
-    fn tiny_config() -> ScenarioConfig {
-        let mut config = ScenarioConfig::scaled(11);
-        config.horizon_slots = 4;
-        config.fleet.arrivals.initial_groups = 8;
-        config.fleet.arrivals.groups_per_slot = 0.5;
-        config
-    }
+    use crate::events;
+    use crate::testkit::{
+        single_level_model, tiny_config, AllOnDcAtTop, AllOnFirstDc, HeteroPingPong,
+        ObservationProbe, PingPong, RoundRobinDcs, SpreadOnDc0,
+    };
+    use geoplace_types::time::TimeSlot;
 
     #[test]
     fn scenario_builds_from_valid_config() {
@@ -830,35 +246,6 @@ mod tests {
         assert_eq!(report.totals().migrations, 0);
     }
 
-    /// A policy that spreads VMs round-robin across DCs, forcing inter-DC
-    /// traffic and migrations.
-    struct RoundRobinDcs;
-
-    impl GlobalPolicy for RoundRobinDcs {
-        fn name(&self) -> &'static str {
-            "round-robin"
-        }
-
-        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
-            let n = snapshot.dc_count();
-            let mut decision = PlacementDecision::new(n);
-            let mut server_counter = vec![0u32; n];
-            for (i, &vm) in snapshot.vm_ids().iter().enumerate() {
-                let dc = i % n;
-                decision.push(
-                    DcId(dc as u16),
-                    ServerAssignment {
-                        server: server_counter[dc],
-                        freq: FreqLevel(1),
-                        vms: vec![vm],
-                    },
-                );
-                server_counter[dc] += 1;
-            }
-            decision
-        }
-    }
-
     #[test]
     fn spread_policy_sees_nonzero_response_time() {
         let scenario = Scenario::build(&tiny_config()).unwrap();
@@ -868,47 +255,6 @@ mod tests {
             "cross-DC data correlation must cost response time"
         );
         assert!(!report.response_samples.is_empty());
-    }
-
-    #[test]
-    fn cost_of_joules_charges_positive_energy_only() {
-        let tariff = EurosPerKwh(0.25);
-        // 3.6e6 J = 1 kWh.
-        assert!((cost_of_joules(tariff, 3.6e6) - 0.25).abs() < 1e-12);
-        // Over-covered site (PV/battery surplus): no negative bill.
-        assert_eq!(cost_of_joules(tariff, -3.6e6), 0.0);
-        assert_eq!(cost_of_joules(tariff, -1e-9), 0.0);
-        assert_eq!(cost_of_joules(tariff, 0.0), 0.0);
-    }
-
-    /// A policy that deliberately ping-pongs every VM between DCs each
-    /// slot, so every slot after the first requests a full-fleet
-    /// migration wave.
-    struct PingPong {
-        turn: usize,
-    }
-
-    impl GlobalPolicy for PingPong {
-        fn name(&self) -> &'static str {
-            "ping-pong"
-        }
-
-        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
-            self.turn += 1;
-            let dc = DcId(((self.turn - 1) % 2) as u16);
-            let mut decision = PlacementDecision::new(snapshot.dc_count());
-            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
-                decision.push(
-                    dc,
-                    ServerAssignment {
-                        server: chunk_index as u32,
-                        freq: FreqLevel(1),
-                        vms: chunk.to_vec(),
-                    },
-                );
-            }
-            decision
-        }
     }
 
     #[test]
@@ -972,41 +318,6 @@ mod tests {
         for threads in [2usize, 8] {
             let report = run(threads);
             assert_eq!(report, reference, "t={threads}");
-        }
-    }
-
-    /// A policy that packs every VM as densely as the observed server
-    /// count allows, one DC — used to observe capacity derates.
-    struct SpreadOnDc0;
-
-    impl GlobalPolicy for SpreadOnDc0 {
-        fn name(&self) -> &'static str {
-            "spread-on-dc0"
-        }
-
-        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
-            let mut decision = PlacementDecision::new(snapshot.dc_count());
-            let servers = (snapshot.dcs[0].servers as usize)
-                .min(snapshot.vm_ids().len())
-                .max(1);
-            let mut per_server: Vec<Vec<VmId>> = vec![Vec::new(); servers];
-            for (i, &vm) in snapshot.vm_ids().iter().enumerate() {
-                per_server[i % servers].push(vm);
-            }
-            for (server, vms) in per_server.into_iter().enumerate() {
-                if vms.is_empty() {
-                    continue;
-                }
-                decision.push(
-                    DcId(0),
-                    ServerAssignment {
-                        server: server as u32,
-                        freq: FreqLevel(1),
-                        vms,
-                    },
-                );
-            }
-            decision
         }
     }
 
@@ -1149,47 +460,6 @@ mod tests {
         assert_eq!(reference.digest(), run(1).digest());
     }
 
-    /// A single-level (no-DVFS-choice) variant of the Xeon table.
-    fn single_level_model() -> crate::power::ServerPowerModel {
-        crate::power::ServerPowerModel::new(
-            8,
-            vec![crate::power::OperatingPoint {
-                ghz: 2.0,
-                idle: geoplace_types::units::Watts(141.0),
-                full: geoplace_types::units::Watts(209.0),
-            }],
-        )
-        .unwrap()
-    }
-
-    /// Places every VM on one fixed DC at that DC's own top DVFS level.
-    struct AllOnDcAtTop {
-        dc: u16,
-    }
-
-    impl GlobalPolicy for AllOnDcAtTop {
-        fn name(&self) -> &'static str {
-            "all-on-dc-at-top"
-        }
-
-        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
-            let dc = DcId(self.dc);
-            let freq = snapshot.dcs[self.dc as usize].power_model.max_level();
-            let mut decision = PlacementDecision::new(snapshot.dc_count());
-            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
-                decision.push(
-                    dc,
-                    ServerAssignment {
-                        server: chunk_index as u32,
-                        freq,
-                        vms: chunk.to_vec(),
-                    },
-                );
-            }
-            decision
-        }
-    }
-
     #[test]
     #[should_panic(expected = "returned an invalid decision")]
     fn hetero_dvfs_validation_checks_the_hosting_dc() {
@@ -1209,36 +479,6 @@ mod tests {
         let report = Simulator::new(scenario).run(&mut AllOnDcAtTop { dc: 1 });
         assert_eq!(report.hourly.len(), 4);
         assert!(report.per_dc_energy_gj[1] > 0.0);
-    }
-
-    /// Ping-pongs the fleet between two DCs, always at the *destination*
-    /// DC's own top DVFS level.
-    struct HeteroPingPong {
-        turn: usize,
-    }
-
-    impl GlobalPolicy for HeteroPingPong {
-        fn name(&self) -> &'static str {
-            "hetero-ping-pong"
-        }
-
-        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
-            self.turn += 1;
-            let dc_index = (self.turn - 1) % 2;
-            let freq = snapshot.dcs[dc_index].power_model.max_level();
-            let mut decision = PlacementDecision::new(snapshot.dc_count());
-            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
-                decision.push(
-                    DcId(dc_index as u16),
-                    ServerAssignment {
-                        server: chunk_index as u32,
-                        freq,
-                        vms: chunk.to_vec(),
-                    },
-                );
-            }
-            decision
-        }
     }
 
     #[test]
@@ -1261,43 +501,6 @@ mod tests {
         // Rollback kept the fleet on the single-level DC 0 throughout.
         assert!(report.per_dc_energy_gj[0] > 0.0);
         assert_eq!(report.per_dc_energy_gj[1], 0.0);
-    }
-
-    /// Records the total observed-window mass per decide call.
-    struct ObservationProbe {
-        sums: Vec<f64>,
-    }
-
-    impl GlobalPolicy for ObservationProbe {
-        fn name(&self) -> &'static str {
-            "observation-probe"
-        }
-
-        fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
-            let sum: f64 = (0..snapshot.vm_count())
-                .map(|pos| {
-                    snapshot
-                        .windows
-                        .row_at(pos)
-                        .iter()
-                        .map(|&u| u as f64)
-                        .sum::<f64>()
-                })
-                .sum();
-            self.sums.push(sum);
-            let mut decision = PlacementDecision::new(snapshot.dc_count());
-            for (chunk_index, chunk) in snapshot.vm_ids().chunks(4).enumerate() {
-                decision.push(
-                    DcId(0),
-                    ServerAssignment {
-                        server: chunk_index as u32,
-                        freq: FreqLevel(0),
-                        vms: chunk.to_vec(),
-                    },
-                );
-            }
-            decision
-        }
     }
 
     #[test]

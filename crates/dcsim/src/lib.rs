@@ -9,7 +9,11 @@
 //! * [`decision`] / [`snapshot`] / [`policy`] — the contract between the
 //!   engine and placement policies;
 //! * [`engine`] — the hourly-slot / 5 s-tick simulation loop;
-//! * [`metrics`] — reports, totals, histograms (raw data of Figs. 1–6).
+//! * [`stepper`] — the explicit slot lifecycle (`advance_world` →
+//!   `observe` → `apply`) the engine loop and online drivers both pump;
+//! * [`metrics`] — reports, totals, histograms (raw data of Figs. 1–6);
+//! * [`testkit`] — shared pathological policy stubs for engine-level
+//!   test suites.
 //!
 //! # Examples
 //!
@@ -56,6 +60,8 @@ pub mod policy;
 pub mod power;
 pub mod pue;
 pub mod snapshot;
+pub mod stepper;
+pub mod testkit;
 
 pub use config::{DcConfig, ScenarioConfig};
 pub use dc::DataCenter;
@@ -67,3 +73,4 @@ pub use policy::GlobalPolicy;
 pub use power::{FreqLevel, OperatingPoint, ServerPowerModel};
 pub use pue::{PueModel, SiteClimate};
 pub use snapshot::{DcInfo, SystemSnapshot};
+pub use stepper::{SlotMetrics, SlotStepper};

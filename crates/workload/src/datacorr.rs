@@ -155,6 +155,26 @@ impl DataCorrelation {
         inserted
     }
 
+    /// Wires (or re-rates) one pair with externally specified directed
+    /// rates in MB per 5 s tick, `a → b` and `b → a`. The anchor is set to
+    /// the pair's total so a later [`DataCorrelation::evolve`] drifts
+    /// around the externally given level. Returns `true` when the pair is
+    /// structurally new — the caller forwards exactly those pairs to the
+    /// incremental traffic-graph cache as its edge delta.
+    pub fn wire_pair(&mut self, a: VmId, b: VmId, a_to_b: f64, b_to_a: f64) -> bool {
+        let (lo_to_hi, hi_to_lo) = if a < b {
+            (a_to_b, b_to_a)
+        } else {
+            (b_to_a, a_to_b)
+        };
+        let traffic = PairTraffic {
+            lo_to_hi,
+            hi_to_lo,
+            anchor: lo_to_hi + hi_to_lo,
+        };
+        self.pairs.insert(key(a, b), traffic).is_none()
+    }
+
     /// Drops every pair touching a departed VM.
     pub fn disconnect(&mut self, departed: &[VmId]) {
         if departed.is_empty() {

@@ -4,9 +4,11 @@
 use crate::arrivals::{ArrivalConfig, ArrivalProcess};
 use crate::cpucorr::CpuCorrelationMatrix;
 use crate::datacorr::{DataCorrelation, DataCorrelationConfig};
-use crate::vm::VmSpec;
+use crate::trace::{TraceKind, TraceParams, VmTrace};
+use crate::vm::{GroupId, VmSpec};
 use crate::window::UtilizationWindows;
 use geoplace_types::time::TimeSlot;
+use geoplace_types::units::Gigabytes;
 use geoplace_types::{Error, Result, VmId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,6 +26,48 @@ pub struct FleetDelta {
     /// traffic-graph cache applies instead of re-sorting the whole edge
     /// set every slot.
     pub connected: Vec<(VmId, VmId)>,
+}
+
+/// One externally announced VM arrival for
+/// [`VmFleet::advance_external`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternalArrival {
+    /// Fresh id, never seen by this fleet before.
+    pub id: VmId,
+    /// Memory footprint in GB; also determines the vCPU count (1–8).
+    pub memory_gb: f64,
+    /// Slots the VM stays active (clamped to at least 1, like every VM).
+    pub lifetime_slots: u32,
+    /// Utilization-trace family the VM's synthetic load is drawn from.
+    pub kind: TraceKind,
+    /// Seed of the VM's deterministic trace.
+    pub trace_seed: u64,
+}
+
+/// One externally announced traffic pair (re)wiring: directed rates in MB
+/// per 5 s tick, applied at the next slot boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExternalPair {
+    /// One endpoint.
+    pub a: VmId,
+    /// The other endpoint.
+    pub b: VmId,
+    /// Rate `a → b` in MB/tick.
+    pub a_to_b_mb: f64,
+    /// Rate `b → a` in MB/tick.
+    pub b_to_a_mb: f64,
+}
+
+/// The batch of external world changes applied at one slot boundary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExternalSlotEvents {
+    /// VMs arriving at the boundary.
+    pub arrivals: Vec<ExternalArrival>,
+    /// Explicit early departures (natural lifetime expiries happen on
+    /// their own and need not be listed).
+    pub departures: Vec<VmId>,
+    /// Traffic pairs wired or re-rated at the boundary.
+    pub traffic: Vec<ExternalPair>,
 }
 
 /// The evolving VM population of the whole geo-distributed system.
@@ -187,6 +231,176 @@ impl VmFleet {
             "active set must stay strictly sorted"
         );
         delta
+    }
+
+    /// Advances the fleet exactly one slot boundary, driven by external
+    /// events instead of the synthetic arrival process: natural lifetime
+    /// expiries still depart on their own, but arrivals, explicit early
+    /// departures and traffic (re)wiring come from `events`. The pairwise
+    /// rates are *not* drifted — an external producer owns them.
+    ///
+    /// The whole batch is validated before any state changes: on error the
+    /// fleet is untouched and the boundary has not been crossed, so the
+    /// caller can correct the batch and retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending event when an
+    /// arrival id is stale or duplicated, a memory size is not a positive
+    /// finite number, a departure names an inactive VM, or a traffic pair
+    /// has invalid rates or endpoints absent after the boundary.
+    pub fn advance_external(
+        &mut self,
+        slot: TimeSlot,
+        events: &ExternalSlotEvents,
+    ) -> Result<FleetDelta> {
+        if slot != self.current_slot.next() {
+            return Err(Error::invalid_config(format!(
+                "external advance must cross exactly one boundary: fleet is at {}, asked for {}",
+                self.current_slot, slot
+            )));
+        }
+        // --- Validate everything first; commit only a fully valid batch.
+        let mut batch_ids: std::collections::HashSet<VmId> = std::collections::HashSet::new();
+        for arrival in &events.arrivals {
+            if self.by_id.contains_key(&arrival.id) {
+                return Err(Error::invalid_config(format!(
+                    "arrival {} reuses an id this fleet has already seen",
+                    arrival.id
+                )));
+            }
+            if !batch_ids.insert(arrival.id) {
+                return Err(Error::invalid_config(format!(
+                    "arrival {} appears twice in the batch",
+                    arrival.id
+                )));
+            }
+            if !arrival.memory_gb.is_finite() || arrival.memory_gb <= 0.0 {
+                return Err(Error::invalid_config(format!(
+                    "arrival {} has invalid memory {} GB",
+                    arrival.id, arrival.memory_gb
+                )));
+            }
+        }
+        for &vm in &events.departures {
+            if self.active.binary_search(&vm).is_err() {
+                return Err(Error::invalid_config(format!(
+                    "departure {vm} is not an active VM"
+                )));
+            }
+        }
+        // Natural expiries at this boundary (pure read; needed to check
+        // that traffic endpoints survive it).
+        let naturally_departed: Vec<VmId> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&id| !self.vms[self.by_id[&id]].is_active_at(slot))
+            .collect();
+        let survives = |vm: VmId| -> bool {
+            if batch_ids.contains(&vm) {
+                return true;
+            }
+            self.active.binary_search(&vm).is_ok()
+                && naturally_departed.binary_search(&vm).is_err()
+                && !events.departures.contains(&vm)
+        };
+        for pair in &events.traffic {
+            if pair.a == pair.b {
+                return Err(Error::invalid_config(format!(
+                    "traffic pair wires {} to itself",
+                    pair.a
+                )));
+            }
+            for rate in [pair.a_to_b_mb, pair.b_to_a_mb] {
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(Error::invalid_config(format!(
+                        "traffic pair {}–{} has invalid rate {rate} MB/tick",
+                        pair.a, pair.b
+                    )));
+                }
+            }
+            for vm in [pair.a, pair.b] {
+                if !survives(vm) {
+                    return Err(Error::invalid_config(format!(
+                        "traffic pair {}–{} endpoint {vm} is not active after the boundary",
+                        pair.a, pair.b
+                    )));
+                }
+            }
+        }
+
+        // --- Commit. Departures: natural expiries merged with the
+        // explicit list, sorted and deduplicated, removed in one pass.
+        let mut delta = FleetDelta::default();
+        let mut departed = naturally_departed;
+        departed.extend_from_slice(&events.departures);
+        departed.sort_unstable();
+        departed.dedup();
+        let mut next_departure = 0usize;
+        self.active.retain(|&id| {
+            if next_departure < departed.len() && departed[next_departure] == id {
+                next_departure += 1;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert_eq!(next_departure, departed.len());
+        self.data.disconnect(&departed);
+        delta.departed = departed;
+
+        // Arrivals: each external VM forms its own fresh application group
+        // (its traffic is whatever the producer wires explicitly).
+        let next_group = self
+            .vms
+            .iter()
+            .map(|vm| vm.group().0 + 1)
+            .max()
+            .unwrap_or(0);
+        for (offset, arrival) in events.arrivals.iter().enumerate() {
+            let params =
+                TraceParams::sample(arrival.kind, &mut StdRng::seed_from_u64(arrival.trace_seed));
+            let spec = VmSpec::new(
+                arrival.id,
+                GroupId(next_group + offset as u32),
+                Gigabytes(arrival.memory_gb),
+                slot,
+                arrival.lifetime_slots,
+                VmTrace::new(params, arrival.trace_seed),
+            );
+            delta.arrived.push(spec.id());
+            self.register(spec);
+        }
+        self.active.sort_unstable();
+
+        // Traffic wiring: only structurally new pairs enter the delta —
+        // re-rated pairs need no CSR edit, their rates are read fresh.
+        for pair in &events.traffic {
+            if self
+                .data
+                .wire_pair(pair.a, pair.b, pair.a_to_b_mb, pair.b_to_a_mb)
+            {
+                let key = if pair.a < pair.b {
+                    (pair.a, pair.b)
+                } else {
+                    (pair.b, pair.a)
+                };
+                delta.connected.push(key);
+            }
+        }
+        self.current_slot = slot;
+        debug_assert!(
+            self.active.windows(2).all(|pair| pair[0] < pair[1]),
+            "active set must stay strictly sorted"
+        );
+        Ok(delta)
+    }
+
+    /// The smallest id this fleet has never seen — what an external
+    /// producer should assign to its next arrival.
+    pub fn fresh_vm_id(&self) -> VmId {
+        VmId(self.vms.iter().map(|vm| vm.id().0 + 1).max().unwrap_or(0))
     }
 
     /// Materializes the 5 s utilization windows of all active VMs for
@@ -404,6 +618,103 @@ mod tests {
         assert!(
             elapsed < std::time::Duration::from_secs(10),
             "mass departure took {elapsed:?} — departure filtering has gone quadratic"
+        );
+    }
+
+    #[test]
+    fn external_advance_validates_then_commits() {
+        use crate::trace::TraceKind;
+        let mut fleet = small_fleet(11);
+        let id = fleet.fresh_vm_id();
+        let victim = fleet.active()[0];
+        let events = ExternalSlotEvents {
+            arrivals: vec![ExternalArrival {
+                id,
+                memory_gb: 8.0,
+                lifetime_slots: 5,
+                kind: TraceKind::Batch,
+                trace_seed: 3,
+            }],
+            departures: vec![victim],
+            traffic: vec![],
+        };
+        let delta = fleet.advance_external(TimeSlot(1), &events).unwrap();
+        assert!(delta.arrived.contains(&id));
+        assert!(delta.departed.contains(&victim));
+        assert!(!fleet.active().contains(&victim));
+        let spec = fleet.vm(id).unwrap();
+        assert_eq!(spec.cores(), 8);
+        assert_eq!(spec.arrival(), TimeSlot(1));
+        // The departed VM's pairs are gone.
+        assert!(fleet
+            .data_correlation()
+            .iter()
+            .all(|(a, b, _)| a != victim && b != victim));
+    }
+
+    #[test]
+    fn external_advance_rejects_bad_batches_atomically() {
+        use crate::trace::TraceKind;
+        let mut fleet = small_fleet(12);
+        let stale = fleet.active()[0];
+        let before = fleet.active().to_vec();
+        let bad_arrival = |id, memory_gb| ExternalSlotEvents {
+            arrivals: vec![ExternalArrival {
+                id,
+                memory_gb,
+                lifetime_slots: 2,
+                kind: TraceKind::Hpc,
+                trace_seed: 0,
+            }],
+            ..ExternalSlotEvents::default()
+        };
+        // Stale id, bad memory, self-loop traffic, rewound slot: each is
+        // rejected with the fleet untouched.
+        assert!(fleet
+            .advance_external(TimeSlot(1), &bad_arrival(stale, 4.0))
+            .is_err());
+        assert!(fleet
+            .advance_external(TimeSlot(1), &bad_arrival(fleet.fresh_vm_id(), f64::NAN))
+            .is_err());
+        let self_loop = ExternalSlotEvents {
+            traffic: vec![ExternalPair {
+                a: stale,
+                b: stale,
+                a_to_b_mb: 1.0,
+                b_to_a_mb: 1.0,
+            }],
+            ..ExternalSlotEvents::default()
+        };
+        assert!(fleet.advance_external(TimeSlot(1), &self_loop).is_err());
+        assert!(fleet
+            .advance_external(TimeSlot(2), &ExternalSlotEvents::default())
+            .is_err());
+        assert_eq!(fleet.current_slot(), TimeSlot(0));
+        assert_eq!(fleet.active(), &before[..]);
+    }
+
+    #[test]
+    fn external_traffic_wiring_reports_only_new_pairs() {
+        let mut fleet = small_fleet(13);
+        let (a, b) = (fleet.active()[0], fleet.active()[1]);
+        let wire = |rate| ExternalSlotEvents {
+            traffic: vec![ExternalPair {
+                a,
+                b,
+                a_to_b_mb: rate,
+                b_to_a_mb: rate,
+            }],
+            ..ExternalSlotEvents::default()
+        };
+        let already_wired = fleet.data_correlation().directed_rates(a, b).is_some();
+        let first = fleet.advance_external(TimeSlot(1), &wire(2.0)).unwrap();
+        assert_eq!(first.connected.is_empty(), already_wired);
+        // Re-rating an existing pair is not a structural change.
+        let second = fleet.advance_external(TimeSlot(2), &wire(9.0)).unwrap();
+        assert!(second.connected.is_empty());
+        assert_eq!(
+            fleet.data_correlation().directed_rates(a, b),
+            Some((9.0, 9.0))
         );
     }
 

@@ -360,6 +360,14 @@ impl TrafficGraphCache {
     pub fn edge_count(&self) -> usize {
         self.directed.len()
     }
+
+    /// The most recently emitted graph, without refreshing it. Valid only
+    /// after an [`TrafficGraphCache::emit`] for the current arena — the
+    /// stepwise engine emits during its advance phase and re-borrows the
+    /// result here when assembling the (immutable) snapshot.
+    pub fn graph(&self) -> &TrafficGraph {
+        &self.graph
+    }
 }
 
 impl TrafficGraph {

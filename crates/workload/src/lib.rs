@@ -37,6 +37,7 @@ pub mod distributions;
 pub mod fleet;
 pub mod graph;
 pub mod mix;
+pub mod source;
 pub mod sparsity;
 pub mod trace;
 pub mod vm;
@@ -45,9 +46,12 @@ pub mod window;
 pub use arrivals::{ArrivalConfig, ArrivalProcess, BurstConfig, CohortConfig};
 pub use cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
 pub use datacorr::{DataCorrelation, DataCorrelationConfig};
-pub use fleet::{FleetConfig, FleetDelta, VmFleet};
+pub use fleet::{
+    ExternalArrival, ExternalPair, ExternalSlotEvents, FleetConfig, FleetDelta, VmFleet,
+};
 pub use graph::{TrafficEdge, TrafficGraph};
 pub use mix::{FleetMix, VmClass};
+pub use source::{DeltaSource, ExternalDeltaSource, SyntheticSource};
 pub use sparsity::{SparsityConfig, SparsityMode};
 pub use trace::{TraceKind, TraceParams, VmTrace};
 pub use vm::{GroupId, VmSpec};

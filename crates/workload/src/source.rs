@@ -1,0 +1,155 @@
+//! Producers of per-boundary fleet changes.
+//!
+//! The engine's world-advance phase does not care *where* churn comes
+//! from: it asks a [`DeltaSource`] to move the fleet one slot boundary
+//! forward and hands the resulting [`FleetDelta`] to the incremental
+//! observation pipeline. The synthetic arrival process is one producer
+//! ([`SyntheticSource`]); an external driver feeding validated
+//! arrival/departure/traffic events (an orchestrator, a trace replayer,
+//! the `geoplace-serve` JSON session) is another
+//! ([`ExternalDeltaSource`]).
+
+use crate::fleet::{ExternalArrival, ExternalPair, ExternalSlotEvents, FleetDelta, VmFleet};
+use geoplace_types::time::TimeSlot;
+use geoplace_types::{Result, VmId};
+
+/// A producer of slot-boundary fleet changes.
+pub trait DeltaSource {
+    /// Advances `fleet` to `slot` (exactly one boundary for external
+    /// producers; the synthetic process accepts multi-slot jumps) and
+    /// returns what changed.
+    ///
+    /// # Errors
+    ///
+    /// External producers return [`geoplace_types::Error::InvalidConfig`]
+    /// when the queued batch fails validation; the fleet is left at its
+    /// previous slot, untouched.
+    fn advance(&mut self, fleet: &mut VmFleet, slot: TimeSlot) -> Result<FleetDelta>;
+}
+
+/// The synthetic producer: Poisson group arrivals, exponential lifetimes
+/// and drifting pair rates, exactly as [`VmFleet::advance_to`] has always
+/// generated them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntheticSource;
+
+impl DeltaSource for SyntheticSource {
+    fn advance(&mut self, fleet: &mut VmFleet, slot: TimeSlot) -> Result<FleetDelta> {
+        Ok(fleet.advance_to(slot))
+    }
+}
+
+/// An external producer: events are queued between boundaries and applied
+/// as one validated batch by [`VmFleet::advance_external`] at the next
+/// advance. A failed advance consumes (and drops) the queued batch while
+/// leaving the fleet untouched, so the driver can re-queue a corrected
+/// batch and retry.
+#[derive(Debug, Clone, Default)]
+pub struct ExternalDeltaSource {
+    pending: ExternalSlotEvents,
+}
+
+impl ExternalDeltaSource {
+    /// Creates a source with an empty event queue.
+    pub fn new() -> Self {
+        ExternalDeltaSource::default()
+    }
+
+    /// Queues a VM arrival for the next boundary.
+    pub fn queue_arrival(&mut self, arrival: ExternalArrival) {
+        self.pending.arrivals.push(arrival);
+    }
+
+    /// Queues an explicit early departure for the next boundary.
+    pub fn queue_departure(&mut self, vm: VmId) {
+        self.pending.departures.push(vm);
+    }
+
+    /// Queues a traffic pair (re)wiring for the next boundary.
+    pub fn queue_traffic(&mut self, pair: ExternalPair) {
+        self.pending.traffic.push(pair);
+    }
+
+    /// The events currently queued for the next boundary.
+    pub fn pending(&self) -> &ExternalSlotEvents {
+        &self.pending
+    }
+}
+
+impl DeltaSource for ExternalDeltaSource {
+    fn advance(&mut self, fleet: &mut VmFleet, slot: TimeSlot) -> Result<FleetDelta> {
+        let events = std::mem::take(&mut self.pending);
+        fleet.advance_external(slot, &events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use crate::trace::TraceKind;
+
+    fn fleet() -> VmFleet {
+        let mut config = FleetConfig::default();
+        config.arrivals.initial_groups = 4;
+        config.arrivals.groups_per_slot = 1.0;
+        config.arrivals.seed = 21;
+        VmFleet::new(config).unwrap()
+    }
+
+    #[test]
+    fn synthetic_source_matches_advance_to() {
+        let mut a = fleet();
+        let mut b = fleet();
+        let mut source = SyntheticSource;
+        for s in 1..=5u32 {
+            let via_source = source.advance(&mut a, TimeSlot(s)).unwrap();
+            let direct = b.advance_to(TimeSlot(s));
+            assert_eq!(via_source, direct, "slot {s}");
+        }
+        assert_eq!(a.active(), b.active());
+    }
+
+    #[test]
+    fn external_source_applies_queued_events_once() {
+        let mut fleet = fleet();
+        let mut source = ExternalDeltaSource::new();
+        let id = fleet.fresh_vm_id();
+        source.queue_arrival(ExternalArrival {
+            id,
+            memory_gb: 4.0,
+            lifetime_slots: 10,
+            kind: TraceKind::WebServing,
+            trace_seed: 7,
+        });
+        let peer = fleet.active()[0];
+        source.queue_traffic(ExternalPair {
+            a: id,
+            b: peer,
+            a_to_b_mb: 5.0,
+            b_to_a_mb: 1.0,
+        });
+        let delta = source.advance(&mut fleet, TimeSlot(1)).unwrap();
+        assert!(delta.arrived.contains(&id));
+        assert!(fleet.active().contains(&id));
+        assert!(fleet.data_correlation().directed_rates(id, peer).is_some());
+        // The queue drained: the next boundary applies nothing external.
+        let delta = source.advance(&mut fleet, TimeSlot(2)).unwrap();
+        assert!(delta.arrived.is_empty());
+    }
+
+    #[test]
+    fn failed_external_advance_leaves_the_fleet_untouched() {
+        let mut fleet = fleet();
+        let mut source = ExternalDeltaSource::new();
+        let before_active = fleet.active().to_vec();
+        source.queue_departure(VmId(u32::MAX)); // unknown VM
+        let err = source.advance(&mut fleet, TimeSlot(1)).unwrap_err();
+        assert!(err.to_string().contains("not an active VM"), "{err}");
+        assert_eq!(fleet.current_slot(), TimeSlot(0));
+        assert_eq!(fleet.active(), &before_active[..]);
+        // The bad batch was dropped: a clean retry succeeds.
+        assert!(source.advance(&mut fleet, TimeSlot(1)).is_ok());
+        assert_eq!(fleet.current_slot(), TimeSlot(1));
+    }
+}
