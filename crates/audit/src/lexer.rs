@@ -1,0 +1,467 @@
+//! A hand-rolled Rust lexer, just deep enough to lint with.
+//!
+//! The audit rules need to know three things the raw text cannot tell
+//! them: whether a byte is inside a comment, whether it is inside a
+//! string/char literal, and the exact `file:line` a token starts on.
+//! So the lexer recognizes — with byte-accurate spans:
+//!
+//! * line comments and block comments (with arbitrary nesting);
+//! * string literals with escapes, raw strings with any number of `#`
+//!   fences (`r"…"`, `r#"…"#`, `br##"…"##`, `cr#"…"#`), byte/C strings;
+//! * char literals vs. lifetimes (`'x'`, `'\n'` vs. `'static`);
+//! * raw identifiers (`r#type`), numbers (incl. `1.5e3`, `0xFF`, range
+//!   punctuation ambiguity), identifiers and single-byte punctuation.
+//!
+//! Everything else about Rust syntax is deliberately out of scope. The
+//! lexer never fails: malformed input (unterminated literals, stray
+//! bytes, invalid UTF-8 replaced upstream) lexes to *something* with a
+//! correct span, because the auditor must hold opinions about files
+//! that do not compile yet.
+//!
+//! Scanning is bytewise, which is boundary-safe on UTF-8 input: every
+//! delimiter the lexer looks for is ASCII, and ASCII bytes never occur
+//! inside a multi-byte UTF-8 sequence, so token boundaries always land
+//! on character boundaries.
+
+/// What a token is, as far as the audit rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (`42`, `1.5e3`, `0xFF`, `1_000u32`).
+    Number,
+    /// A string, byte-string or C-string literal with escapes.
+    Str,
+    /// A raw (or raw-byte / raw-C) string literal, any fence depth.
+    RawStr,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` to end of line (text includes the slashes).
+    LineComment,
+    /// `/* … */`, nesting-aware (text includes the delimiters).
+    BlockComment,
+    /// Any other single byte (`.`, `:`, `{`, `<`, …).
+    Punct,
+}
+
+/// One token: kind plus a byte span and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    ///
+    /// Returns `""` if `src` is not the original source (out-of-range
+    /// or misaligned spans never panic).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Lexes `src` into a complete token stream (whitespace dropped).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            };
+            tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        tokens
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // Consume the opening `/*`, then balance nested pairs.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (None, _) => break, // unterminated: comment to EOF
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A `"…"` literal with `\`-escapes; unterminated runs to EOF.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek().is_some() {
+                        self.bump(); // the escaped byte, whatever it is
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string starting at the current `#`-or-quote position:
+    /// counts the fence, then scans for `"` followed by the same fence.
+    fn raw_string(&mut self) -> TokenKind {
+        let mut fence = 0usize;
+        while self.peek() == Some(b'#') {
+            fence += 1;
+            self.bump();
+        }
+        if self.peek() != Some(b'"') {
+            // `r#foo` raw identifier (fence == 1) or stray hashes: the
+            // caller already consumed the prefix ident; treat the rest
+            // as what it is by rewinding nothing — hashes lexed here
+            // become part of an Ident continuation for raw idents.
+            while let Some(b) = self.peek() {
+                if is_ident_continue(b) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return TokenKind::Ident;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                None => break, // unterminated: to EOF
+                Some(b'"') => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < fence && self.peek() == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == fence {
+                        break;
+                    }
+                    // Not a real terminator; keep scanning.
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// `'x'` / `b'\n'` char literals vs. `'static` lifetimes.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match self.peek() {
+            // `'\…'`: definitely a char literal with an escape.
+            Some(b'\\') => {
+                self.bump();
+                if self.peek().is_some() {
+                    self.bump();
+                }
+                // Multi-byte escapes (`'\u{1F600}'`) scan to the quote.
+                while let Some(b) = self.peek() {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(b) if is_ident_continue(b) => {
+                // Could be `'a'` (char) or `'a` (lifetime): consume the
+                // ident run, then look for a closing quote.
+                while let Some(b2) = self.peek() {
+                    if is_ident_continue(b2) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            // `'('`-style single-punct char, or a stray quote at EOF.
+            Some(_) => {
+                self.bump();
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Digits, type suffixes, hex/underscores: one alnum run…
+        while let Some(b) = self.peek() {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // …plus a fractional part, but only when the dot is followed by
+        // a digit (so `0..n` ranges and `x.0.iter()` stay punctuation).
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while let Some(b) = self.peek() {
+                if is_ident_continue(b) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Signed exponents (`1.5e-3`) leave a trailing `e`; pull in
+            // the sign and digits if they are there.
+            if self.peek() == Some(b'+') || self.peek() == Some(b'-') {
+                let prev = self.bytes.get(self.pos.wrapping_sub(1)).copied();
+                if prev == Some(b'e') || prev == Some(b'E') {
+                    self.bump();
+                    while let Some(b) = self.peek() {
+                        if b.is_ascii_digit() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        TokenKind::Number
+    }
+
+    /// An identifier, unless it turns out to prefix a string literal
+    /// (`r"…"`, `b"…"`, `br#"…"#`, `c"…"`, `cr##"…"##`, `b'x'`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let ident = &self.bytes[start..self.pos];
+        match self.peek() {
+            Some(b'"' | b'#') if matches!(ident, b"r" | b"br" | b"cr") => self.raw_string(),
+            Some(b'"') if matches!(ident, b"b" | b"c") => self.string(),
+            Some(b'\'') if ident == b"b" => self.char_or_lifetime(),
+            _ => TokenKind::Ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token_with_exact_span() {
+        let src = "a /* x /* y */ z */ b";
+        let tokens = lex(src);
+        assert_eq!(tokens.len(), 3);
+        assert_eq!(tokens[1].kind, TokenKind::BlockComment);
+        assert_eq!(tokens[1].text(src), "/* x /* y */ z */");
+        assert_eq!((tokens[1].start, tokens[1].end), (2, 19));
+        assert_eq!(tokens[2].text(src), "b");
+    }
+
+    #[test]
+    fn raw_string_fences_protect_quotes_and_hashes() {
+        let src = r####"let s = r##"quote " and "# inside"##; x"####;
+        let tokens = kinds(src);
+        let raw = tokens
+            .iter()
+            .find(|(k, _)| *k == TokenKind::RawStr)
+            .expect("raw string token");
+        assert_eq!(raw.1, r####"r##"quote " and "# inside"##"####);
+        assert_eq!(tokens.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let src = r#"("a\"b", 'c', '\n', "\\")"#;
+        let k: Vec<TokenKind> = lex(src).into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Punct, // (
+                TokenKind::Str,
+                TokenKind::Punct, // ,
+                TokenKind::Char,
+                TokenKind::Punct,
+                TokenKind::Char,
+                TokenKind::Punct,
+                TokenKind::Str,
+                TokenKind::Punct, // )
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let lifetimes: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text(src).to_owned())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_newline_accurate() {
+        let src = "one\n  two /* a\nb */ three\nfour";
+        let by_text: Vec<(String, u32)> = lex(src)
+            .into_iter()
+            .map(|t| (t.text(src).to_owned(), t.line))
+            .collect();
+        assert_eq!(by_text[0], ("one".into(), 1));
+        assert_eq!(by_text[1], ("two".into(), 2));
+        assert_eq!(by_text[2], ("/* a\nb */".into(), 2));
+        assert_eq!(by_text[3], ("three".into(), 3));
+        assert_eq!(by_text[4], ("four".into(), 4));
+    }
+
+    #[test]
+    fn numbers_ranges_and_tuple_indexing_disambiguate() {
+        let src = "1.5e-3 0..10 x.0.iter() 0xFF_u32";
+        let t = kinds(src);
+        assert_eq!(t[0], (TokenKind::Number, "1.5e-3".into()));
+        assert_eq!(t[1], (TokenKind::Number, "0".into()));
+        assert_eq!(t[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[3], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[4], (TokenKind::Number, "10".into()));
+        assert!(t.contains(&(TokenKind::Number, "0xFF_u32".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let src = "let r#type = r#match;";
+        let idents: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_owned())
+            .collect();
+        assert_eq!(idents, vec!["let", "r#type", "r#match"]);
+    }
+
+    #[test]
+    fn unterminated_literals_lex_to_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "r#\"no fence",
+            "/* still open",
+            "'",
+            "b\"open",
+            "x /*/",
+        ] {
+            let tokens = lex(src);
+            assert!(!tokens.is_empty(), "{src:?}");
+            assert_eq!(tokens.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `geoplace-audit` — walk the workspace sources and enforce the
+//! determinism/robustness invariants (see `geoplace_audit::rules`).
+//!
+//! ```text
+//! geoplace-audit [--root DIR] [--list-rules]
+//! ```
+//!
+//! * `--root DIR` — tree to audit (default: this workspace);
+//! * `--list-rules` — print the rule table and exit.
+//!
+//! Exit status: 0 when clean, 2 on findings (printed as
+//! `file:line: [rule] message`) or usage errors, 1 when the tree
+//! cannot be read.
+
+use geoplace_audit::{audit_tree, workspace_root, RuleId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{rule}  {}", rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: geoplace-audit [--root DIR] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let report = match audit_tree(&root) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.is_clean() {
+        println!("audit: clean ({} files scanned)", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            report.findings.iter().map(|f| f.path.as_str()).collect();
+        println!(
+            "audit: {} finding(s) in {} file(s) across {} scanned — fix or justify with \
+             `// audit:allow(<rule>): <reason>`",
+            report.findings.len(),
+            files.len(),
+            report.files_scanned
+        );
+        ExitCode::from(2)
+    }
+}

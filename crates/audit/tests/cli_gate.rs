@@ -1,0 +1,113 @@
+//! The `geoplace-audit` binary as CI will run it.
+//!
+//! Two contracts: the real workspace exits 0, and a tree seeded with
+//! violations exits 2 with byte-exact `file:line: [rule]` findings —
+//! so a CI failure always names the offending line.
+
+use std::path::Path;
+use std::process::Command;
+
+fn audit_binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_geoplace-audit"))
+}
+
+fn fixture_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("violations")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn workspace_exits_zero() -> Result<(), String> {
+    let output = audit_binary()
+        .output()
+        .map_err(|e| format!("cannot spawn geoplace-audit: {e}"))?;
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "audit found violations in the workspace:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("audit: clean"),
+        "unexpected output: {stdout}"
+    );
+    Ok(())
+}
+
+#[test]
+fn seeded_violations_exit_two_with_exact_findings() -> Result<(), String> {
+    let output = audit_binary()
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .map_err(|e| format!("cannot spawn geoplace-audit: {e}"))?;
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "violations must exit 2, got {:?}",
+        output.status.code()
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+
+    // Every seeded violation, at its exact file:line, tagged with its rule.
+    let expected = [
+        "crates/bench/src/serve.rs:5: [R1]",
+        "crates/bench/src/serve.rs:8: [R1]",
+        "crates/core/src/engine.rs:5: [D2]",
+        "crates/core/src/engine.rs:7: [D2]",
+        "crates/workload/src/lib.rs:11: [D1]",
+        "crates/workload/src/lib.rs:13: [D1]",
+        "src/lib.rs:3: [A1]",
+        "src/lib.rs:8: [S1]",
+        "src/lib.rs:17: [A0]",
+        "src/lib.rs:18: [S1]",
+    ];
+    for needle in expected {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    assert!(
+        stdout.contains("audit: 10 finding(s) in 4 file(s)"),
+        "wrong summary in:\n{stdout}"
+    );
+
+    // What must NOT fire: keyed access (lib.rs:9), the justified R1
+    // suppression (serve.rs:11), the documented unsafe (lib.rs:13).
+    for clean in [
+        "crates/workload/src/lib.rs:9:",
+        "crates/bench/src/serve.rs:11:",
+        "src/lib.rs:13:",
+    ] {
+        assert!(
+            !stdout.lines().any(|line| line.starts_with(clean)),
+            "false positive {clean:?} in:\n{stdout}"
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() -> Result<(), String> {
+    let output = audit_binary()
+        .arg("--frobnicate")
+        .output()
+        .map_err(|e| format!("cannot spawn geoplace-audit: {e}"))?;
+    assert_eq!(output.status.code(), Some(2));
+    Ok(())
+}
+
+#[test]
+fn list_rules_names_every_rule() -> Result<(), String> {
+    let output = audit_binary()
+        .arg("--list-rules")
+        .output()
+        .map_err(|e| format!("cannot spawn geoplace-audit: {e}"))?;
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for rule in ["D1", "D2", "R1", "S1", "A0", "A1"] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+    Ok(())
+}

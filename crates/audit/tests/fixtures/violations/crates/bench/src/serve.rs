@@ -1,0 +1,14 @@
+//! Fixture: service-layer file with panicking paths (R1).
+
+pub fn handle(line: &str) -> String {
+    // Line 5: unwrap in the service layer — flagged.
+    let first = line.chars().next().unwrap();
+    if first == 'q' {
+        // Line 8: panic! in the service layer — flagged.
+        panic!("quit requested");
+    }
+    // A justified suppression silences this one.
+    let tail = line.get(1..).expect("checked above") // audit:allow(R1): fixture demonstrates a justified suppression
+        .to_owned();
+    tail
+}

@@ -1,0 +1,9 @@
+//! Fixture: engine crate reading the wall clock and entropy (D2).
+
+pub fn stamp() -> u64 {
+    // Line 5: wall clock in an engine crate — flagged.
+    let now = std::time::Instant::now();
+    // Line 7: host environment in an engine crate — flagged.
+    let _threads = std::env::var("THREADS").ok();
+    now.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,15 @@
+//! Fixture: a digest-feeding crate iterating a hash container (D1).
+
+use std::collections::HashMap;
+
+pub fn churn() -> f64 {
+    let mut load: HashMap<u32, f64> = HashMap::new();
+    load.insert(1, 0.5);
+    // Keyed access is fine and must NOT be flagged.
+    let keyed = load.get(&1).copied().unwrap_or(0.0);
+    // Line 11: unordered iteration feeding an accumulation — flagged.
+    let total: f64 = load.values().sum();
+    // Line 13: for-loop over the map — flagged.
+    for (_k, _v) in &load {}
+    keyed + total
+}

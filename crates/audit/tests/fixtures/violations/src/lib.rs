@@ -1,0 +1,19 @@
+//! Fixture: suppression-grammar and unsafe-hygiene violations.
+
+// audit:allow(D2): this suppression covers nothing and must be reported unused
+pub fn no_violation_here() {}
+
+pub fn read_raw(ptr: *const u8) -> u8 {
+    // Line 8: unsafe without a SAFETY comment — flagged.
+    unsafe { *ptr }
+}
+
+pub fn read_raw_documented(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees `ptr` is valid for reads — not flagged.
+    unsafe { *ptr }
+}
+
+pub fn empty_reason(ptr: *const u8) -> u8 {
+    // audit:allow(S1):
+    unsafe { *ptr }
+}

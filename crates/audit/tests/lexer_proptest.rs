@@ -1,0 +1,102 @@
+//! Property tests for the audit lexer.
+//!
+//! The lexer is fed every `.rs` file in the tree, including whatever a
+//! future contributor writes mid-edit, so the bar is total: any byte
+//! soup must lex to a token stream without panicking, and the spans it
+//! reports must tile the input it recognized in order.
+
+use geoplace_audit::lexer::lex;
+use proptest::prelude::*;
+
+/// Spans must be in-bounds, ordered, non-overlapping, and line numbers
+/// monotone — on *any* input the lexer accepts.
+fn well_formed(src: &str) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    let mut line = 1u32;
+    for token in &tokens {
+        prop_assert_span(src, token.start, token.end, cursor);
+        prop_assert_line(token.line, line);
+        cursor = token.end;
+        line = token.line;
+        // text() must never panic either, even on lossy boundaries.
+        let _ = token.text(src);
+    }
+}
+
+fn prop_assert_span(src: &str, start: usize, end: usize, cursor: usize) {
+    assert!(start <= end, "inverted span {start}..{end}");
+    assert!(
+        end <= src.len(),
+        "span {start}..{end} past len {}",
+        src.len()
+    );
+    assert!(
+        start >= cursor,
+        "span {start} overlaps previous end {cursor}"
+    );
+}
+
+fn prop_assert_line(line: u32, previous: u32) {
+    assert!(line >= 1, "line numbers are 1-based");
+    assert!(
+        line >= previous,
+        "line went backwards: {previous} -> {line}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded, as the walker does) never
+    /// panic the lexer and always yield well-formed spans.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        well_formed(&src);
+    }
+
+    /// ASCII soup biased toward Rust lexical hazards: quote characters,
+    /// comment openers, backslashes, `#` fences, `r`/`b` prefixes.
+    #[test]
+    fn hazard_soup_never_panics(picks in proptest::collection::vec(any::<u8>(), 0..256)) {
+        const HAZARDS: &[u8] = b"\"'/*\\#rbc 01e._-<>{}()\n";
+        let src: String = picks
+            .iter()
+            .map(|&b| HAZARDS[b as usize % HAZARDS.len()] as char)
+            .collect();
+        well_formed(&src);
+    }
+}
+
+/// Deterministic worst cases that random soup is unlikely to hit.
+#[test]
+fn adversarial_fragments_never_panic() {
+    let cases: Vec<String> = vec![
+        "r#".into(),
+        "r#\"".into(),
+        "r###\"unterminated".into(),
+        "br##\"x\"#".into(),
+        "b'".into(),
+        "'\\".into(),
+        "\"\\u{".into(),
+        "/*/*/*".into(),
+        "/* unclosed".into(),
+        "//".into(),
+        "'a".into(),
+        "1e".into(),
+        "1e+".into(),
+        "0x".into(),
+        "r".into(),
+        "#".repeat(300),
+        format!("r{}\"never closed", "#".repeat(200)),
+        "\u{FEFF}fn main() {}".into(),
+        "ident\u{0}more".into(),
+    ];
+    for src in &cases {
+        let tokens = lex(src);
+        for token in &tokens {
+            assert!(token.end <= src.len(), "span out of bounds for {src:?}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Tier-1 gate: the workspace must pass its own audit.
+//!
+//! This is the in-process twin of the CI `geoplace-audit` step, so a
+//! plain `cargo test` refuses determinism/robustness violations even
+//! on machines that never run the binary.
+
+use geoplace_audit::{audit_tree, workspace_root};
+
+#[test]
+fn workspace_is_audit_clean() -> Result<(), String> {
+    let report = audit_tree(&workspace_root())?;
+    if !report.is_clean() {
+        let mut message = format!(
+            "the workspace has {} audit finding(s); fix them or justify with \
+             `// audit:allow(<rule>): <reason>`:\n",
+            report.findings.len()
+        );
+        for finding in &report.findings {
+            message.push_str(&format!("  {finding}\n"));
+        }
+        return Err(message);
+    }
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — did the walker lose the workspace root?",
+        report.files_scanned
+    );
+    Ok(())
+}

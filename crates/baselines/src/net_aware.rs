@@ -17,7 +17,7 @@ use geoplace_dcsim::decision::PlacementDecision;
 use geoplace_dcsim::policy::GlobalPolicy;
 use geoplace_dcsim::snapshot::SystemSnapshot;
 use geoplace_types::DcId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The load/network-balancing baseline.
 ///
@@ -78,7 +78,7 @@ impl GlobalPolicy for NetAwarePolicy {
                 components.union(i, j);
             }
         }
-        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for i in 0..n {
             groups.entry(components.find(i)).or_default().push(i);
         }

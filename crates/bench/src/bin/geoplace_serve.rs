@@ -58,8 +58,11 @@ fn main() {
             continue;
         }
         let response = session.handle_line(&line);
-        writeln!(out, "{}", response.line).expect("stdout closed");
-        out.flush().expect("stdout closed");
+        // A closed stdout means the consumer is gone; there is nobody
+        // left to serve, so end the session cleanly rather than panic.
+        if writeln!(out, "{}", response.line).is_err() || out.flush().is_err() {
+            return;
+        }
         if response.shutdown {
             return;
         }

@@ -6,6 +6,11 @@
 //! standard escapes, booleans and null. Parsing is a straightforward
 //! recursive descent over bytes; rendering is compact (no whitespace)
 //! so one response is always one line.
+//!
+//! Because the parser sits on the untrusted side of a long-running
+//! service, nesting is capped at [`MAX_DEPTH`] levels: unbounded
+//! recursion on a hostile `[[[[…` line would overflow the stack and
+//! kill the session, which the serve protocol promises never happens.
 
 /// A parsed JSON value. Objects preserve insertion order so rendered
 /// responses are deterministic.
@@ -32,6 +37,7 @@ impl Value {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_ws();
         let value = parser.value()?;
@@ -217,9 +223,15 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Deepest permitted array/object nesting — far beyond any protocol
+/// shape, small enough that recursion can never threaten the stack.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current array/object nesting, checked against [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -237,7 +249,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -272,8 +284,26 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.descend()?;
+        let items = self.array_body();
+        self.depth -= 1;
+        items
+    }
+
+    fn array_body(&mut self) -> Result<Value, String> {
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -296,7 +326,14 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.descend()?;
+        let members = self.object_body();
+        self.depth -= 1;
+        members
+    }
+
+    fn object_body(&mut self) -> Result<Value, String> {
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -307,7 +344,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             members.push((key, value));
@@ -324,7 +361,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -376,7 +413,9 @@ impl<'a> Parser<'a> {
                     // Strings are UTF-8 already; copy whole chars.
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
-                    let c = text.chars().next().expect("peeked non-empty");
+                    let Some(c) = text.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -408,7 +447,8 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII slice");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number bytes at {start}"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| format!("invalid number {text:?} at byte {start}"))?;
@@ -424,22 +464,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roundtrips_the_protocol_shapes() {
+    fn roundtrips_the_protocol_shapes() -> Result<(), String> {
         for text in [
             r#"{"cmd":"advance"}"#,
             r#"{"cmd":"vm_arrive","memory_gb":4.5,"lifetime_slots":8,"profile":"web"}"#,
             r#"{"ok":true,"arrived":[3,4],"departed":[],"note":null}"#,
             r#"[1,-2.5,1e3,"x\n\"y\""]"#,
         ] {
-            let value = Value::parse(text).unwrap();
+            let value = Value::parse(text)?;
             let rendered = value.render();
-            assert_eq!(Value::parse(&rendered).unwrap(), value, "{text}");
+            assert_eq!(Value::parse(&rendered)?, value, "{text}");
         }
+        Ok(())
     }
 
     #[test]
-    fn accessors_pull_typed_members() {
-        let v = Value::parse(r#"{"cmd":"decide","n":7,"deep":{"ok":false},"xs":[1,2]}"#).unwrap();
+    fn accessors_pull_typed_members() -> Result<(), String> {
+        let v = Value::parse(r#"{"cmd":"decide","n":7,"deep":{"ok":false},"xs":[1,2]}"#)?;
         assert_eq!(v.get("cmd").and_then(Value::as_str), Some("decide"));
         assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
         assert_eq!(
@@ -453,6 +494,7 @@ mod tests {
             Some(2)
         );
         assert_eq!(v.get("absent"), None);
+        Ok(())
     }
 
     #[test]
@@ -474,11 +516,12 @@ mod tests {
     }
 
     #[test]
-    fn escapes_and_unicode_survive() {
-        let v = Value::parse(r#""tab\t quote\" slash\/ A 😀""#).unwrap();
+    fn escapes_and_unicode_survive() -> Result<(), String> {
+        let v = Value::parse(r#""tab\t quote\" slash\/ A 😀""#)?;
         assert_eq!(v.as_str(), Some("tab\t quote\" slash/ A \u{1F600}"));
         let rendered = Value::String("a\"b\\c\nd\u{1}".into()).render();
         assert_eq!(rendered, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        Ok(())
     }
 
     #[test]
@@ -486,6 +529,26 @@ mod tests {
         assert_eq!(Value::Number(3.0).render(), "3");
         assert_eq!(Value::Number(-0.125).render(), "-0.125");
         assert_eq!(Value::Number(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() -> Result<(), String> {
+        // Within the cap: parses fine.
+        let shallow = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        Value::parse(&shallow)?;
+        // One past the cap: a structured error.
+        let edge = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let e = Value::parse(&edge).err().ok_or("depth cap not enforced")?;
+        assert!(e.contains("nesting"), "{e}");
+        // Absurdly deep (would previously recurse once per byte and
+        // overflow the stack): still just an error, session-safe.
+        assert!(Value::parse(&"[".repeat(200_000)).is_err());
+        assert!(Value::parse(&r#"{"a":"#.repeat(100_000)).is_err());
+        Ok(())
     }
 
     #[test]

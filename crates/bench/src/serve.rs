@@ -385,135 +385,140 @@ mod tests {
         config
     }
 
-    fn ok(response: &Response) -> Value {
-        let value = Value::parse(&response.line).expect("response is valid JSON");
-        assert_eq!(
-            value.get("ok").and_then(Value::as_bool),
-            Some(true),
-            "{}",
-            response.line
-        );
-        value
+    fn ok(response: &Response) -> Result<Value, String> {
+        let value = Value::parse(&response.line)?;
+        if value.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("expected ok:true, got {}", response.line));
+        }
+        Ok(value)
     }
 
-    fn err(response: &Response) -> String {
-        let value = Value::parse(&response.line).expect("response is valid JSON");
-        assert_eq!(
-            value.get("ok").and_then(Value::as_bool),
-            Some(false),
-            "{}",
-            response.line
-        );
+    fn err(response: &Response) -> Result<String, String> {
+        let value = Value::parse(&response.line)?;
+        if value.get("ok").and_then(Value::as_bool) != Some(false) {
+            return Err(format!("expected ok:false, got {}", response.line));
+        }
         value
             .get("error")
             .and_then(Value::as_str)
-            .expect("error field")
-            .to_owned()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("no error field in {}", response.line))
     }
 
     #[test]
-    fn scripted_session_matches_run_digest() {
+    fn scripted_session_matches_run_digest() -> Result<(), String> {
         let config = tiny();
-        let mut session = Session::new(&config, PolicyKind::Proposed, false).unwrap();
+        let mut session = Session::new(&config, PolicyKind::Proposed, false)?;
         for _ in 0..config.horizon_slots {
-            ok(&session.handle_line(r#"{"cmd":"advance"}"#));
-            ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+            ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+            ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
         }
         let response = session.handle_line(r#"{"cmd":"shutdown"}"#);
         assert!(response.shutdown);
-        let digest = ok(&response)
+        let digest = ok(&response)?
             .get("digest")
             .and_then(Value::as_str)
-            .unwrap()
+            .ok_or("no digest in shutdown response")?
             .to_owned();
         assert_eq!(digest, run_policy(&config, PolicyKind::Proposed).digest());
+        Ok(())
     }
 
     #[test]
-    fn malformed_and_mistimed_commands_are_structured_errors() {
-        let mut session = Session::new(&tiny(), PolicyKind::NetAware, false).unwrap();
-        assert!(err(&session.handle_line("not json")).contains("malformed JSON"));
-        assert!(err(&session.handle_line(r#"{"no_cmd":1}"#)).contains("cmd"));
-        assert!(err(&session.handle_line(r#"{"cmd":"frobnicate"}"#)).contains("unknown command"));
+    fn malformed_and_mistimed_commands_are_structured_errors() -> Result<(), String> {
+        let mut session = Session::new(&tiny(), PolicyKind::NetAware, false)?;
+        assert!(err(&session.handle_line("not json"))?.contains("malformed JSON"));
+        assert!(err(&session.handle_line(r#"{"no_cmd":1}"#))?.contains("cmd"));
+        assert!(err(&session.handle_line(r#"{"cmd":"frobnicate"}"#))?.contains("unknown command"));
         // decide before advance, then double advance.
-        assert!(err(&session.handle_line(r#"{"cmd":"decide"}"#)).contains("advance"));
-        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
-        assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#)).contains("apply"));
+        assert!(err(&session.handle_line(r#"{"cmd":"decide"}"#))?.contains("advance"));
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#))?.contains("apply"));
         // External commands are rejected in synthetic mode.
         assert!(err(
             &session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":2.0,"lifetime_slots":4}"#)
-        )
+        )?
         .contains("--external"));
         // The session is still alive and drivable.
-        ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
         assert_eq!(session.stepper().completed_slots(), 1);
+        Ok(())
     }
 
     #[test]
-    fn get_state_reports_phase_and_dcs() {
-        let mut session = Session::new(&tiny(), PolicyKind::EnerAware, false).unwrap();
-        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#));
+    fn get_state_reports_phase_and_dcs() -> Result<(), String> {
+        let mut session = Session::new(&tiny(), PolicyKind::EnerAware, false)?;
+        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#))?;
         assert_eq!(
             state.get("awaiting_decision").and_then(Value::as_bool),
             Some(false)
         );
         assert_eq!(state.get("dcs"), None, "no DC facts before an advance");
-        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
-        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#));
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#))?;
         assert_eq!(
             state.get("awaiting_decision").and_then(Value::as_bool),
             Some(true)
         );
-        let dcs = state.get("dcs").and_then(Value::as_array).unwrap();
+        let dcs = state
+            .get("dcs")
+            .and_then(Value::as_array)
+            .ok_or("no dcs array mid-decision")?;
         assert_eq!(dcs.len(), 3);
         assert!(
             dcs[0]
                 .get("price_eur_per_kwh")
                 .and_then(Value::as_f64)
-                .unwrap()
+                .ok_or("no price field")?
                 > 0.0
         );
+        Ok(())
     }
 
     #[test]
-    fn external_session_queues_and_applies_events() {
+    fn external_session_queues_and_applies_events() -> Result<(), String> {
         let mut config = tiny();
         config.fleet.arrivals.groups_per_slot = 0.0;
         config.horizon_slots = 4;
-        let mut session = Session::new(&config, PolicyKind::Proposed, true).unwrap();
-        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
-        ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+        let mut session = Session::new(&config, PolicyKind::Proposed, true)?;
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
         let response = ok(&session.handle_line(
             r#"{"cmd":"vm_arrive","memory_gb":4.0,"lifetime_slots":8,"profile":"batch"}"#,
-        ));
-        let id = response.get("id").and_then(Value::as_u64).unwrap();
+        ))?;
+        let id = response
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or("no id in vm_arrive response")?;
         let peer = session.stepper().scenario().fleet.active()[0].0;
         ok(&session.handle_line(&format!(
             r#"{{"cmd":"wire_traffic","a":{id},"b":{peer},"a_to_b_mb":9.0,"b_to_a_mb":2.0}}"#
-        )));
-        let advanced = ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+        )))?;
+        let advanced = ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
         assert_eq!(advanced.get("arrived").and_then(Value::as_u64), Some(1));
-        ok(&session.handle_line(r#"{"cmd":"decide"}"#));
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
         // Departing a never-seen VM is rejected at the boundary but the
         // session survives and the next advance (empty batch) succeeds.
-        ok(&session.handle_line(r#"{"cmd":"vm_depart","id":4000000}"#));
-        assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#)).contains("depart"));
-        ok(&session.handle_line(r#"{"cmd":"advance"}"#));
+        ok(&session.handle_line(r#"{"cmd":"vm_depart","id":4000000}"#))?;
+        assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#))?.contains("depart"));
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        Ok(())
     }
 
     #[test]
-    fn consecutive_arrivals_get_distinct_ids() {
-        let mut session = Session::new(&tiny(), PolicyKind::Proposed, true).unwrap();
+    fn consecutive_arrivals_get_distinct_ids() -> Result<(), String> {
+        let mut session = Session::new(&tiny(), PolicyKind::Proposed, true)?;
         let a =
-            ok(&session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":1.0,"lifetime_slots":2}"#))
+            ok(&session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":1.0,"lifetime_slots":2}"#))?
                 .get("id")
                 .and_then(Value::as_u64)
-                .unwrap();
+                .ok_or("no id")?;
         let b =
-            ok(&session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":1.0,"lifetime_slots":2}"#))
+            ok(&session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":1.0,"lifetime_slots":2}"#))?
                 .get("id")
                 .and_then(Value::as_u64)
-                .unwrap();
+                .ok_or("no id")?;
         assert_ne!(a, b);
+        Ok(())
     }
 }

@@ -43,6 +43,7 @@ fn compute_rows(seeds: &[u64]) -> Vec<String> {
 
 #[test]
 fn golden_digests_match_the_committed_matrix() {
+    // audit:allow(D2): GOLDEN_UPDATE is the explicit regeneration opt-in; it gates which file is written, never what the engine computes
     if std::env::var("GOLDEN_UPDATE").is_ok() {
         let rows = compute_rows(&QUICK_MATRIX_SEEDS);
         std::fs::write(golden_digests_path(), render_golden_file(&rows))

@@ -1,0 +1,136 @@
+//! Hostile-input survival for the serve session.
+//!
+//! The service contract is that malformed or mistimed input yields a
+//! structured `{"ok":false,...}` error and the session keeps running —
+//! it must never panic, overflow the stack, or drift the simulation.
+//! This test throws the worst lines we know of at a live session and
+//! then checks the session still reproduces the exact `run_policy`
+//! digest, i.e. hostility left no trace in the engine state.
+
+use geoplace_bench::json::Value;
+use geoplace_bench::serve::{Response, Session};
+use geoplace_bench::{run_policy, PolicyKind};
+use geoplace_dcsim::config::ScenarioConfig;
+
+fn tiny() -> ScenarioConfig {
+    let mut config = ScenarioConfig::scaled(11);
+    config.horizon_slots = 3;
+    config
+}
+
+fn err(response: &Response) -> Result<String, String> {
+    let value = Value::parse(&response.line)?;
+    if value.get("ok").and_then(Value::as_bool) != Some(false) {
+        return Err(format!("expected ok:false, got {}", response.line));
+    }
+    value
+        .get("error")
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("no error field in {}", response.line))
+}
+
+fn ok(response: &Response) -> Result<Value, String> {
+    let value = Value::parse(&response.line)?;
+    if value.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err(format!("expected ok:true, got {}", response.line));
+    }
+    Ok(value)
+}
+
+/// Lines that used to (or plausibly could) kill the process. Each must
+/// come back as a structured error, not a panic.
+fn hostile_lines() -> Vec<String> {
+    vec![
+        // Deep nesting: the recursive-descent JSON parser used to walk
+        // arbitrarily deep and blow the stack on inputs like this.
+        "[".repeat(200_000),
+        format!("{}{}", r#"{"a":"#.repeat(100_000), "1"),
+        // Just over the depth cap — rejected by the cap, not the stack.
+        format!("{}1{}", "[".repeat(129), "]".repeat(129)),
+        // Unterminated string / truncated escapes.
+        r#"{"cmd":"adva"#.to_owned(),
+        r#""\u00"#.to_owned(),
+        "\"\\".to_owned(),
+        // A megabyte of unbroken garbage.
+        "x".repeat(1 << 20),
+        // Valid JSON, wrong shapes.
+        "null".to_owned(),
+        "[]".to_owned(),
+        r#"{"cmd":42}"#.to_owned(),
+        r#"{"cmd":""}"#.to_owned(),
+        // NUL bytes and non-ASCII noise.
+        "\u{0}\u{0}\u{0}".to_owned(),
+        "{\"cmd\":\"\u{1F4A3}\"}".to_owned(),
+        // Mistimed / malformed external commands in synthetic mode.
+        r#"{"cmd":"vm_arrive","memory_gb":2.0,"lifetime_slots":4}"#.to_owned(),
+        r#"{"cmd":"vm_depart","id":-1}"#.to_owned(),
+        r#"{"cmd":"wire_traffic","a":1,"b":1,"a_to_b_mb":-5.0,"b_to_a_mb":1e308}"#.to_owned(),
+        // Numbers that don't fit anywhere sensible.
+        r#"{"cmd":"advance","slots":1e999}"#.to_owned(),
+    ]
+}
+
+#[test]
+fn hostile_lines_get_structured_errors() -> Result<(), String> {
+    let mut session = Session::new(&tiny(), PolicyKind::Proposed, false)?;
+    for line in hostile_lines() {
+        let response = session.handle_line(&line);
+        assert!(
+            !response.shutdown,
+            "hostile line shut the session down: {:.60}",
+            line
+        );
+        let message = err(&response)?;
+        assert!(!message.is_empty(), "empty error for {:.60}", line);
+    }
+    // Still alive and drivable after the barrage.
+    ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+    Ok(())
+}
+
+#[test]
+fn deep_nesting_is_rejected_without_stack_overflow() -> Result<(), String> {
+    let mut session = Session::new(&tiny(), PolicyKind::NetAware, false)?;
+    // Alternating array/object nesting defeats any single-shape guard.
+    let line = "[{\"a\":".repeat(50_000);
+    let message = err(&session.handle_line(&line))?;
+    assert!(
+        message.contains("nesting") || message.contains("malformed"),
+        "unexpected error: {message}"
+    );
+    Ok(())
+}
+
+#[test]
+fn hostile_interleaving_leaves_the_digest_untouched() -> Result<(), String> {
+    let config = tiny();
+    let expected = run_policy(&config, PolicyKind::Proposed).digest();
+
+    let mut session = Session::new(&config, PolicyKind::Proposed, false)?;
+    let hostile = hostile_lines();
+    let mut hostile_iter = hostile.iter().cycle();
+    for _ in 0..config.horizon_slots {
+        // A hostile line before every legitimate command.
+        if let Some(line) = hostile_iter.next() {
+            err(&session.handle_line(line))?;
+        }
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        if let Some(line) = hostile_iter.next() {
+            err(&session.handle_line(line))?;
+        }
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+    }
+    let response = session.handle_line(r#"{"cmd":"shutdown"}"#);
+    assert!(response.shutdown);
+    let digest = ok(&response)?
+        .get("digest")
+        .and_then(Value::as_str)
+        .ok_or("no digest in shutdown response")?
+        .to_owned();
+    assert_eq!(
+        digest, expected,
+        "hostile input perturbed the simulation digest"
+    );
+    Ok(())
+}

@@ -51,7 +51,7 @@ use geoplace_types::{Exec, VmArena, VmId};
 use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::graph::TrafficGraph;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A point in the layout plane.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -187,7 +187,7 @@ impl RawEdge {
 #[derive(Debug, Clone)]
 pub struct ForceLayout {
     config: ForceLayoutConfig,
-    positions: HashMap<VmId, Point>,
+    positions: BTreeMap<VmId, Point>,
     seed: u64,
     /// Iterations executed by the most recent [`ForceLayout::update`].
     last_iterations: usize,
@@ -201,7 +201,7 @@ impl ForceLayout {
     pub fn new(config: ForceLayoutConfig, seed: u64) -> Self {
         ForceLayout {
             config,
-            positions: HashMap::new(),
+            positions: BTreeMap::new(),
             seed,
             last_iterations: 0,
             scratch: Scratch::default(),

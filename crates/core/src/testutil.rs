@@ -14,7 +14,7 @@ use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::datacorr::{DataCorrelation, DataCorrelationConfig};
 use geoplace_workload::graph::TrafficGraph;
 use geoplace_workload::window::UtilizationWindows;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Owns every structure a [`SystemSnapshot`] borrows, so tests can
 /// fabricate snapshots from raw utilization rows.
@@ -27,7 +27,7 @@ pub struct SnapshotFixture {
     cpu: CpuCorrelationMatrix,
     data: DataCorrelation,
     traffic: TrafficGraph,
-    prev: HashMap<VmId, DcId>,
+    prev: BTreeMap<VmId, DcId>,
     dcs: Vec<DcInfo>,
     latency: LatencyModel,
     slot: TimeSlot,
@@ -74,7 +74,7 @@ impl SnapshotFixture {
             cpu,
             data,
             traffic,
-            prev: HashMap::new(),
+            prev: BTreeMap::new(),
             dcs,
             latency: LatencyModel::new(
                 Topology::paper_default().expect("paper topology"),

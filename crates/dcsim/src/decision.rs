@@ -8,7 +8,7 @@
 use crate::power::FreqLevel;
 use geoplace_types::{DcId, Error, Result, VmId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The VMs and operating point of one physical server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,9 +93,10 @@ impl PlacementDecision {
             .count()
     }
 
-    /// Map from VM to its host DC.
-    pub fn dc_of(&self) -> HashMap<VmId, DcId> {
-        let mut map = HashMap::new();
+    /// Map from VM to its host DC. Ordered (`BTreeMap`) so callers may
+    /// iterate it without smuggling hasher order into reports.
+    pub fn dc_of(&self) -> BTreeMap<VmId, DcId> {
+        let mut map = BTreeMap::new();
         for (dc_index, servers) in self.per_dc.iter().enumerate() {
             for assignment in servers {
                 for &vm in &assignment.vms {

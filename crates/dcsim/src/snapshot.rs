@@ -16,7 +16,7 @@ use geoplace_workload::cpucorr::CpuCorrelationMatrix;
 use geoplace_workload::datacorr::DataCorrelation;
 use geoplace_workload::graph::TrafficGraph;
 use geoplace_workload::window::UtilizationWindows;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-DC facts a policy may use.
 #[derive(Debug, Clone)]
@@ -82,7 +82,7 @@ pub struct SystemSnapshot<'a> {
     pub data: &'a DataCorrelation,
     /// Where each VM ran during the previous slot (absent for new VMs and
     /// at slot 0).
-    pub prev_dc: &'a HashMap<VmId, DcId>,
+    pub prev_dc: &'a BTreeMap<VmId, DcId>,
     /// Per-DC facts.
     pub dcs: &'a [DcInfo],
     /// The latency model (topology, BER) for migration checks.

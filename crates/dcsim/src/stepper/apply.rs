@@ -12,7 +12,7 @@ use geoplace_network::traffic::TrafficMatrix;
 use geoplace_types::time::{TimeSlot, TICK_SECONDS};
 use geoplace_types::units::{EurosPerKwh, Seconds};
 use geoplace_types::{DcId, Result, VmId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 impl SlotStepper {
     /// Validates `decision` against the advanced slot, clips its
@@ -215,7 +215,7 @@ impl SlotStepper {
     /// Aggregates the fleet's pairwise volumes into a DC-level traffic
     /// matrix under the new assignment (sorted iteration for
     /// determinism).
-    fn inter_dc_traffic(&self, dc_of: &HashMap<VmId, DcId>, n_dcs: usize) -> TrafficMatrix {
+    fn inter_dc_traffic(&self, dc_of: &BTreeMap<VmId, DcId>, n_dcs: usize) -> TrafficMatrix {
         let mut pairs: Vec<(VmId, VmId)> = self
             .scenario
             .fleet

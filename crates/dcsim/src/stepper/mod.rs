@@ -57,7 +57,7 @@ use geoplace_workload::graph::{TrafficGraph, TrafficGraphCache};
 use geoplace_workload::window::UtilizationWindows;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What one completed slot cost and moved — the value
 /// [`SlotStepper::apply`] returns to the driver.
@@ -179,7 +179,7 @@ pub struct SlotStepper {
     pub(crate) price_mods: Vec<SlotModulator>,
     pub(crate) pv_mods: Vec<SlotModulator>,
     /// The standing assignment (previous slot's placement).
-    pub(crate) assignment: HashMap<VmId, DcId>,
+    pub(crate) assignment: BTreeMap<VmId, DcId>,
     pub(crate) scratch: EngineScratch,
     /// The advanced slot's CPU correlation (degenerate at slot 0).
     pub(crate) cpu_corr: Option<CpuCorrelationMatrix>,
@@ -242,7 +242,7 @@ impl SlotStepper {
             capacity_mods,
             price_mods,
             pv_mods,
-            assignment: HashMap::new(),
+            assignment: BTreeMap::new(),
             scratch: EngineScratch::new(),
             cpu_corr: None,
             fresh_traffic: None,

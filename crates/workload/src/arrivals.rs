@@ -530,7 +530,7 @@ impl ArrivalProcess {
 #[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn default_config_is_valid() {
@@ -567,7 +567,7 @@ mod tests {
         for s in 1..=5 {
             all.extend(p.arrivals_for(TimeSlot(s)));
         }
-        let ids: HashSet<u32> = all.iter().map(|vm| vm.id().0).collect();
+        let ids: BTreeSet<u32> = all.iter().map(|vm| vm.id().0).collect();
         assert_eq!(ids.len(), all.len(), "duplicate VmIds");
         assert_eq!(
             *ids.iter().max().unwrap() as usize,
