@@ -1,9 +1,11 @@
 //! Per-slot wall-clock of the slot pipeline's three driving modes —
 //! incremental, from-scratch and the `geoplace-serve` service path —
-//! emitted as `BENCH_6.json` so the perf trajectory accumulates in CI.
+//! emitted as `BENCH_9.json` so the perf trajectory accumulates in CI.
 //!
-//! Runs the Proposed policy over the paper-scale fleet (≈1,200 VMs) and
-//! the stress fleet (≈10,000 VMs), once per
+//! Runs the Proposed policy over the paper-scale fleet (≈1,200 VMs),
+//! the stress fleet (≈10,000 VMs), and a failure-heavy paper-scale cell
+//! (the `dc_outage` preset: forced evacuation + link partition +
+//! cascading derate), once per
 //! [`IncrementalConfig`](geoplace_dcsim::config::IncrementalConfig) mode
 //! plus once through an in-process serve [`Session`] driven by scripted
 //! `advance`/`decide` JSON lines (the full protocol round-trip: request
@@ -11,11 +13,12 @@
 //! 1-slot run isolates the slot-0 cost, the full run then yields the
 //! *steady-state* per-slot wall-clock. All modes' report digests are
 //! asserted identical, so the bench doubles as an end-to-end
-//! equivalence smoke at both scales.
+//! equivalence smoke at every scale, failure worlds included.
 //!
 //! Flags: `--slots N` (horizon, default 6), `--seed N`, `--only N`
-//! (restrict to the cell with that target fleet size, e.g. `--only 1200`),
-//! `--out PATH` (default `BENCH_6.json` in the working directory).
+//! (restrict to the cells with that target fleet size, e.g. `--only
+//! 1200` keeps both the paper and the dc_outage cells), `--out PATH`
+//! (default `BENCH_9.json` in the working directory).
 
 use geoplace_bench::flag_from_args;
 use geoplace_bench::scenario::{proposed_config_for, PolicyKind};
@@ -27,6 +30,7 @@ use std::time::Instant;
 
 struct Cell {
     n_target: u32,
+    scenario: &'static str,
     mode: &'static str,
     build_ms: f64,
     slot0_ms: f64,
@@ -41,7 +45,13 @@ fn ms(duration: std::time::Duration) -> f64 {
 
 /// Runs one (scale, mode) cell: a 1-slot run to isolate the slot-0 cost,
 /// then the full horizon.
-fn run_cell(base: &ScenarioConfig, n_target: u32, mode: IncrementalConfig, slots: u32) -> Cell {
+fn run_cell(
+    base: &ScenarioConfig,
+    n_target: u32,
+    scenario_name: &'static str,
+    mode: IncrementalConfig,
+    slots: u32,
+) -> Cell {
     let mut config = base.clone();
     config.incremental = mode;
 
@@ -64,6 +74,7 @@ fn run_cell(base: &ScenarioConfig, n_target: u32, mode: IncrementalConfig, slots
 
     Cell {
         n_target,
+        scenario: scenario_name,
         mode: match mode {
             IncrementalConfig::Auto => "incremental",
             IncrementalConfig::Off => "from_scratch",
@@ -80,7 +91,12 @@ fn run_cell(base: &ScenarioConfig, n_target: u32, mode: IncrementalConfig, slots
 /// serve session with scripted protocol lines, so the cell includes the
 /// JSON decode/encode of one `advance` + one `decide` round-trip per
 /// slot on top of the stepper itself.
-fn run_service_cell(base: &ScenarioConfig, n_target: u32, slots: u32) -> Cell {
+fn run_service_cell(
+    base: &ScenarioConfig,
+    n_target: u32,
+    scenario: &'static str,
+    slots: u32,
+) -> Cell {
     let drive = |horizon: u32| -> (f64, f64, String) {
         let mut config = base.clone();
         config.horizon_slots = horizon;
@@ -105,6 +121,7 @@ fn run_service_cell(base: &ScenarioConfig, n_target: u32, slots: u32) -> Cell {
     let (build_ms, total_ms, digest) = drive(slots);
     Cell {
         n_target,
+        scenario,
         mode: "service",
         build_ms,
         slot0_ms,
@@ -125,36 +142,42 @@ fn main() {
     let slots = flag_from_args::<u32>("--slots").unwrap_or(6).max(2);
     let seed = flag_from_args::<u64>("--seed").unwrap_or(42);
     let only = flag_from_args::<u32>("--only");
-    let out = flag_from_args::<String>("--out").unwrap_or_else(|| "BENCH_6.json".into());
+    let out = flag_from_args::<String>("--out").unwrap_or_else(|| "BENCH_9.json".into());
 
-    let mut scales: Vec<(u32, ScenarioConfig)> = Vec::new();
+    let mut scales: Vec<(u32, &'static str, ScenarioConfig)> = Vec::new();
     let mut paper = ScenarioConfig::paper(seed);
     paper.horizon_slots = slots;
-    scales.push((1200, paper));
+    scales.push((1200, "paper", paper.clone()));
     let mut stress = ScenarioConfig::stress(seed);
     stress.horizon_slots = slots;
-    scales.push((10_000, stress));
+    scales.push((10_000, "stress", stress));
+    // The failure-heavy cell: the paper fleet under the dc_outage
+    // preset, so the evacuation path, link-degraded migrations and the
+    // cascade front all land in the perf trajectory.
+    let outage = geoplace_scenarios::presets::dc_outage().apply(paper);
+    scales.push((1200, "dc_outage", outage));
     if let Some(n) = only {
-        scales.retain(|&(target, _)| target == n);
+        scales.retain(|&(target, _, _)| target == n);
         assert!(!scales.is_empty(), "--only must name 1200 or 10000");
     }
 
     let mut cells: Vec<Cell> = Vec::new();
-    for (n_target, config) in &scales {
-        let incremental = run_cell(config, *n_target, IncrementalConfig::Auto, slots);
-        let from_scratch = run_cell(config, *n_target, IncrementalConfig::Off, slots);
-        let service = run_service_cell(config, *n_target, slots);
+    for (n_target, scenario, config) in &scales {
+        let incremental = run_cell(config, *n_target, scenario, IncrementalConfig::Auto, slots);
+        let from_scratch = run_cell(config, *n_target, scenario, IncrementalConfig::Off, slots);
+        let service = run_service_cell(config, *n_target, scenario, slots);
         assert_eq!(
             incremental.digest, from_scratch.digest,
-            "n={n_target}: incremental and from-scratch reports diverged"
+            "{scenario} n={n_target}: incremental and from-scratch reports diverged"
         );
         assert_eq!(
             incremental.digest, service.digest,
-            "n={n_target}: the serve session diverged from the engine"
+            "{scenario} n={n_target}: the serve session diverged from the engine"
         );
         println!(
-            "n≈{:>5}: incremental {:8.1} ms/slot vs from-scratch {:8.1} ms/slot \
+            "{:>9} n≈{:>5}: incremental {:8.1} ms/slot vs from-scratch {:8.1} ms/slot \
              (steady state, {:.2}x); service round-trip {:8.1} ms/slot",
+            scenario,
             n_target,
             incremental.steady_per_slot_ms,
             from_scratch.steady_per_slot_ms,
@@ -170,10 +193,12 @@ fn main() {
         .iter()
         .map(|c| {
             format!(
-                "    {{\"n_vms_target\": {}, \"mode\": \"{}\", \"build_ms\": {:.2}, \
+                "    {{\"n_vms_target\": {}, \"scenario\": \"{}\", \"mode\": \"{}\", \
+                 \"build_ms\": {:.2}, \
                  \"slot0_ms\": {:.2}, \"steady_per_slot_ms\": {:.2}, \"total_ms\": {:.2}, \
                  \"digest\": \"{}\"}}",
                 c.n_target,
+                c.scenario,
                 c.mode,
                 c.build_ms,
                 c.slot0_ms,

@@ -9,7 +9,11 @@
 //! * `--policy proposed|ener|pri|net` — the served policy (default
 //!   `proposed`);
 //! * `--external` — fleet changes come from `vm_arrive`/`vm_depart`/
-//!   `wire_traffic` commands instead of the synthetic arrival process.
+//!   `wire_traffic` commands instead of the synthetic arrival process;
+//! * `--trace PATH` — fleet changes replay a trace CSV (see
+//!   `geoplace_workload::tracefile` for the schema). Strict: a missing
+//!   file or a malformed row exits 2 naming the offending line before
+//!   the session starts. Mutually exclusive with `--external`.
 //!
 //! See `geoplace_bench::serve` for the command set. The process exits 0
 //! on a `shutdown` command or stdin EOF; malformed commands produce
@@ -20,8 +24,12 @@ use geoplace_bench::{flag_from_args, CliArgs, PolicyKind};
 use std::io::{BufRead, Write};
 
 fn main() {
-    let cli =
-        CliArgs::parse_strict(&[("--slots", true), ("--policy", true), ("--external", false)]);
+    let cli = CliArgs::parse_strict(&[
+        ("--slots", true),
+        ("--policy", true),
+        ("--external", false),
+        ("--trace", true),
+    ]);
     let mut config = cli.config();
     if let Some(slots) = flag_from_args::<u32>("--slots") {
         config.horizon_slots = slots;
@@ -37,8 +45,25 @@ fn main() {
         }
     };
     let external = std::env::args().any(|a| a == "--external");
+    let trace = flag_from_args::<String>("--trace");
+    if external && trace.is_some() {
+        eprintln!("error: --trace and --external are mutually exclusive");
+        std::process::exit(2);
+    }
 
-    let mut session = match Session::new(&config, policy, external) {
+    let session = match trace {
+        Some(path) => match geoplace_workload::tracefile::load_trace(&path) {
+            // Strict by contract: a bad trace dies here, naming its
+            // line, rather than three thousand slots into the session.
+            Ok(rows) => Session::with_trace(&config, policy, rows),
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        },
+        None => Session::new(&config, policy, external),
+    };
+    let mut session = match session {
         Ok(session) => session,
         Err(message) => {
             eprintln!("error: {message}");

@@ -636,6 +636,12 @@ mod tests {
                     .cohorts
                     .iter()
                     .any(|c| c.slot < QUICK_MATRIX_SLOTS)
+                || config
+                    .fleet
+                    .arrivals
+                    .scripted
+                    .iter()
+                    .any(|s| s.slot < QUICK_MATRIX_SLOTS)
                 || !config.fleet.arrivals.mix.is_empty()
                 || !config.fleet.arrivals.day_rate_factors.is_empty()
                 || config.fleet.arrivals.groups_per_slot != control.fleet.arrivals.groups_per_slot;

@@ -15,6 +15,11 @@
 //! | `vm_depart` | external mode | queue a departure for the next `advance` |
 //! | `wire_traffic` | external mode | queue a traffic pair for the next `advance` |
 //!
+//! Besides the synthetic and external modes, [`Session::with_trace`]
+//! replays a parse-validated trace file (`--trace PATH` on the binary):
+//! arrivals and traffic wiring come from the committed rows, and
+//! `get_state` reports `"source":"trace"` plus the unplayed row count.
+//!
 //! Every response is a single JSON line: `{"ok":true,...}` on success,
 //! `{"ok":false,"error":"..."}` otherwise. A malformed or mistimed
 //! command never kills the session — the stepper's phase machine rejects
@@ -37,8 +42,9 @@ use geoplace_dcsim::policy::GlobalPolicy;
 use geoplace_dcsim::stepper::SlotStepper;
 use geoplace_types::VmId;
 use geoplace_workload::fleet::{ExternalArrival, ExternalPair};
-use geoplace_workload::source::{ExternalDeltaSource, SyntheticSource};
+use geoplace_workload::source::{ExternalDeltaSource, SyntheticSource, TraceSource};
 use geoplace_workload::trace::TraceKind;
+use geoplace_workload::tracefile::TraceRow;
 
 /// Where slot boundaries get their fleet changes from.
 enum Source {
@@ -47,6 +53,19 @@ enum Source {
     /// Externally announced events (`vm_arrive` / `vm_depart` /
     /// `wire_traffic`), applied at the next `advance`.
     External(ExternalDeltaSource),
+    /// Rows of a parse-validated trace file (`--trace`), replayed slot
+    /// by slot; external fleet commands are rejected in this mode.
+    Trace(TraceSource),
+}
+
+impl Source {
+    fn name(&self) -> &'static str {
+        match self {
+            Source::Synthetic(_) => "synthetic",
+            Source::External(_) => "external",
+            Source::Trace(_) => "trace",
+        }
+    }
 }
 
 /// One response line plus whether the session asked the transport to
@@ -79,17 +98,33 @@ impl Session {
         kind: PolicyKind,
         external: bool,
     ) -> Result<Session, String> {
+        let source = if external {
+            Source::External(ExternalDeltaSource::new())
+        } else {
+            Source::Synthetic(SyntheticSource)
+        };
+        Session::build(config, kind, source)
+    }
+
+    /// Builds a session that replays a parse-validated trace (the
+    /// output of [`geoplace_workload::tracefile::load_trace`]): fleet
+    /// changes come from the trace rows — not the synthetic process,
+    /// and not external commands, which this mode rejects.
+    pub fn with_trace(
+        config: &ScenarioConfig,
+        kind: PolicyKind,
+        rows: Vec<TraceRow>,
+    ) -> Result<Session, String> {
+        Session::build(config, kind, Source::Trace(TraceSource::new(rows)))
+    }
+
+    fn build(config: &ScenarioConfig, kind: PolicyKind, source: Source) -> Result<Session, String> {
         let scenario = Scenario::build(config).map_err(|e| e.to_string())?;
         let policy: Box<dyn GlobalPolicy> = match kind {
             PolicyKind::Proposed => Box::new(ProposedPolicy::new(proposed_config_for(config))),
             PolicyKind::PriAware => Box::new(PriAwarePolicy::new()),
             PolicyKind::EnerAware => Box::new(EnerAwarePolicy::new()),
             PolicyKind::NetAware => Box::new(NetAwarePolicy::new()),
-        };
-        let source = if external {
-            Source::External(ExternalDeltaSource::new())
-        } else {
-            Source::Synthetic(SyntheticSource)
         };
         let stepper = SlotStepper::new(scenario);
         Ok(Session {
@@ -154,6 +189,7 @@ impl Session {
         let delta = match &mut self.source {
             Source::Synthetic(source) => self.stepper.advance_world(source),
             Source::External(source) => self.stepper.advance_world(source),
+            Source::Trace(source) => self.stepper.advance_world(source),
         }
         .map_err(|e| e.to_string())?;
         let snapshot = self.stepper.observe();
@@ -199,21 +235,28 @@ impl Session {
             ("done", self.stepper.is_done().into()),
             ("active_vms", fleet_size.into()),
             ("policy", self.policy.name().into()),
+            ("source", self.source.name().into()),
             (
                 "external",
                 matches!(self.source, Source::External(_)).into(),
             ),
         ];
-        if let Source::External(source) = &self.source {
-            let pending = source.pending();
-            members.push((
-                "pending",
-                object(vec![
-                    ("arrivals", pending.arrivals.len().into()),
-                    ("departures", pending.departures.len().into()),
-                    ("traffic", pending.traffic.len().into()),
-                ]),
-            ));
+        match &self.source {
+            Source::External(source) => {
+                let pending = source.pending();
+                members.push((
+                    "pending",
+                    object(vec![
+                        ("arrivals", pending.arrivals.len().into()),
+                        ("departures", pending.departures.len().into()),
+                        ("traffic", pending.traffic.len().into()),
+                    ]),
+                ));
+            }
+            Source::Trace(source) => {
+                members.push(("trace_remaining", source.remaining().into()));
+            }
+            Source::Synthetic(_) => {}
         }
         if self.stepper.awaiting_decision() {
             let dcs: Vec<Value> = self
@@ -224,6 +267,7 @@ impl Session {
                     object(vec![
                         ("id", u32::from(dc.id.0).into()),
                         ("servers", dc.servers.into()),
+                        ("outaged", dc.outaged.into()),
                         ("price_eur_per_kwh", dc.price.0.into()),
                         ("price_level", format!("{:?}", dc.price_level).into()),
                         ("pue", dc.pue.into()),
@@ -274,7 +318,9 @@ impl Session {
     fn external_source(&mut self) -> Result<&mut ExternalDeltaSource, String> {
         match &mut self.source {
             Source::External(source) => Ok(source),
-            Source::Synthetic(_) => Err("external fleet commands require --external mode".into()),
+            Source::Synthetic(_) | Source::Trace(_) => {
+                Err("external fleet commands require --external mode".into())
+            }
         }
     }
 
@@ -502,6 +548,50 @@ mod tests {
         ok(&session.handle_line(r#"{"cmd":"vm_depart","id":4000000}"#))?;
         assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#))?.contains("depart"));
         ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        Ok(())
+    }
+
+    #[test]
+    fn trace_sessions_replay_the_file_and_reject_external_commands() -> Result<(), String> {
+        use geoplace_workload::tracefile::{parse_trace, TRACE_HEADER};
+        let mut config = tiny();
+        config.fleet.arrivals.groups_per_slot = 0.0;
+        let rows = parse_trace(&format!(
+            "{TRACE_HEADER}\n\
+             1,0,4.0,8,web,11,,,\n\
+             1,1,2.0,8,batch,12,0,6.5,1.5\n\
+             2,2,8.0,4,hpc,13,,,\n"
+        ))?;
+        let mut session = Session::with_trace(&config, PolicyKind::Proposed, rows)?;
+
+        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#))?;
+        assert_eq!(state.get("source").and_then(Value::as_str), Some("trace"));
+        assert_eq!(
+            state.get("trace_remaining").and_then(Value::as_u64),
+            Some(3)
+        );
+
+        // Slot 0 is the bootstrap boundary: trace rows start at slot 1.
+        let advanced = ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        assert_eq!(advanced.get("arrived").and_then(Value::as_u64), Some(0));
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+        let advanced = ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        assert_eq!(advanced.get("arrived").and_then(Value::as_u64), Some(2));
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#))?;
+        assert_eq!(
+            state.get("trace_remaining").and_then(Value::as_u64),
+            Some(1)
+        );
+
+        // Trace mode is closed-loop: manual fleet edits are rejected
+        // with a structured error and the session stays drivable.
+        assert!(err(
+            &session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":2.0,"lifetime_slots":4}"#)
+        )?
+        .contains("--external"));
+        let advanced = ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        assert_eq!(advanced.get("arrived").and_then(Value::as_u64), Some(1));
         Ok(())
     }
 

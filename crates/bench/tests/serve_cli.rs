@@ -1,0 +1,145 @@
+//! End-to-end pins of the `geoplace-serve` CLI contract.
+//!
+//! The binary's flag handling is strict by design: a bad `--trace` file
+//! must kill the process with exit code 2 and a message naming the
+//! offense *before* the session starts, and contradictory flags must
+//! never silently pick a winner. These tests spawn the real binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_geoplace-serve");
+
+/// Runs the binary with `args`, feeding `stdin`, and returns
+/// (exit code, stdout, stderr).
+fn run(args: &[&str], stdin: &str) -> (i32, String, String) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn geoplace-serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let output = child.wait_with_output().expect("wait for geoplace-serve");
+    (
+        output.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// A scratch path under the cargo-managed test temp dir.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create target tmpdir");
+    dir.join(name)
+}
+
+#[test]
+fn a_missing_trace_file_exits_2_naming_the_path() {
+    let (code, _, stderr) = run(
+        &[
+            "--bench",
+            "--slots",
+            "2",
+            "--trace",
+            "/definitely/not/here.csv",
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("/definitely/not/here.csv"),
+        "stderr must name the path: {stderr}"
+    );
+}
+
+#[test]
+fn a_malformed_trace_row_exits_2_naming_its_line() {
+    let path = scratch("malformed_trace.csv");
+    std::fs::write(
+        &path,
+        "slot,vm,memory_gb,lifetime_slots,profile,trace_seed,peer,mb_to_peer,mb_from_peer\n\
+         1,0,4.0,8,web,11,,,\n\
+         1,1,-2.0,8,batch,12,,,\n",
+    )
+    .expect("write malformed trace");
+    let (code, _, stderr) = run(
+        &[
+            "--bench",
+            "--slots",
+            "2",
+            "--trace",
+            path.to_str().expect("utf-8 path"),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("line 3") && stderr.contains("memory_gb"),
+        "stderr must name the offending line: {stderr}"
+    );
+}
+
+#[test]
+fn trace_and_external_are_mutually_exclusive() {
+    let path = scratch("unused_trace.csv");
+    std::fs::write(
+        &path,
+        "slot,vm,memory_gb,lifetime_slots,profile,trace_seed,peer,mb_to_peer,mb_from_peer\n",
+    )
+    .expect("write trace");
+    let (code, _, stderr) = run(
+        &[
+            "--bench",
+            "--external",
+            "--trace",
+            path.to_str().expect("utf-8 path"),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("mutually exclusive"), "stderr: {stderr}");
+}
+
+#[test]
+fn a_valid_trace_serves_a_session_to_completion() {
+    let path = scratch("valid_trace.csv");
+    std::fs::write(
+        &path,
+        "slot,vm,memory_gb,lifetime_slots,profile,trace_seed,peer,mb_to_peer,mb_from_peer\n\
+         1,0,4.0,8,web,11,,,\n\
+         1,1,2.0,8,batch,12,0,6.5,1.5\n",
+    )
+    .expect("write trace");
+    // Slot 0 is the bootstrap boundary; the slot-1 rows arrive on the
+    // second advance.
+    let (code, stdout, stderr) = run(
+        &[
+            "--bench",
+            "--seed",
+            "42",
+            "--slots",
+            "2",
+            "--trace",
+            path.to_str().expect("utf-8 path"),
+        ],
+        "{\"cmd\":\"advance\"}\n{\"cmd\":\"decide\"}\n\
+         {\"cmd\":\"advance\"}\n{\"cmd\":\"decide\"}\n{\"cmd\":\"shutdown\"}\n",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "stdout: {stdout}");
+    assert!(
+        lines.iter().all(|l| l.contains("\"ok\":true")),
+        "stdout: {stdout}"
+    );
+    assert!(lines[2].contains("\"arrived\":2"), "stdout: {stdout}");
+    assert!(lines[4].contains("digest"), "stdout: {stdout}");
+}

@@ -102,6 +102,97 @@ fn deep_nesting_is_rejected_without_stack_overflow() -> Result<(), String> {
     Ok(())
 }
 
+/// A DC outage mid-session: the engine evacuates the downed DC, and the
+/// session keeps answering `get_state`/`decide` with structured JSON —
+/// the outaged DC is flagged in the DC facts, decisions that target it
+/// get rerouted rather than panicking, and hostile lines thrown at the
+/// session mid-outage still leave the digest bit-identical to the
+/// offline run of the same failure world.
+#[test]
+fn mid_outage_sessions_answer_with_structure_not_panics() -> Result<(), String> {
+    use geoplace_dcsim::events::{EngineEvent, EventKind};
+    let mut config = tiny();
+    config.timeline.push(EngineEvent {
+        dc: Some(0),
+        start_slot: 1,
+        end_slot: 3,
+        kind: EventKind::DcOutage,
+    });
+    let expected = run_policy(&config, PolicyKind::Proposed).digest();
+
+    let mut session = Session::new(&config, PolicyKind::Proposed, false)?;
+    let hostile = hostile_lines();
+    let mut hostile_iter = hostile.iter().cycle();
+    // The first advance is the slot-0 bootstrap boundary; the outage
+    // window [1, 3) covers the second and third advances.
+    for slot in 0..config.horizon_slots {
+        err(&session.handle_line(hostile_iter.next().expect("cycle")))?;
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#))?;
+        let dcs = state
+            .get("dcs")
+            .and_then(Value::as_array)
+            .ok_or("no dcs array mid-decision")?;
+        let outaged: Vec<bool> = dcs
+            .iter()
+            .map(|dc| dc.get("outaged").and_then(Value::as_bool) == Some(true))
+            .collect();
+        let in_window = (1..3).contains(&slot);
+        assert_eq!(
+            outaged,
+            vec![in_window, false, false],
+            "slot {slot}: the evacuated DC must be flagged exactly inside its window"
+        );
+        err(&session.handle_line(hostile_iter.next().expect("cycle")))?;
+        let decided = ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+        assert!(
+            decided
+                .get("active_servers")
+                .and_then(Value::as_u64)
+                .is_some(),
+            "decide mid-outage must return the usual structured record"
+        );
+    }
+    let response = session.handle_line(r#"{"cmd":"shutdown"}"#);
+    assert!(response.shutdown);
+    let digest = ok(&response)?
+        .get("digest")
+        .and_then(Value::as_str)
+        .ok_or("no digest in shutdown response")?
+        .to_owned();
+    assert_eq!(digest, expected, "mid-outage hostility perturbed the run");
+    Ok(())
+}
+
+/// External-mode churn during an evacuation: arrivals land, a departure
+/// naming a VM that never existed is a structured boundary error (not a
+/// panic), and the session stays drivable through the outage window.
+#[test]
+fn evacuation_survives_external_churn_and_bad_targets() -> Result<(), String> {
+    use geoplace_dcsim::events::{EngineEvent, EventKind};
+    let mut config = tiny();
+    config.horizon_slots = 4;
+    config.timeline.push(EngineEvent {
+        dc: Some(0),
+        start_slot: 1,
+        end_slot: 4,
+        kind: EventKind::DcOutage,
+    });
+    let mut session = Session::new(&config, PolicyKind::NetAware, true)?;
+    ok(&session.handle_line(r#"{"cmd":"vm_arrive","memory_gb":4.0,"lifetime_slots":6}"#))?;
+    ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+    ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+    // A departure for a VM that never existed: rejected at the next
+    // boundary with a structured error, mid-outage, session intact.
+    ok(&session.handle_line(r#"{"cmd":"vm_depart","id":4000000}"#))?;
+    assert!(err(&session.handle_line(r#"{"cmd":"advance"}"#))?.contains("not an active VM"));
+    ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+    ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+    let state = ok(&session.handle_line(r#"{"cmd":"get_state"}"#))?;
+    assert_eq!(state.get("done").and_then(Value::as_bool), Some(false));
+    Ok(())
+}
+
 #[test]
 fn hostile_interleaving_leaves_the_digest_untouched() -> Result<(), String> {
     let config = tiny();

@@ -164,6 +164,7 @@ mod tests {
             last_it_energy: Joules(last_energy / 1.2),
             last_total_energy: Joules(last_energy),
             pue: 1.2,
+            outaged: false,
         }
     }
 

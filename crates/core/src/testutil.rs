@@ -64,6 +64,7 @@ impl SnapshotFixture {
                 last_it_energy: Joules(0.0),
                 last_total_energy: Joules(0.0),
                 pue: 1.2,
+                outaged: false,
             })
             .collect();
         SnapshotFixture {

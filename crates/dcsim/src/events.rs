@@ -48,6 +48,32 @@ pub enum EventKind {
         /// Remaining fraction of the PV output.
         factor: f64,
     },
+    /// Whole-DC outage: while the window is active the DC's usable
+    /// capacity collapses to the one-server rollback floor and the
+    /// engine force-evacuates its fleet through the migration model,
+    /// committing the evacuations even past the latency budget (they
+    /// still crowd the plan's link volumes, so concurrent voluntary
+    /// migrations feel the bandwidth pressure). Requires a concrete
+    /// target DC — "every DC is down" leaves nowhere to evacuate to.
+    DcOutage,
+    /// Degrades inter-DC links touching the target DC (or every link,
+    /// when the target is `None`) to `factor` ∈ (0, 1] of their
+    /// bandwidth: migration latencies inflate by `1/factor` against the
+    /// budget and per-DC response latencies scale the same way.
+    NetworkPartition {
+        /// Residual link bandwidth fraction.
+        factor: f64,
+    },
+    /// Correlated capacity failure: the origin DC derates to `factor`
+    /// over the window, and every higher-indexed DC suffers the same
+    /// derate shifted later by `lag_slots` per index step — a failure
+    /// front propagating through the fleet. Requires a concrete origin.
+    CascadeDerate {
+        /// Usable fraction of the servers at each affected DC.
+        factor: f64,
+        /// Slots between successive DCs joining the cascade (≥ 1).
+        lag_slots: u32,
+    },
 }
 
 impl EventKind {
@@ -57,15 +83,22 @@ impl EventKind {
             EventKind::CapacityDerate { .. } => 0,
             EventKind::PriceSpike { .. } => 1,
             EventKind::PvDerate { .. } => 2,
+            EventKind::DcOutage => 3,
+            EventKind::NetworkPartition { .. } => 4,
+            EventKind::CascadeDerate { .. } => 5,
         }
     }
 
-    /// The raw factor, whatever the kind.
+    /// The raw factor, whatever the kind. An outage has no residual
+    /// fraction — its factor is 0.
     pub fn factor(&self) -> f64 {
         match *self {
             EventKind::CapacityDerate { factor }
             | EventKind::PriceSpike { factor }
-            | EventKind::PvDerate { factor } => factor,
+            | EventKind::PvDerate { factor }
+            | EventKind::NetworkPartition { factor }
+            | EventKind::CascadeDerate { factor, .. } => factor,
+            EventKind::DcOutage => 0.0,
         }
     }
 
@@ -89,6 +122,15 @@ impl EventKind {
             EventKind::PvDerate { .. } if !(0.0..=1.0).contains(&factor) => {
                 Err(Error::invalid_config("pv derate factor must be in [0, 1]"))
             }
+            EventKind::NetworkPartition { .. } if !(factor > 0.0 && factor <= 1.0) => Err(
+                Error::invalid_config("network partition factor must be in (0, 1]"),
+            ),
+            EventKind::CascadeDerate { .. } if !(factor > 0.0 && factor <= 1.0) => Err(
+                Error::invalid_config("cascade derate factor must be in (0, 1]"),
+            ),
+            EventKind::CascadeDerate { lag_slots, .. } if *lag_slots == 0 => Err(
+                Error::invalid_config("cascade derate lag must be at least one slot"),
+            ),
             _ => Ok(()),
         }
     }
@@ -117,11 +159,18 @@ impl EngineEvent {
     }
 
     /// Canonical ordering key: slot window, then target, then kind, then
-    /// factor bits — a total order, so sorting is deterministic.
-    fn key(&self) -> (u32, u32, u32, u8, u64) {
+    /// factor bits, then any kind-specific auxiliary parameter — a total
+    /// order, so sorting is deterministic. The aux component matters:
+    /// `sort_by_key` is stable, so without it two cascades differing
+    /// only in lag would keep their insertion order.
+    fn key(&self) -> (u32, u32, u32, u8, u64, u64) {
         let dc_rank = match self.dc {
             None => 0,
             Some(d) => u32::from(d) + 1,
+        };
+        let aux = match self.kind {
+            EventKind::CascadeDerate { lag_slots, .. } => u64::from(lag_slots),
+            _ => 0,
         };
         (
             self.start_slot,
@@ -129,6 +178,7 @@ impl EngineEvent {
             dc_rank,
             self.kind.rank(),
             self.kind.factor().to_bits(),
+            aux,
         )
     }
 
@@ -150,6 +200,15 @@ impl EngineEvent {
                     "event targets DC {dc} but the scenario has {n_dcs} DCs"
                 )));
             }
+        } else if matches!(self.kind, EventKind::DcOutage) {
+            return Err(Error::invalid_config(
+                "a DC outage needs a concrete target (a fleet-wide outage \
+                 leaves nowhere to evacuate to)",
+            ));
+        } else if matches!(self.kind, EventKind::CascadeDerate { .. }) {
+            return Err(Error::invalid_config(
+                "a cascade derate needs a concrete origin DC",
+            ));
         }
         self.kind.validate()
     }
@@ -240,9 +299,60 @@ impl EventTimeline {
         SlotModulator::from_segments(segments)
     }
 
-    /// Capacity factor schedule of DC `dc`.
+    /// Capacity factor schedule of DC `dc`: plain derates targeting the
+    /// DC, plus every cascade whose front reaches it. A cascade rooted
+    /// at `origin` hits DC `d ≥ origin` with its window shifted by
+    /// `(d - origin) · lag_slots` (saturating; a window shifted off the
+    /// end of `u32` collapses to empty and is dropped). Segments are
+    /// collected in canonical event order, so the overlap fold is
+    /// insertion-order independent.
     pub fn capacity_modulator(&self, dc: usize) -> SlotModulator {
-        self.modulator_of(dc, 0)
+        let mut segments: Vec<ModSegment> = Vec::new();
+        for event in &self.events {
+            match event.kind {
+                EventKind::CapacityDerate { factor } if event.targets(dc) => {
+                    segments.push(ModSegment {
+                        start_slot: event.start_slot,
+                        end_slot: event.end_slot,
+                        factor,
+                    });
+                }
+                EventKind::CascadeDerate { factor, lag_slots } => {
+                    // An origin-less cascade never passes validation;
+                    // lowering one is inert rather than a panic.
+                    let Some(origin) = event.dc else { continue };
+                    let origin = usize::from(origin);
+                    if dc < origin {
+                        continue;
+                    }
+                    let steps = u32::try_from(dc - origin).unwrap_or(u32::MAX);
+                    let shift = steps.saturating_mul(lag_slots);
+                    let start = event.start_slot.saturating_add(shift);
+                    let end = event.end_slot.saturating_add(shift);
+                    if start < end {
+                        segments.push(ModSegment {
+                            start_slot: start,
+                            end_slot: end,
+                            factor,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        SlotModulator::from_segments(segments)
+    }
+
+    /// Outage schedule of DC `dc`: factor 0 while the DC is down, 1
+    /// otherwise (overlapping outages still multiply to 0).
+    pub fn outage_modulator(&self, dc: usize) -> SlotModulator {
+        self.modulator_of(dc, 3)
+    }
+
+    /// Link bandwidth schedule of DC `dc`: the residual fraction of the
+    /// inter-DC links touching it under active network partitions.
+    pub fn link_modulator(&self, dc: usize) -> SlotModulator {
+        self.modulator_of(dc, 4)
     }
 
     /// Tariff factor schedule of DC `dc`.
@@ -390,6 +500,130 @@ mod tests {
         for slot in 0..10u32 {
             assert_eq!(modulator.factor_at(TimeSlot(slot)), 1.0);
         }
+    }
+
+    fn outage(dc: u16, start: u32, end: u32) -> EngineEvent {
+        EngineEvent {
+            dc: Some(dc),
+            start_slot: start,
+            end_slot: end,
+            kind: EventKind::DcOutage,
+        }
+    }
+
+    #[test]
+    fn failure_kinds_validate_their_ranges() {
+        let n = 3;
+        assert!(outage(1, 2, 6).validate(n).is_ok());
+        let fleet_wide_outage = EngineEvent {
+            dc: None,
+            ..outage(0, 2, 6)
+        };
+        assert!(fleet_wide_outage.validate(n).is_err(), "needs a target");
+        let partition = |dc, factor| EngineEvent {
+            dc,
+            start_slot: 0,
+            end_slot: 4,
+            kind: EventKind::NetworkPartition { factor },
+        };
+        assert!(partition(None, 0.5).validate(n).is_ok());
+        assert!(partition(Some(2), 1.0).validate(n).is_ok());
+        assert!(partition(None, 0.0).validate(n).is_err());
+        assert!(partition(None, 1.5).validate(n).is_err());
+        let cascade = |dc, factor, lag_slots| EngineEvent {
+            dc,
+            start_slot: 1,
+            end_slot: 3,
+            kind: EventKind::CascadeDerate { factor, lag_slots },
+        };
+        assert!(cascade(Some(0), 0.5, 2).validate(n).is_ok());
+        assert!(
+            cascade(None, 0.5, 2).validate(n).is_err(),
+            "needs an origin"
+        );
+        assert!(cascade(Some(0), 0.0, 2).validate(n).is_err());
+        assert!(cascade(Some(0), 0.5, 0).validate(n).is_err(), "lag >= 1");
+    }
+
+    #[test]
+    fn outage_and_partition_resolve_into_their_own_modulators() {
+        let timeline = EventTimeline::new(vec![
+            outage(1, 4, 8),
+            EngineEvent {
+                dc: None,
+                start_slot: 2,
+                end_slot: 6,
+                kind: EventKind::NetworkPartition { factor: 0.25 },
+            },
+        ]);
+        assert!(timeline.outage_modulator(0).is_identity());
+        assert_eq!(timeline.outage_modulator(1).factor_at(TimeSlot(5)), 0.0);
+        assert_eq!(timeline.outage_modulator(1).factor_at(TimeSlot(8)), 1.0);
+        for dc in 0..3usize {
+            assert_eq!(timeline.link_modulator(dc).factor_at(TimeSlot(3)), 0.25);
+            assert_eq!(timeline.link_modulator(dc).factor_at(TimeSlot(6)), 1.0);
+        }
+        // Neither failure kind bleeds into the capacity schedule.
+        assert!(timeline.capacity_modulator(1).is_identity());
+    }
+
+    #[test]
+    fn cascades_propagate_with_lag_to_higher_indexed_dcs() {
+        let timeline = EventTimeline::new(vec![EngineEvent {
+            dc: Some(1),
+            start_slot: 2,
+            end_slot: 4,
+            kind: EventKind::CascadeDerate {
+                factor: 0.5,
+                lag_slots: 3,
+            },
+        }]);
+        // DC 0 is below the origin: untouched.
+        assert!(timeline.capacity_modulator(0).is_identity());
+        // Origin derates over [2, 4).
+        assert_eq!(timeline.capacity_modulator(1).factor_at(TimeSlot(2)), 0.5);
+        assert_eq!(timeline.capacity_modulator(1).factor_at(TimeSlot(4)), 1.0);
+        // DC 2 joins 3 slots later, over [5, 7).
+        assert_eq!(timeline.capacity_modulator(2).factor_at(TimeSlot(2)), 1.0);
+        assert_eq!(timeline.capacity_modulator(2).factor_at(TimeSlot(5)), 0.5);
+        assert_eq!(timeline.capacity_modulator(2).factor_at(TimeSlot(7)), 1.0);
+        // A window shifted past u32::MAX collapses to empty, not a panic.
+        let horizon = EventTimeline::new(vec![EngineEvent {
+            dc: Some(0),
+            start_slot: u32::MAX - 1,
+            end_slot: u32::MAX,
+            kind: EventKind::CascadeDerate {
+                factor: 0.5,
+                lag_slots: u32::MAX,
+            },
+        }]);
+        assert!(horizon.capacity_modulator(5).is_identity());
+    }
+
+    #[test]
+    fn cascades_differing_only_in_lag_order_deterministically() {
+        let a = EngineEvent {
+            dc: Some(0),
+            start_slot: 1,
+            end_slot: 5,
+            kind: EventKind::CascadeDerate {
+                factor: 0.5,
+                lag_slots: 1,
+            },
+        };
+        let b = EngineEvent {
+            dc: Some(0),
+            start_slot: 1,
+            end_slot: 5,
+            kind: EventKind::CascadeDerate {
+                factor: 0.5,
+                lag_slots: 4,
+            },
+        };
+        assert_eq!(
+            EventTimeline::new(vec![a, b]),
+            EventTimeline::new(vec![b, a])
+        );
     }
 
     #[test]

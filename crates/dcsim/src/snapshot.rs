@@ -55,6 +55,11 @@ pub struct DcInfo {
     pub last_total_energy: Joules,
     /// PUE expected for the upcoming slot.
     pub pue: f64,
+    /// Whether the DC is down for the upcoming slot (a `DcOutage`
+    /// window is active). Its `servers` count is already collapsed to
+    /// the one-server rollback floor; placements targeting it will be
+    /// force-evacuated, so policies should route around it.
+    pub outaged: bool,
 }
 
 /// Everything a [`crate::policy::GlobalPolicy`] sees when deciding slot `T`.

@@ -40,14 +40,30 @@ impl SlotStepper {
         let n_dcs = self.scenario.dcs.len();
 
         // Per-slot world perturbations: usable servers after derates,
-        // tariff and PV multipliers. All deterministic in (config, slot).
+        // outage and link-degradation flags, tariff and PV multipliers.
+        // All deterministic in (config, slot).
+        self.scratch.outaged.clear();
+        self.scratch
+            .outaged
+            .extend((0..n_dcs).map(|d| self.outage_mods[d].factor_at(slot) < 0.5));
+        self.scratch.link_factors.clear();
+        self.scratch
+            .link_factors
+            .extend((0..n_dcs).map(|d| self.link_mods[d].factor_at(slot)));
         self.scratch.usable_servers.clear();
-        self.scratch.usable_servers.extend(
-            self.server_counts
-                .iter()
-                .enumerate()
-                .map(|(d, &s)| events::effective_servers(s, self.capacity_mods[d].factor_at(slot))),
-        );
+        self.scratch
+            .usable_servers
+            .extend(self.server_counts.iter().enumerate().map(|(d, &s)| {
+                if self.scratch.outaged[d] {
+                    // A downed DC collapses to the one-server rollback
+                    // floor: decisions that still target it stay
+                    // structurally valid, but the engine evacuates its
+                    // fleet and policies see the scarcity.
+                    1
+                } else {
+                    events::effective_servers(s, self.capacity_mods[d].factor_at(slot))
+                }
+            }));
         self.scratch.price_factors.clear();
         self.scratch
             .price_factors
@@ -234,6 +250,7 @@ impl SlotStepper {
                     last_it_energy: d.last_it_energy,
                     last_total_energy: d.last_total_energy,
                     pue: d.pue_at(slot),
+                    outaged: self.scratch.outaged[index],
                 }
             })
             .collect()

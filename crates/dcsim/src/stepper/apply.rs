@@ -42,6 +42,40 @@ impl SlotStepper {
         let n_dcs = self.scenario.dcs.len();
         let mut new_dc = decision.dc_of();
 
+        // --- Forced evacuation: a decision may still target a downed DC
+        // (policies are free to ignore the `outaged` flag), but nothing
+        // runs in a DC that is out. Reroute every placement targeting an
+        // outaged DC to the healthiest surviving DC *before* feasibility
+        // clipping, so the resulting moves flow through the migration
+        // model and its ledger below. Deterministic: sorted VM order, no
+        // RNG. With no active outage this whole block is a no-op.
+        if self.scratch.outaged.iter().any(|&o| o) {
+            let fallback = self
+                .scratch
+                .usable_servers
+                .iter()
+                .enumerate()
+                .filter(|&(d, _)| !self.scratch.outaged[d])
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(&a.0)))
+                .map(|(d, _)| DcId(d as u16));
+            // No surviving DC means nowhere to evacuate to; validation
+            // rejects fleet-wide outages, but an unvalidated timeline
+            // must degrade gracefully rather than panic.
+            if let Some(fallback) = fallback {
+                let top_freq = crate::power::FreqLevel(self.dvfs_levels[fallback.index()] - 1);
+                let servers = self.scratch.usable_servers[fallback.index()];
+                for &vm in &self.scratch.active {
+                    let dest = new_dc[&vm];
+                    if !self.scratch.outaged[dest.index()] {
+                        continue;
+                    }
+                    decision.remove_vm(vm);
+                    decision.force_host(fallback, vm, servers, top_freq);
+                    new_dc.insert(vm, fallback);
+                }
+            }
+        }
+
         // --- Migration feasibility (deterministic order: sorted ids).
         // The QoS latency budget is a *system* constraint (Sect. V-A:
         // "a hard time constraint for migrating the VMs across DCs"):
@@ -69,14 +103,33 @@ impl SlotStepper {
                 to: dest,
                 size,
             };
-            if plan.try_add(
-                migration,
-                &self.scenario.latency,
-                self.budget,
-                &mut self.rng,
-            ) {
+            // Feasibility under partition pressure: a degraded link
+            // inflates the transfer latency by 1/link against the
+            // budget. With both endpoints at full bandwidth this is
+            // bit-identical to the plain budget check (x / 1.0 == x is
+            // exact in IEEE — and the division is skipped entirely).
+            let latency = plan
+                .latency_with(&self.scenario.latency, migration, &mut self.rng)
+                .0;
+            let link = self.scratch.link_factors[prev.index()]
+                .min(self.scratch.link_factors[dest.index()]);
+            let effective_latency = if link < 1.0 { latency / link } else { latency };
+            let evacuating = self.scratch.outaged[prev.index()];
+            if effective_latency <= self.budget.0 {
+                plan.force_add(migration);
                 record.migrations += 1;
                 record.migration_volume_gb += size.0;
+            } else if evacuating {
+                // The source DC is down: leaving the VM behind is not an
+                // option, so the evacuation commits past the budget. It
+                // still lands in the plan's volume matrix — subsequent
+                // candidates feel the bandwidth pressure — and the
+                // busted budget is ledgered as an overrun, which is how
+                // evacuation cost shows up in the report.
+                plan.force_add(migration);
+                record.migrations += 1;
+                record.migration_volume_gb += size.0;
+                record.migration_overruns += 1;
             } else {
                 // Budget overrun: the VM stays in its previous DC and
                 // the rejected move must leave *no* trace — neither in
@@ -197,9 +250,18 @@ impl SlotStepper {
             self.report.per_dc_energy_gj[dc_index] += output.total_energy / 1e9;
         }
 
-        // --- Response time of the slot's inter-DC data traffic.
+        // --- Response time of the slot's inter-DC data traffic. A
+        // network partition stretches every response seen at the
+        // degraded DC by the inverse residual bandwidth; untouched DCs
+        // keep their exact (bit-identical) latencies.
         let dc_traffic = self.inter_dc_traffic(&new_dc, n_dcs);
-        let response = evaluate_slot(&self.scenario.latency, &dc_traffic, &mut self.rng);
+        let mut response = evaluate_slot(&self.scenario.latency, &dc_traffic, &mut self.rng);
+        for (dc, t) in response.per_dc.iter_mut() {
+            let link = self.scratch.link_factors[dc.index()];
+            if link < 1.0 {
+                t.0 /= link;
+            }
+        }
         record.response_worst_s = response.worst().0;
         record.response_mean_s = response.mean().0;
         for &(_, t) in &response.per_dc {

@@ -97,12 +97,17 @@ pub(crate) struct EngineScratch {
     pub(crate) vm_cores: Vec<u32>,
     /// Memory per VM, aligned with the observed window rows.
     pub(crate) vm_memory: Vec<Gigabytes>,
-    /// Usable servers per DC after capacity derates.
+    /// Usable servers per DC after capacity derates (and the one-server
+    /// collapse of an outaged DC).
     pub(crate) usable_servers: Vec<u32>,
     /// Tariff multipliers per DC from the event timeline.
     pub(crate) price_factors: Vec<f64>,
     /// PV multipliers per DC from the event timeline.
     pub(crate) pv_factors: Vec<f64>,
+    /// Whether each DC is down this slot (an active `DcOutage` window).
+    pub(crate) outaged: Vec<bool>,
+    /// Residual link bandwidth fraction per DC under network partitions.
+    pub(crate) link_factors: Vec<f64>,
     /// The observation window the policy sees (previous interval; zeros
     /// at slot 0).
     pub(crate) observed: UtilizationWindows,
@@ -124,6 +129,8 @@ impl EngineScratch {
             usable_servers: Vec::new(),
             price_factors: Vec::new(),
             pv_factors: Vec::new(),
+            outaged: Vec::new(),
+            link_factors: Vec::new(),
             observed: UtilizationWindows::zeros(&[], TICKS_PER_SLOT),
             actual: UtilizationWindows::zeros(&[], TICKS_PER_SLOT),
             arena: VmArena::default(),
@@ -178,6 +185,8 @@ pub struct SlotStepper {
     pub(crate) capacity_mods: Vec<SlotModulator>,
     pub(crate) price_mods: Vec<SlotModulator>,
     pub(crate) pv_mods: Vec<SlotModulator>,
+    pub(crate) outage_mods: Vec<SlotModulator>,
+    pub(crate) link_mods: Vec<SlotModulator>,
     /// The standing assignment (previous slot's placement).
     pub(crate) assignment: BTreeMap<VmId, DcId>,
     pub(crate) scratch: EngineScratch,
@@ -230,6 +239,10 @@ impl SlotStepper {
         let price_mods: Vec<SlotModulator> =
             (0..n_dcs).map(|d| timeline.price_modulator(d)).collect();
         let pv_mods: Vec<SlotModulator> = (0..n_dcs).map(|d| timeline.pv_modulator(d)).collect();
+        let outage_mods: Vec<SlotModulator> =
+            (0..n_dcs).map(|d| timeline.outage_modulator(d)).collect();
+        let link_mods: Vec<SlotModulator> =
+            (0..n_dcs).map(|d| timeline.link_modulator(d)).collect();
         SlotStepper {
             scenario,
             rng,
@@ -242,6 +255,8 @@ impl SlotStepper {
             capacity_mods,
             price_mods,
             pv_mods,
+            outage_mods,
+            link_mods,
             assignment: BTreeMap::new(),
             scratch: EngineScratch::new(),
             cpu_corr: None,
@@ -439,6 +454,133 @@ mod tests {
         assert!(stepper.is_done());
         let err = stepper.advance_world(&mut SyntheticSource).unwrap_err();
         assert!(err.to_string().contains("exhausted"), "{err}");
+    }
+
+    #[test]
+    fn an_outage_evacuates_the_dc_through_the_migration_ledger() {
+        use crate::events::{EngineEvent, EventKind};
+        use crate::testkit::SpreadOnDc0;
+        let mut config = tiny_config();
+        config.horizon_slots = 5;
+        config.timeline.push(EngineEvent {
+            dc: Some(0),
+            start_slot: 2,
+            end_slot: 4,
+            kind: EventKind::DcOutage,
+        });
+        let mut stepper = SlotStepper::new(Scenario::build(&config).unwrap());
+        let mut policy = SpreadOnDc0;
+        let mut source = SyntheticSource;
+        let mut evacuation_migrations = 0;
+        while !stepper.is_done() {
+            stepper.advance_world(&mut source).unwrap();
+            let snapshot = stepper.observe();
+            let slot = snapshot.slot.0;
+            if (2..4).contains(&slot) {
+                assert!(snapshot.dcs[0].outaged, "slot {slot}");
+                assert_eq!(snapshot.dcs[0].servers, 1, "one-server rollback floor");
+            } else {
+                assert!(!snapshot.dcs[0].outaged, "slot {slot}");
+            }
+            let decision = policy.decide(&snapshot);
+            let metrics = stepper.apply(decision).unwrap();
+            if slot == 2 {
+                evacuation_migrations =
+                    metrics.record.migrations + metrics.record.migration_overruns;
+            }
+            if (2..4).contains(&slot) {
+                assert!(
+                    stepper.assignment.values().all(|&d| d != DcId(0)),
+                    "slot {slot}: nothing may stay in the outaged DC"
+                );
+            }
+        }
+        assert!(
+            evacuation_migrations > 0,
+            "the evacuation wave must land in the migration ledger"
+        );
+        // The fleet returns once the DC is back (the policy packs DC 0).
+        assert!(stepper.assignment.values().any(|&d| d == DcId(0)));
+    }
+
+    #[test]
+    fn a_partition_inflates_the_degraded_dcs_response_times() {
+        use crate::events::{EngineEvent, EventKind};
+        let drive_worst = |partition: bool| {
+            let mut config = tiny_config();
+            if partition {
+                config.timeline.push(EngineEvent {
+                    dc: Some(1),
+                    start_slot: 1,
+                    end_slot: 3,
+                    kind: EventKind::NetworkPartition { factor: 0.25 },
+                });
+            }
+            let mut stepper = SlotStepper::new(Scenario::build(&config).unwrap());
+            let mut policy = RoundRobinDcs;
+            let mut source = SyntheticSource;
+            let mut worsts = Vec::new();
+            while !stepper.is_done() {
+                stepper.advance_world(&mut source).unwrap();
+                let decision = policy.decide(&stepper.observe());
+                let metrics = stepper.apply(decision).unwrap();
+                worsts.push(metrics.record.response_worst_s);
+            }
+            worsts
+        };
+        let base = drive_worst(false);
+        let degraded = drive_worst(true);
+        // Outside the window the two runs are bit-identical; inside it
+        // the partitioned DC's responses stretch by 1/0.25.
+        assert_eq!(base[0].to_bits(), degraded[0].to_bits());
+        assert_eq!(base[3].to_bits(), degraded[3].to_bits());
+        assert!(
+            degraded[1] > base[1] && degraded[2] > base[2],
+            "partition slots must feel the degraded links: {base:?} vs {degraded:?}"
+        );
+    }
+
+    #[test]
+    fn a_cascade_derates_dcs_in_lagged_sequence() {
+        use crate::events::{EngineEvent, EventKind};
+        let mut config = tiny_config();
+        config.horizon_slots = 4;
+        config.timeline.push(EngineEvent {
+            dc: Some(1),
+            start_slot: 1,
+            end_slot: 2,
+            kind: EventKind::CascadeDerate {
+                factor: 0.5,
+                lag_slots: 1,
+            },
+        });
+        let mut stepper = SlotStepper::new(Scenario::build(&config).unwrap());
+        let mut policy = RoundRobinDcs;
+        let mut source = SyntheticSource;
+        let full: Vec<u32> = (0..stepper.scenario.dcs.len())
+            .map(|d| stepper.server_counts[d])
+            .collect();
+        while !stepper.is_done() {
+            stepper.advance_world(&mut source).unwrap();
+            let snapshot = stepper.observe();
+            let servers: Vec<u32> = snapshot.dcs.iter().map(|d| d.servers).collect();
+            match snapshot.slot.0 {
+                // The front hits the origin first, then its neighbor.
+                1 => assert_eq!(
+                    servers,
+                    vec![full[0], full[1] / 2, full[2]],
+                    "origin derates first"
+                ),
+                2 => assert_eq!(
+                    servers,
+                    vec![full[0], full[1], full[2] / 2],
+                    "the front moves one DC per lag slot"
+                ),
+                _ => assert_eq!(servers, full, "quiet outside the cascade"),
+            }
+            let decision = policy.decide(&snapshot);
+            stepper.apply(decision).unwrap();
+        }
     }
 
     #[test]

@@ -127,17 +127,42 @@ proptest! {
         for _ in 0..n_events {
             let start = rng.gen_range(0u32..24);
             let end = start + rng.gen_range(1u32..12);
-            let dc = match rng.gen_range(0u8..4) {
+            let concrete = Some(rng.gen_range(0u16..3));
+            let mut dc = match rng.gen_range(0u8..4) {
                 0 => None,
                 d => Some(u16::from(d) - 1),
             };
-            let kind = match rng.gen_range(0u8..3) {
+            let kind = match rng.gen_range(0u8..6) {
                 0 => EventKind::CapacityDerate { factor: rng.gen_range(0.05f64..1.0) },
                 1 => EventKind::PriceSpike { factor: rng.gen_range(0.2f64..6.0) },
-                _ => EventKind::PvDerate { factor: rng.gen_range(0.0f64..1.0) },
+                2 => EventKind::PvDerate { factor: rng.gen_range(0.0f64..1.0) },
+                3 => {
+                    // Outages and cascades always name a concrete DC.
+                    dc = concrete;
+                    EventKind::DcOutage
+                }
+                4 => EventKind::NetworkPartition { factor: rng.gen_range(0.05f64..1.0) },
+                _ => {
+                    dc = concrete;
+                    EventKind::CascadeDerate {
+                        factor: rng.gen_range(0.05f64..1.0),
+                        lag_slots: rng.gen_range(1u32..4),
+                    }
+                }
             };
             events.push(EngineEvent { dc, start_slot: start, end_slot: end, kind });
         }
+        // Exact duplicates and same-window overlaps must normalize
+        // deterministically too: replay the first event verbatim and
+        // shadow it with an outage over the identical window.
+        let first = events[0];
+        events.push(first);
+        events.push(EngineEvent {
+            dc: Some(0),
+            start_slot: first.start_slot,
+            end_slot: first.end_slot,
+            kind: EventKind::DcOutage,
+        });
         prop_assert!(EventTimeline::new(events.clone()).validate(3).is_ok());
 
         // Three insertion orders: as generated, reversed, and rotated.
@@ -147,7 +172,7 @@ proptest! {
             reversed.push(*e);
         }
         let mut rotated = events.clone();
-        rotated.rotate_left(n_events / 2);
+        rotated.rotate_left(events.len() / 2);
         let rotated = EventTimeline::new(rotated);
 
         prop_assert_eq!(&forward, &reversed);
@@ -166,6 +191,8 @@ proptest! {
                     (forward.capacity_modulator(dc), reversed.capacity_modulator(dc)),
                     (forward.price_modulator(dc), reversed.price_modulator(dc)),
                     (forward.pv_modulator(dc), reversed.pv_modulator(dc)),
+                    (forward.outage_modulator(dc), reversed.outage_modulator(dc)),
+                    (forward.link_modulator(dc), reversed.link_modulator(dc)),
                 ] {
                     prop_assert_eq!(a.factor_at(slot).to_bits(), b.factor_at(slot).to_bits());
                 }

@@ -131,6 +131,20 @@ impl MigrationPlan {
         }
     }
 
+    /// Appends `candidate` unconditionally, past any latency budget —
+    /// the evacuation path for a DC outage, where leaving the VM behind
+    /// is not an option. The forced volume still lands in the committed
+    /// traffic matrix, so subsequent [`MigrationPlan::try_add`] calls
+    /// feel its bandwidth pressure. Same-DC moves are ignored.
+    pub fn force_add(&mut self, candidate: Migration) {
+        if candidate.from == candidate.to {
+            return;
+        }
+        self.volumes
+            .add(candidate.from, candidate.to, candidate.size.to_megabytes());
+        self.migrations.push(candidate);
+    }
+
     /// Number of committed migrations.
     pub fn len(&self) -> usize {
         self.migrations.len()
@@ -232,6 +246,24 @@ mod tests {
         assert!(busy.try_add(mig(0, 0, 1, 8.0), &m, Seconds(1e9), &mut rng));
         let contended = busy.latency_with(&m, mig(9, 2, 1, 8.0), &mut rng);
         assert!(contended.0 > lone.0, "contended {contended} vs lone {lone}");
+    }
+
+    #[test]
+    fn forced_migrations_crowd_the_plan() {
+        // An evacuation committed past the budget still occupies the
+        // destination link: a voluntary migration that fit an empty
+        // plan is slower (and can be rejected) afterwards.
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(6);
+        let empty = MigrationPlan::new(3);
+        let lone = empty.latency_with(&m, mig(9, 2, 1, 8.0), &mut rng);
+        let mut plan = MigrationPlan::new(3);
+        plan.force_add(mig(0, 0, 1, 400.0));
+        assert_eq!(plan.len(), 1, "forced move is committed");
+        let crowded = plan.latency_with(&m, mig(9, 2, 1, 8.0), &mut rng);
+        assert!(crowded.0 > lone.0, "crowded {crowded} vs lone {lone}");
+        plan.force_add(mig(1, 1, 1, 8.0));
+        assert_eq!(plan.len(), 1, "same-DC force is ignored");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The named stress-world registry.
 //!
-//! Six presets, each a [`WorldSpec`] delta over whatever base scale the
-//! caller picks (`--paper`, the default repro scale, `--bench`,
+//! Eight presets, each a [`WorldSpec`] delta over whatever base scale
+//! the caller picks (`--paper`, the default repro scale, `--bench`,
 //! `--stress`). Event windows open inside the quick-matrix horizon
 //! (the first 12 slots) so the shortened CI/golden runs exercise every
 //! preset, not just the long-form ones; fleet-shaped magnitudes are
@@ -158,6 +158,61 @@ pub fn green_drought() -> WorldSpec {
     spec
 }
 
+/// `dc_outage` — a failure-heavy day: the largest DC goes fully dark
+/// and must be evacuated through the migration model, a partition
+/// throttles the second site's links mid-evacuation, and a cascading
+/// derate front sweeps the fleet as the outage lifts.
+pub fn dc_outage() -> WorldSpec {
+    let mut spec = WorldSpec::baseline(
+        "dc_outage",
+        "full-DC outage + link partition + cascading derate front",
+        "evacuation overruns dominate; latency-aware movers lose least",
+    );
+    spec.events = vec![
+        WorldEvent::DcOutage {
+            dc: 0,
+            start_slot: 4,
+            end_slot: 7,
+        },
+        WorldEvent::NetworkPartition {
+            dc: Some(1),
+            start_slot: 5,
+            end_slot: 9,
+            factor: 0.3,
+        },
+        WorldEvent::CascadeDerate {
+            dc: 0,
+            start_slot: 8,
+            end_slot: 10,
+            factor: 0.6,
+            lag_slots: 1,
+        },
+    ];
+    spec
+}
+
+/// `trace_replay` — arrivals scripted from the committed trace CSV ride
+/// on top of the synthetic stream: fixed footprints, lifetimes and
+/// trace seeds instead of sampled ones, replayed bit-identically on
+/// every run. Peer-wired traces go through the `--trace` replayer; the
+/// preset path scripts arrivals only, so the committed file is
+/// deliberately peer-free.
+pub fn trace_replay() -> WorldSpec {
+    let mut spec = WorldSpec::baseline(
+        "trace_replay",
+        "deterministic trace-scripted arrivals over the synthetic base",
+        "rankings match paper; scripted cohort shifts absolute loads",
+    );
+    let rows = geoplace_workload::tracefile::parse_trace(include_str!("../data/trace_replay.csv"))
+        .expect("the committed trace_replay.csv must parse");
+    assert!(
+        rows.iter().all(|row| row.peer.is_none()),
+        "the preset path scripts arrivals only — keep trace_replay.csv peer-free"
+    );
+    spec.scripted = rows.iter().map(|row| row.scripted()).collect();
+    spec
+}
+
 /// Every preset, in the canonical registry (and matrix-row) order.
 pub fn registry() -> Vec<WorldSpec> {
     vec![
@@ -167,6 +222,8 @@ pub fn registry() -> Vec<WorldSpec> {
         hetero_fleet(),
         churn_storm(),
         green_drought(),
+        dc_outage(),
+        trace_replay(),
     ]
 }
 
@@ -186,7 +243,7 @@ mod tests {
     use geoplace_dcsim::config::ScenarioConfig;
 
     #[test]
-    fn registry_has_the_six_worlds_with_unique_names() {
+    fn registry_has_the_eight_worlds_with_unique_names() {
         let names = names();
         assert_eq!(
             names,
@@ -196,7 +253,9 @@ mod tests {
                 "weekly_seasonal",
                 "hetero_fleet",
                 "churn_storm",
-                "green_drought"
+                "green_drought",
+                "dc_outage",
+                "trace_replay"
             ]
         );
         let mut deduped = names.clone();
@@ -259,5 +318,23 @@ mod tests {
             .iter()
             .any(|c| !c.fleet.arrivals.day_rate_factors.is_empty()));
         assert!(lowered.iter().any(|c| !c.timeline.is_empty()));
+        assert!(lowered
+            .iter()
+            .any(|c| !c.fleet.arrivals.scripted.is_empty()));
+        assert!(lowered.iter().any(|c| c
+            .timeline
+            .events()
+            .iter()
+            .any(|e| e.kind == geoplace_dcsim::events::EventKind::DcOutage)));
+    }
+
+    #[test]
+    fn the_committed_replay_trace_fits_the_quick_matrix() {
+        let spec = trace_replay();
+        assert!(!spec.scripted.is_empty());
+        assert!(
+            spec.scripted.iter().all(|row| row.slot <= 10),
+            "scripted arrivals must land inside the 12-slot quick horizon"
+        );
     }
 }

@@ -16,7 +16,7 @@
 
 use geoplace_dcsim::config::ScenarioConfig;
 use geoplace_dcsim::events::{EngineEvent, EventKind};
-use geoplace_workload::arrivals::{BurstConfig, CohortConfig};
+use geoplace_workload::arrivals::{BurstConfig, CohortConfig, ScriptedArrival};
 use geoplace_workload::mix::FleetMix;
 
 /// One scheduled perturbation of a world.
@@ -85,6 +85,43 @@ pub enum WorldEvent {
         /// Fixed lifetime of every member, slots.
         lifetime_slots: u32,
     },
+    /// Whole-DC outage: the engine marks `dc` unusable over the window
+    /// and forcibly evacuates its VMs through the migration model.
+    DcOutage {
+        /// The DC that goes dark (outages always name a concrete DC).
+        dc: u16,
+        /// First affected slot.
+        start_slot: u32,
+        /// One past the last affected slot.
+        end_slot: u32,
+    },
+    /// Network partition: links touching `dc` (or every link) keep only
+    /// `factor` of their bandwidth over the window, inflating migration
+    /// latencies and degraded-path response times.
+    NetworkPartition {
+        /// Target DC (`None` = every link).
+        dc: Option<u16>,
+        /// First affected slot.
+        start_slot: u32,
+        /// One past the last affected slot.
+        end_slot: u32,
+        /// Remaining link-bandwidth fraction, in (0, 1].
+        factor: f64,
+    },
+    /// Cascading derate: a capacity derate that starts at an origin DC
+    /// and propagates to each higher-indexed DC `lag_slots` later.
+    CascadeDerate {
+        /// Origin DC of the failure front.
+        dc: u16,
+        /// First affected slot at the origin.
+        start_slot: u32,
+        /// One past the last affected slot at the origin.
+        end_slot: u32,
+        /// Usable server fraction at each reached DC, in (0, 1].
+        factor: f64,
+        /// Slots the front takes to reach each next DC (>= 1).
+        lag_slots: u32,
+    },
 }
 
 /// A named, composable world specification.
@@ -107,6 +144,9 @@ pub struct WorldSpec {
     pub day_rate_factors: Vec<f64>,
     /// Scheduled perturbations.
     pub events: Vec<WorldEvent>,
+    /// Trace-scripted arrivals appended to the synthetic stream (empty
+    /// = purely synthetic; filled by trace-replay worlds).
+    pub scripted: Vec<ScriptedArrival>,
 }
 
 impl WorldSpec {
@@ -125,6 +165,7 @@ impl WorldSpec {
             mix: FleetMix::default(),
             day_rate_factors: Vec::new(),
             events: Vec::new(),
+            scripted: Vec::new(),
         }
     }
 
@@ -207,8 +248,46 @@ impl WorldSpec {
                     vms: ((base_population * fraction).round() as u32).max(2),
                     lifetime_slots,
                 }),
+                WorldEvent::DcOutage {
+                    dc,
+                    start_slot,
+                    end_slot,
+                } => config.timeline.push(EngineEvent {
+                    dc: Some(dc),
+                    start_slot,
+                    end_slot,
+                    kind: EventKind::DcOutage,
+                }),
+                WorldEvent::NetworkPartition {
+                    dc,
+                    start_slot,
+                    end_slot,
+                    factor,
+                } => config.timeline.push(EngineEvent {
+                    dc,
+                    start_slot,
+                    end_slot,
+                    kind: EventKind::NetworkPartition { factor },
+                }),
+                WorldEvent::CascadeDerate {
+                    dc,
+                    start_slot,
+                    end_slot,
+                    factor,
+                    lag_slots,
+                } => config.timeline.push(EngineEvent {
+                    dc: Some(dc),
+                    start_slot,
+                    end_slot,
+                    kind: EventKind::CascadeDerate { factor, lag_slots },
+                }),
             }
         }
+        config
+            .fleet
+            .arrivals
+            .scripted
+            .extend(self.scripted.iter().copied());
         config
     }
 }
@@ -297,5 +376,48 @@ mod tests {
         assert!(config.validate().is_ok());
         assert_eq!(config.timeline.events().len(), 3);
         assert!(config.fleet.arrivals.bursts.is_empty());
+    }
+
+    #[test]
+    fn failure_events_and_scripts_lower_onto_the_config() {
+        use geoplace_workload::trace::TraceKind;
+        let mut spec = WorldSpec::baseline("failing", "outages", "-");
+        spec.events = vec![
+            WorldEvent::DcOutage {
+                dc: 0,
+                start_slot: 4,
+                end_slot: 7,
+            },
+            WorldEvent::NetworkPartition {
+                dc: Some(1),
+                start_slot: 5,
+                end_slot: 9,
+                factor: 0.3,
+            },
+            WorldEvent::CascadeDerate {
+                dc: 0,
+                start_slot: 8,
+                end_slot: 10,
+                factor: 0.6,
+                lag_slots: 1,
+            },
+        ];
+        spec.scripted = vec![ScriptedArrival {
+            slot: 2,
+            memory_gb: 4.0,
+            lifetime_slots: 6,
+            kind: TraceKind::WebServing,
+            trace_seed: 9,
+        }];
+        let config = spec.apply(ScenarioConfig::scaled(1));
+        assert!(config.validate().is_ok());
+        assert_eq!(config.timeline.events().len(), 3);
+        assert!(config
+            .timeline
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::DcOutage && e.dc == Some(0)));
+        assert_eq!(config.fleet.arrivals.scripted.len(), 1);
+        assert_eq!(config.fleet.arrivals.scripted[0].slot, 2);
     }
 }

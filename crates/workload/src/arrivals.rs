@@ -111,6 +111,55 @@ impl CohortConfig {
     }
 }
 
+/// One trace-scripted arrival: a fully specified VM injected at a fixed
+/// slot, typically parsed from a trace CSV (see `workload::tracefile`).
+///
+/// Unlike every other spawn path, scripted arrivals consume *no* draws
+/// from the arrival stream's RNG: the utilization trace derives from the
+/// row's own `trace_seed`. An empty scripted list therefore leaves the
+/// legacy arrival streams bit-identical, and a scripted VM's behavior
+/// does not depend on its position in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedArrival {
+    /// Arrival slot (must be >= 1; slot 0 belongs to the initial
+    /// population).
+    pub slot: u32,
+    /// Memory footprint in GB; also determines the vCPU count.
+    pub memory_gb: f64,
+    /// Slots the VM stays active.
+    pub lifetime_slots: u32,
+    /// Utilization-trace family.
+    pub kind: TraceKind,
+    /// Seed of the VM's deterministic trace.
+    pub trace_seed: u64,
+}
+
+impl ScriptedArrival {
+    /// Validates the scripted row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on degenerate parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.slot == 0 {
+            return Err(Error::invalid_config(
+                "scripted arrivals land at slot >= 1 (slot 0 is the initial population)",
+            ));
+        }
+        if !self.memory_gb.is_finite() || self.memory_gb <= 0.0 {
+            return Err(Error::invalid_config(
+                "scripted arrival memory must be finite and > 0",
+            ));
+        }
+        if self.lifetime_slots == 0 {
+            return Err(Error::invalid_config(
+                "scripted arrival lifetime must be >= 1 slot",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the arrival process.
 ///
 /// # Examples
@@ -139,6 +188,10 @@ pub struct ArrivalConfig {
     pub bursts: Vec<BurstConfig>,
     /// Correlated-batch cohorts injected at fixed slots (empty = none).
     pub cohorts: Vec<CohortConfig>,
+    /// Trace-scripted arrivals injected at fixed slots (empty = none);
+    /// they ride alongside the synthetic streams without perturbing
+    /// their RNG draws.
+    pub scripted: Vec<ScriptedArrival>,
     /// Heterogeneous fleet composition; when non-empty it replaces the
     /// paper's size/profile distributions (each *group* draws one
     /// class, so application tiers stay internally homogeneous).
@@ -160,6 +213,7 @@ impl Default for ArrivalConfig {
             seed: 0xA11CE,
             bursts: Vec::new(),
             cohorts: Vec::new(),
+            scripted: Vec::new(),
             mix: FleetMix::default(),
             day_rate_factors: Vec::new(),
         }
@@ -198,6 +252,9 @@ impl ArrivalConfig {
         }
         for cohort in &self.cohorts {
             cohort.validate()?;
+        }
+        for row in &self.scripted {
+            row.validate()?;
         }
         self.mix.validate()?;
         if !self.day_rate_factors.is_empty()
@@ -397,7 +454,33 @@ impl ArrivalProcess {
         }
         self.spawn_cohorts(slot, &mut vms);
         self.spawn_bursts(slot, &mut vms);
+        self.spawn_scripted(slot, &mut vms);
         vms
+    }
+
+    /// Spawns every trace-scripted arrival scheduled exactly at `slot`.
+    /// Draws *nothing* from the stream RNG: the trace parameters come
+    /// from the row's own seed, so the synthetic streams above are
+    /// bit-identical whether or not a trace rides along.
+    fn spawn_scripted(&mut self, slot: TimeSlot, vms: &mut Vec<VmSpec>) {
+        for index in 0..self.config.scripted.len() {
+            let row = self.config.scripted[index];
+            if row.slot != slot.0 {
+                continue;
+            }
+            let group = self.fresh_group();
+            let id = VmId(self.next_vm);
+            self.next_vm += 1;
+            let params = TraceParams::sample(row.kind, &mut StdRng::seed_from_u64(row.trace_seed));
+            vms.push(VmSpec::new(
+                id,
+                group,
+                Gigabytes(row.memory_gb),
+                slot,
+                row.lifetime_slots,
+                VmTrace::new(params, row.trace_seed),
+            ));
+        }
     }
 
     /// Spawns every cohort scheduled exactly at `slot` as one fully
@@ -558,6 +641,68 @@ mod tests {
         let mut c = ArrivalConfig::default();
         c.groups_per_slot = f64::NAN;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scripted_arrivals_do_not_perturb_the_synthetic_stream() {
+        let base = ArrivalConfig::default();
+        let mut traced = base.clone();
+        traced.scripted = vec![ScriptedArrival {
+            slot: 2,
+            memory_gb: 4.0,
+            lifetime_slots: 6,
+            kind: TraceKind::Hpc,
+            trace_seed: 99,
+        }];
+        let mut a = ArrivalProcess::new(base).unwrap();
+        let mut b = ArrivalProcess::new(traced).unwrap();
+        assert_eq!(a.initial_population(), b.initial_population());
+        for s in 1..=4u32 {
+            let va = a.arrivals_for(TimeSlot(s));
+            let vb = b.arrivals_for(TimeSlot(s));
+            if s < 2 {
+                assert_eq!(va, vb, "slot {s}: identical before the script fires");
+            } else if s == 2 {
+                assert_eq!(vb.len(), va.len() + 1);
+                assert_eq!(va, vb[..va.len()], "scripted VMs append after the streams");
+                let scripted = vb.last().unwrap();
+                assert_eq!(scripted.memory(), Gigabytes(4.0));
+                assert_eq!(scripted.departure().0, 2 + 6);
+            } else {
+                // Ids shift by the scripted VM, but every synthetic draw
+                // (memory, lifetime) is untouched.
+                assert_eq!(va.len(), vb.len(), "slot {s}");
+                for (x, y) in va.iter().zip(&vb) {
+                    assert_eq!(x.memory(), y.memory());
+                    assert_eq!(x.departure().0.saturating_sub(s), y.departure().0 - s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_rows_validate() {
+        let row = ScriptedArrival {
+            slot: 1,
+            memory_gb: 2.0,
+            lifetime_slots: 3,
+            kind: TraceKind::WebServing,
+            trace_seed: 0,
+        };
+        assert!(row.validate().is_ok());
+        assert!(ScriptedArrival { slot: 0, ..row }.validate().is_err());
+        assert!(ScriptedArrival {
+            memory_gb: 0.0,
+            ..row
+        }
+        .validate()
+        .is_err());
+        assert!(ScriptedArrival {
+            lifetime_slots: 0,
+            ..row
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

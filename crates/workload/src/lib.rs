@@ -40,6 +40,7 @@ pub mod mix;
 pub mod source;
 pub mod sparsity;
 pub mod trace;
+pub mod tracefile;
 pub mod vm;
 pub mod window;
 

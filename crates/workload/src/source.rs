@@ -10,8 +10,10 @@
 //! ([`ExternalDeltaSource`]).
 
 use crate::fleet::{ExternalArrival, ExternalPair, ExternalSlotEvents, FleetDelta, VmFleet};
+use crate::tracefile::TraceRow;
 use geoplace_types::time::TimeSlot;
 use geoplace_types::{Result, VmId};
+use std::collections::BTreeMap;
 
 /// A producer of slot-boundary fleet changes.
 pub trait DeltaSource {
@@ -83,6 +85,98 @@ impl DeltaSource for ExternalDeltaSource {
     }
 }
 
+/// A trace replayer: feeds the rows of a parsed trace file (see
+/// [`crate::tracefile`]) into the fleet slot by slot, exactly as an
+/// external orchestrator would. Trace-local VM ids are mapped to fresh
+/// engine ids at arrival time; departures happen by the rows' natural
+/// lifetime expiry; traffic wiring lands at the peer's arrival boundary.
+///
+/// A failed advance (which a parse-time-validated trace should never
+/// produce) leaves the fleet, the cursor and the id map untouched, so
+/// the same boundary can be retried.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSource {
+    /// Parse-validated rows in non-decreasing slot order.
+    rows: Vec<TraceRow>,
+    /// Index of the first row not yet replayed.
+    cursor: usize,
+    /// Trace-local id → engine id of every replayed row.
+    ids: BTreeMap<u32, VmId>,
+}
+
+impl TraceSource {
+    /// Creates a replayer over parse-validated rows (the output of
+    /// [`crate::tracefile::parse_trace`], which guarantees slot order,
+    /// unique ids and alive peers).
+    pub fn new(rows: Vec<TraceRow>) -> Self {
+        TraceSource {
+            rows,
+            cursor: 0,
+            ids: BTreeMap::new(),
+        }
+    }
+
+    /// Rows not yet replayed (a horizon shorter than the trace simply
+    /// leaves a tail unplayed).
+    pub fn remaining(&self) -> usize {
+        self.rows.len() - self.cursor
+    }
+
+    /// The engine id a trace-local VM id was mapped to at arrival.
+    pub fn engine_id(&self, trace_vm: u32) -> Option<VmId> {
+        self.ids.get(&trace_vm).copied()
+    }
+}
+
+impl DeltaSource for TraceSource {
+    fn advance(&mut self, fleet: &mut VmFleet, slot: TimeSlot) -> Result<FleetDelta> {
+        let mut events = ExternalSlotEvents::default();
+        // Fresh ids are consecutive from the fleet's watermark, assigned
+        // in row order — deterministic in (trace, slot).
+        let base = fleet.fresh_vm_id().0;
+        let mut staged: Vec<(u32, VmId)> = Vec::new();
+        let mut next = self.cursor;
+        while let Some(row) = self.rows.get(next) {
+            if row.slot != slot.0 {
+                break;
+            }
+            let id = VmId(base + staged.len() as u32);
+            staged.push((row.vm, id));
+            events.arrivals.push(ExternalArrival {
+                id,
+                memory_gb: row.memory_gb,
+                lifetime_slots: row.lifetime_slots,
+                kind: row.kind,
+                trace_seed: row.trace_seed,
+            });
+            if let Some(peer) = row.peer {
+                let peer_id = self
+                    .ids
+                    .get(&peer)
+                    .copied()
+                    .or_else(|| {
+                        staged
+                            .iter()
+                            .find(|&&(trace_vm, _)| trace_vm == peer)
+                            .map(|&(_, id)| id)
+                    })
+                    .expect("parse_trace guarantees peers are declared earlier");
+                events.traffic.push(ExternalPair {
+                    a: id,
+                    b: peer_id,
+                    a_to_b_mb: row.mb_to_peer,
+                    b_to_a_mb: row.mb_from_peer,
+                });
+            }
+            next += 1;
+        }
+        let delta = fleet.advance_external(slot, &events)?;
+        self.cursor = next;
+        self.ids.extend(staged);
+        Ok(delta)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +230,40 @@ mod tests {
         // The queue drained: the next boundary applies nothing external.
         let delta = source.advance(&mut fleet, TimeSlot(2)).unwrap();
         assert!(delta.arrived.is_empty());
+    }
+
+    #[test]
+    fn trace_source_replays_rows_at_their_slots() {
+        use crate::tracefile::{parse_trace, TRACE_HEADER};
+        let text = format!(
+            "{TRACE_HEADER}\n\
+             1,0,4.0,24,web,11,,,\n\
+             1,1,2.0,24,batch,12,0,6.5,1.5\n\
+             3,2,8.0,6,hpc,13,1,0.0,2.25\n"
+        );
+        let mut fleet = fleet();
+        let mut source = TraceSource::new(parse_trace(&text).unwrap());
+        assert_eq!(source.remaining(), 3);
+
+        let delta = source.advance(&mut fleet, TimeSlot(1)).unwrap();
+        let a = source.engine_id(0).unwrap();
+        let b = source.engine_id(1).unwrap();
+        assert!(delta.arrived.contains(&a) && delta.arrived.contains(&b));
+        assert_eq!(b.0, a.0 + 1, "fresh ids are consecutive in row order");
+        let rates = fleet.data_correlation().directed_rates(b, a).unwrap();
+        assert_eq!(rates, (6.5, 1.5), "same-slot peer wiring lands");
+        assert_eq!(source.remaining(), 1);
+
+        // A slot with no rows replays nothing (synthetic churn is off in
+        // the external path; natural expiries still happen).
+        let delta = source.advance(&mut fleet, TimeSlot(2)).unwrap();
+        assert!(delta.arrived.is_empty());
+
+        let delta = source.advance(&mut fleet, TimeSlot(3)).unwrap();
+        let c = source.engine_id(2).unwrap();
+        assert_eq!(delta.arrived, vec![c]);
+        assert!(fleet.data_correlation().directed_rates(c, b).is_some());
+        assert_eq!(source.remaining(), 0);
     }
 
     #[test]
