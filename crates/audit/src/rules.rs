@@ -10,6 +10,7 @@
 //! |----|----------|-------|-----------|
 //! | D1 | deny | engine crates | no unordered `HashMap`/`HashSet` iteration |
 //! | D2 | deny | everything but bench-timing bins | no wall-clock / entropy / env reads |
+//! | D3 | deny | engine crates | no `std::fs` outside `dcsim/src/checkpoint.rs` |
 //! | R1 | deny | service layer | no `.unwrap()` / `.expect(` / panicking macros |
 //! | S1 | deny | everywhere | `unsafe` requires a `// SAFETY:` comment |
 //! | A0 | deny | everywhere | suppression comments must be well-formed |
@@ -36,6 +37,8 @@ pub enum RuleId {
     D1,
     /// Wall-clock, entropy or environment reads in engine code.
     D2,
+    /// Filesystem access in engine crates outside the checkpoint module.
+    D3,
     /// Panicking calls in the long-running service layer.
     R1,
     /// `unsafe` without a `// SAFETY:` comment.
@@ -48,9 +51,10 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::D1,
         RuleId::D2,
+        RuleId::D3,
         RuleId::R1,
         RuleId::S1,
         RuleId::A0,
@@ -62,6 +66,7 @@ impl RuleId {
         match self {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
             RuleId::R1 => "R1",
             RuleId::S1 => "S1",
             RuleId::A0 => "A0",
@@ -84,6 +89,10 @@ impl RuleId {
             RuleId::D2 => {
                 "no SystemTime/Instant/entropy/env reads outside the allowlisted \
                  bench-timing binaries (runs must be input-determined)"
+            }
+            RuleId::D3 => {
+                "no std::fs in engine crates outside dcsim/src/checkpoint.rs \
+                 (file I/O belongs to the harness and checkpoint layers)"
             }
             RuleId::R1 => {
                 "no .unwrap()/.expect(/panic-family macros in the service layer \
@@ -151,6 +160,21 @@ const D2_ALLOWLIST: [&str; 3] = [
     "crates/bench/src/bin/diag_stress_profile.rs",
 ];
 
+/// Engine crates: pure functions of config + seed. File I/O belongs to
+/// the bench harness and the checkpoint layer, never to simulation
+/// state transitions.
+const D3_SCOPE: [&str; 5] = [
+    "crates/core/",
+    "crates/dcsim/",
+    "crates/workload/",
+    "crates/energy/",
+    "crates/network/",
+];
+
+/// The one engine module whose whole job is file I/O: `.gpck`
+/// checkpoint save/load (tmp-and-rename writes, strict reads).
+const D3_EXEMPT: [&str; 1] = ["crates/dcsim/src/checkpoint.rs"];
+
 /// The long-running service layer: the protocol promise is that no
 /// input — malformed, mistimed or hostile — ever kills the session.
 const R1_SCOPE: [&str; 3] = [
@@ -186,6 +210,9 @@ pub fn audit_file(rel_path: &str, src: &str) -> Vec<Finding> {
     }
     if !D2_ALLOWLIST.contains(&rel_path) {
         findings.extend(check_d2(rel_path, src, &tokens));
+    }
+    if D3_SCOPE.iter().any(|p| rel_path.starts_with(p)) && !D3_EXEMPT.contains(&rel_path) {
+        findings.extend(check_d3(rel_path, src, &tokens));
     }
     if R1_SCOPE.contains(&rel_path) {
         findings.extend(check_r1(rel_path, src, &tokens));
@@ -282,7 +309,7 @@ fn collect_suppressions(
         let rule_name = rest[..close].trim();
         let Some(rule) = RuleId::parse(rule_name) else {
             fail(format!(
-                "unknown rule {rule_name:?} in suppression (known: D1, D2, R1, S1)"
+                "unknown rule {rule_name:?} in suppression (known: D1, D2, D3, R1, S1)"
             ));
             continue;
         };
@@ -517,6 +544,36 @@ fn check_d2(rel_path: &str, src: &str, tokens: &[Token]) -> Vec<Finding> {
     findings
 }
 
+/// D3 — filesystem access in engine crates.
+///
+/// Matches the `fs` path segment followed by `::` — this catches both
+/// fully-qualified `std::fs::read(...)` calls and `use std::fs::…`
+/// imports (and the `fs::read(...)` call sites such an import
+/// enables). `crates/dcsim/src/checkpoint.rs` is exempted by path: it
+/// is the designated save/load boundary.
+fn check_d3(rel_path: &str, src: &str, tokens: &[Token]) -> Vec<Finding> {
+    let code = code_tokens(tokens);
+    let mut findings = Vec::new();
+    for i in 0..code.len() {
+        if !is_ident(code[i], src, "fs") {
+            continue;
+        }
+        let qualifies = matches!(code.get(i + 1), Some(c) if c.text(src) == ":")
+            && matches!(code.get(i + 2), Some(c) if c.text(src) == ":");
+        if qualifies {
+            findings.push(Finding {
+                rule: RuleId::D3,
+                path: rel_path.to_owned(),
+                line: code[i].line,
+                message: "std::fs in an engine crate — file I/O belongs to the bench \
+                          harness or dcsim/src/checkpoint.rs, not simulation code"
+                    .to_owned(),
+            });
+        }
+    }
+    findings
+}
+
 /// R1 — panicking calls in the service layer.
 fn check_r1(rel_path: &str, src: &str, tokens: &[Token]) -> Vec<Finding> {
     let code = code_tokens(tokens);
@@ -632,6 +689,25 @@ mod tests {
         let suppressed = "// audit:allow(D2): test-only timing guard\n\
                           fn f() { let t = std::time::Instant::now(); }";
         assert!(audit_at("crates/core/src/x.rs", suppressed).is_empty());
+    }
+
+    #[test]
+    fn d3_forbids_fs_in_engine_crates_except_the_checkpoint_module() {
+        let src = r#"fn f() { let _ = std::fs::read("x"); }"#;
+        let f = audit_at("crates/workload/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::D3);
+        assert!(f[0].message.contains("checkpoint"), "{}", f[0]);
+
+        // The designated I/O boundary and non-engine crates are exempt.
+        assert!(audit_at("crates/dcsim/src/checkpoint.rs", src).is_empty());
+        assert!(audit_at("crates/bench/src/x.rs", src).is_empty());
+
+        // An import counts too — it is what enables the call sites.
+        let imported = "use std::fs::read;\nfn f() {}";
+        let f = audit_at("crates/energy/src/x.rs", imported);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::D3);
     }
 
     #[test]

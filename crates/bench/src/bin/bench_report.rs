@@ -1,6 +1,7 @@
 //! Per-slot wall-clock of the slot pipeline's three driving modes —
 //! incremental, from-scratch and the `geoplace-serve` service path —
-//! emitted as `BENCH_9.json` so the perf trajectory accumulates in CI.
+//! plus the checkpoint/resume overhead, emitted as `BENCH_10.json` so
+//! the perf trajectory accumulates in CI.
 //!
 //! Runs the Proposed policy over the paper-scale fleet (≈1,200 VMs),
 //! the stress fleet (≈10,000 VMs), and a failure-heavy paper-scale cell
@@ -15,10 +16,17 @@
 //! asserted identical, so the bench doubles as an end-to-end
 //! equivalence smoke at every scale, failure worlds included.
 //!
+//! Each scale also gets a **checkpoint cell**: the run is frozen at the
+//! mid-horizon boundary (`checkpoint_with_policy` + encode, timed),
+//! restored into a fresh world (decode + `restore_with_policy`, timed),
+//! driven to the end, and its digest asserted equal to the
+//! uninterrupted run — so the snapshot size and save/restore overhead
+//! land in the trajectory with correctness pinned.
+//!
 //! Flags: `--slots N` (horizon, default 6), `--seed N`, `--only N`
 //! (restrict to the cells with that target fleet size, e.g. `--only
 //! 1200` keeps both the paper and the dc_outage cells), `--out PATH`
-//! (default `BENCH_9.json` in the working directory).
+//! (default `BENCH_10.json` in the working directory).
 
 use geoplace_bench::flag_from_args;
 use geoplace_bench::scenario::{proposed_config_for, PolicyKind};
@@ -132,6 +140,68 @@ fn run_service_cell(
     }
 }
 
+struct CheckpointCell {
+    n_target: u32,
+    scenario: &'static str,
+    slot: u32,
+    save_ms: f64,
+    restore_ms: f64,
+    snapshot_bytes: usize,
+    digest: String,
+}
+
+/// Freezes the run at the mid-horizon boundary, restores into a fresh
+/// world, finishes it, and returns the resumed digest with the measured
+/// save (checkpoint + encode) and restore (decode + restore) overheads.
+fn run_checkpoint_cell(
+    base: &ScenarioConfig,
+    n_target: u32,
+    scenario_name: &'static str,
+    slots: u32,
+) -> CheckpointCell {
+    use geoplace_dcsim::checkpoint::{checkpoint_with_policy, restore_with_policy};
+    use geoplace_dcsim::policy::GlobalPolicy;
+    use geoplace_types::snap::Checkpoint;
+    use geoplace_workload::source::SyntheticSource;
+    let at = (slots / 2).max(1);
+    let mut stepper = Simulator::new(Scenario::build(base).expect("valid config")).into_stepper();
+    let mut policy = ProposedPolicy::new(proposed_config_for(base));
+    let mut source = SyntheticSource;
+    for _ in 0..at {
+        stepper
+            .advance_world(&mut source)
+            .expect("synthetic advance");
+        let decision = policy.decide(&stepper.observe());
+        stepper.apply(decision).expect("valid decision");
+    }
+    let start = Instant::now();
+    let ck = checkpoint_with_policy(&stepper, &policy).expect("boundary checkpoint");
+    let bytes = ck.encode();
+    let save = start.elapsed();
+    let start = Instant::now();
+    let decoded = Checkpoint::decode(&bytes).expect("own snapshot decodes");
+    let mut resumed = Simulator::new(Scenario::build(base).expect("valid config")).into_stepper();
+    let mut fresh = ProposedPolicy::new(proposed_config_for(base));
+    restore_with_policy(&mut resumed, &mut fresh, &decoded).expect("own snapshot restores");
+    let restore = start.elapsed();
+    while !resumed.is_done() {
+        resumed
+            .advance_world(&mut source)
+            .expect("synthetic advance");
+        let decision = fresh.decide(&resumed.observe());
+        resumed.apply(decision).expect("valid decision");
+    }
+    CheckpointCell {
+        n_target,
+        scenario: scenario_name,
+        slot: at,
+        save_ms: ms(save),
+        restore_ms: ms(restore),
+        snapshot_bytes: bytes.len(),
+        digest: resumed.into_report(fresh.name()).digest(),
+    }
+}
+
 fn main() {
     geoplace_bench::enforce_flags_or_exit(&[
         ("--slots", true),
@@ -142,7 +212,7 @@ fn main() {
     let slots = flag_from_args::<u32>("--slots").unwrap_or(6).max(2);
     let seed = flag_from_args::<u64>("--seed").unwrap_or(42);
     let only = flag_from_args::<u32>("--only");
-    let out = flag_from_args::<String>("--out").unwrap_or_else(|| "BENCH_9.json".into());
+    let out = flag_from_args::<String>("--out").unwrap_or_else(|| "BENCH_10.json".into());
 
     let mut scales: Vec<(u32, &'static str, ScenarioConfig)> = Vec::new();
     let mut paper = ScenarioConfig::paper(seed);
@@ -162,10 +232,12 @@ fn main() {
     }
 
     let mut cells: Vec<Cell> = Vec::new();
+    let mut checkpoint_cells: Vec<CheckpointCell> = Vec::new();
     for (n_target, scenario, config) in &scales {
         let incremental = run_cell(config, *n_target, scenario, IncrementalConfig::Auto, slots);
         let from_scratch = run_cell(config, *n_target, scenario, IncrementalConfig::Off, slots);
         let service = run_service_cell(config, *n_target, scenario, slots);
+        let checkpoint = run_checkpoint_cell(config, *n_target, scenario, slots);
         assert_eq!(
             incremental.digest, from_scratch.digest,
             "{scenario} n={n_target}: incremental and from-scratch reports diverged"
@@ -173,6 +245,10 @@ fn main() {
         assert_eq!(
             incremental.digest, service.digest,
             "{scenario} n={n_target}: the serve session diverged from the engine"
+        );
+        assert_eq!(
+            incremental.digest, checkpoint.digest,
+            "{scenario} n={n_target}: the resumed run diverged from the uninterrupted one"
         );
         println!(
             "{:>9} n≈{:>5}: incremental {:8.1} ms/slot vs from-scratch {:8.1} ms/slot \
@@ -184,9 +260,20 @@ fn main() {
             from_scratch.steady_per_slot_ms / incremental.steady_per_slot_ms.max(1e-9),
             service.steady_per_slot_ms,
         );
+        println!(
+            "{:>9} n≈{:>5}: checkpoint save {:6.1} ms, restore {:6.1} ms, {:>9} bytes \
+             (slot {}, resumed digest verified)",
+            scenario,
+            n_target,
+            checkpoint.save_ms,
+            checkpoint.restore_ms,
+            checkpoint.snapshot_bytes,
+            checkpoint.slot,
+        );
         cells.push(incremental);
         cells.push(from_scratch);
         cells.push(service);
+        checkpoint_cells.push(checkpoint);
     }
 
     let rows: Vec<String> = cells
@@ -208,10 +295,23 @@ fn main() {
             )
         })
         .collect();
+    let checkpoint_rows: Vec<String> = checkpoint_cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"n_vms_target\": {}, \"scenario\": \"{}\", \"slot\": {}, \
+                 \"save_ms\": {:.2}, \"restore_ms\": {:.2}, \"snapshot_bytes\": {}, \
+                 \"digest\": \"{}\"}}",
+                c.n_target, c.scenario, c.slot, c.save_ms, c.restore_ms, c.snapshot_bytes, c.digest
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"slot_pipeline_modes\",\n  \"policy\": \"Proposed\",\n  \
-         \"slots\": {slots},\n  \"seed\": {seed},\n  \"cells\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"slots\": {slots},\n  \"seed\": {seed},\n  \"cells\": [\n{}\n  ],\n  \
+         \"checkpoint_cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        checkpoint_rows.join(",\n")
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("wrote {out}");

@@ -13,7 +13,12 @@
 //! * `--trace PATH` — fleet changes replay a trace CSV (see
 //!   `geoplace_workload::tracefile` for the schema). Strict: a missing
 //!   file or a malformed row exits 2 naming the offending line before
-//!   the session starts. Mutually exclusive with `--external`.
+//!   the session starts. Mutually exclusive with `--external`;
+//! * `--checkpoint-every N --checkpoint-dir PATH` — write a
+//!   `ckpt_slotNNNNN.gpck` snapshot into PATH after every N completed
+//!   slots (both flags required together; N ≥ 1; an uncreatable
+//!   directory exits 2 naming it). Snapshots restore with the
+//!   `restore` command or inspect with `geoplace-ckpt`.
 //!
 //! See `geoplace_bench::serve` for the command set. The process exits 0
 //! on a `shutdown` command or stdin EOF; malformed commands produce
@@ -29,6 +34,8 @@ fn main() {
         ("--policy", true),
         ("--external", false),
         ("--trace", true),
+        ("--checkpoint-every", true),
+        ("--checkpoint-dir", true),
     ]);
     let mut config = cli.config();
     if let Some(slots) = flag_from_args::<u32>("--slots") {
@@ -63,12 +70,40 @@ fn main() {
         },
         None => Session::new(&config, policy, external),
     };
-    let mut session = match session {
+    let session = match session {
         Ok(session) => session,
         Err(message) => {
             eprintln!("error: {message}");
             std::process::exit(2);
         }
+    };
+
+    // Auto-checkpointing: both flags together, N ≥ 1, and a usable
+    // directory — all validated here, before the session starts, so a
+    // misconfigured service dies loudly instead of silently never saving.
+    let every = flag_from_args::<u32>("--checkpoint-every");
+    let dir = flag_from_args::<String>("--checkpoint-dir");
+    let mut session = match (every, dir) {
+        (None, None) => session,
+        (Some(_), None) => {
+            eprintln!("error: --checkpoint-every requires --checkpoint-dir PATH");
+            std::process::exit(2);
+        }
+        (None, Some(_)) => {
+            eprintln!("error: --checkpoint-dir requires --checkpoint-every N");
+            std::process::exit(2);
+        }
+        (Some(0), Some(_)) => {
+            eprintln!("error: --checkpoint-every must be at least 1 slot, got 0");
+            std::process::exit(2);
+        }
+        (Some(every), Some(dir)) => match session.with_checkpointing(every, dir.into()) {
+            Ok(session) => session,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        },
     };
 
     let stdin = std::io::stdin();

@@ -353,6 +353,21 @@ pub fn run_policy(config: &ScenarioConfig, kind: PolicyKind) -> SimulationReport
     }
 }
 
+/// Builds the selected policy fresh over a configuration — the exact
+/// construction [`run_policy`] uses, boxed for stepper-level drivers
+/// (serve sessions, checkpoint/resume tests).
+pub fn policy_for(
+    config: &ScenarioConfig,
+    kind: PolicyKind,
+) -> Box<dyn geoplace_dcsim::policy::GlobalPolicy> {
+    match kind {
+        PolicyKind::Proposed => Box::new(ProposedPolicy::new(proposed_config_for(config))),
+        PolicyKind::PriAware => Box::new(PriAwarePolicy::new()),
+        PolicyKind::EnerAware => Box::new(EnerAwarePolicy::new()),
+        PolicyKind::NetAware => Box::new(NetAwarePolicy::new()),
+    }
+}
+
 /// Runs one policy with a custom Proposed configuration (ablations).
 pub fn run_proposed_with(config: &ScenarioConfig, proposed: ProposedConfig) -> SimulationReport {
     let scenario = Scenario::build(config).expect("harness scenario must be valid");

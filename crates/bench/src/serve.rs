@@ -14,6 +14,18 @@
 //! | `vm_arrive` | external mode | queue an arrival for the next `advance` |
 //! | `vm_depart` | external mode | queue a departure for the next `advance` |
 //! | `wire_traffic` | external mode | queue a traffic pair for the next `advance` |
+//! | `checkpoint` | awaiting advance | write a versioned snapshot to `path` |
+//! | `restore` | awaiting advance | replace the run with the snapshot at `path` |
+//!
+//! Checkpoints carry the engine state, the policy's warm-start state and
+//! the session's own state (source cursor / pending events, external-id
+//! watermark) in one `.gpck` container — see the `geoplace_types::snap`
+//! codec and `geoplace_dcsim::checkpoint`. A malformed snapshot fails a
+//! `restore` with a structured error naming the bad section, and the
+//! running session is left exactly as it was (the restore commits only
+//! after every section validated into fresh state). With
+//! [`Session::with_checkpointing`] the session also drops
+//! `ckpt_slotNNNNN.gpck` files into a directory every N completed slots.
 //!
 //! Besides the synthetic and external modes, [`Session::with_trace`]
 //! replays a parse-validated trace file (`--trace PATH` on the binary):
@@ -33,18 +45,19 @@
 //! produces for the same configuration and policy.
 
 use crate::json::{object, Value};
-use crate::scenario::{proposed_config_for, PolicyKind};
-use geoplace_baselines::{EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy};
-use geoplace_core::ProposedPolicy;
+use crate::scenario::PolicyKind;
+use geoplace_dcsim::checkpoint::{checkpoint_path, checkpoint_with_policy, restore_with_policy};
 use geoplace_dcsim::config::ScenarioConfig;
 use geoplace_dcsim::engine::Scenario;
 use geoplace_dcsim::policy::GlobalPolicy;
 use geoplace_dcsim::stepper::SlotStepper;
+use geoplace_types::snap::{Checkpoint, SnapWriter, Snapshot};
 use geoplace_types::VmId;
 use geoplace_workload::fleet::{ExternalArrival, ExternalPair};
 use geoplace_workload::source::{ExternalDeltaSource, SyntheticSource, TraceSource};
 use geoplace_workload::trace::TraceKind;
 use geoplace_workload::tracefile::TraceRow;
+use std::path::{Path, PathBuf};
 
 /// Where slot boundaries get their fleet changes from.
 enum Source {
@@ -86,6 +99,13 @@ pub struct Session {
     /// Next id handed to an external arrival; kept monotonic so several
     /// `vm_arrive` commands between two advances never collide.
     next_external_id: u32,
+    /// The scenario and policy selection, kept so `restore` can rebuild a
+    /// fresh world to validate a snapshot into before committing it.
+    config: ScenarioConfig,
+    kind: PolicyKind,
+    /// Auto-checkpoint cadence: every N completed slots, into this
+    /// directory ([`Session::with_checkpointing`]).
+    auto_checkpoint: Option<(u32, PathBuf)>,
 }
 
 impl Session {
@@ -120,19 +140,30 @@ impl Session {
 
     fn build(config: &ScenarioConfig, kind: PolicyKind, source: Source) -> Result<Session, String> {
         let scenario = Scenario::build(config).map_err(|e| e.to_string())?;
-        let policy: Box<dyn GlobalPolicy> = match kind {
-            PolicyKind::Proposed => Box::new(ProposedPolicy::new(proposed_config_for(config))),
-            PolicyKind::PriAware => Box::new(PriAwarePolicy::new()),
-            PolicyKind::EnerAware => Box::new(EnerAwarePolicy::new()),
-            PolicyKind::NetAware => Box::new(NetAwarePolicy::new()),
-        };
         let stepper = SlotStepper::new(scenario);
         Ok(Session {
             stepper,
-            policy,
+            policy: make_policy(config, kind),
             source,
             next_external_id: 0,
+            config: config.clone(),
+            kind,
+            auto_checkpoint: None,
         })
+    }
+
+    /// Enables auto-checkpointing: after every `every` completed slots a
+    /// `ckpt_slotNNNNN.gpck` file is written into `dir` (created here if
+    /// missing). Maps the `--checkpoint-every N --checkpoint-dir PATH`
+    /// flags of the binary.
+    pub fn with_checkpointing(mut self, every: u32, dir: PathBuf) -> Result<Session, String> {
+        if every == 0 {
+            return Err("checkpoint interval must be at least 1 slot (got 0)".into());
+        }
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create checkpoint directory {}: {e}", dir.display()))?;
+        self.auto_checkpoint = Some((every, dir));
+        Ok(self)
     }
 
     /// The underlying stepper (inspection from tests and benches).
@@ -180,6 +211,8 @@ impl Session {
             "vm_arrive" => self.vm_arrive(&request)?,
             "vm_depart" => self.vm_depart(&request)?,
             "wire_traffic" => self.wire_traffic(&request)?,
+            "checkpoint" => self.checkpoint(&request)?,
+            "restore" => self.restore(&request)?,
             other => return Err(format!("unknown command {other:?}")),
         };
         Ok((value, false))
@@ -209,7 +242,7 @@ impl Session {
         let decision = self.policy.decide(&self.stepper.observe());
         let metrics = self.stepper.apply(decision).map_err(|e| e.to_string())?;
         let record = metrics.record;
-        Ok(object(vec![
+        let mut members = vec![
             ("ok", Value::Bool(true)),
             ("slot", metrics.slot.0.into()),
             ("cost_eur", record.cost_eur.into()),
@@ -220,7 +253,113 @@ impl Session {
             ("active_vms", record.active_vms.into()),
             ("active_servers", record.active_servers.into()),
             ("response_worst_s", record.response_worst_s.into()),
+            ("state_hash", hex64(metrics.state_hash).into()),
             ("done", self.stepper.is_done().into()),
+        ];
+        // Auto-checkpoint at the cadence boundary; a failed write is
+        // reported in-band (the slot itself already applied cleanly).
+        if let Some((every, dir)) = &self.auto_checkpoint {
+            let completed = metrics.slot.0 + 1;
+            if completed % *every == 0 && !self.stepper.is_done() {
+                let path = checkpoint_path(dir, completed);
+                match self.write_checkpoint(&path) {
+                    Ok(()) => members.push(("checkpoint", path.display().to_string().into())),
+                    Err(e) => members.push(("checkpoint_error", e.into())),
+                }
+            }
+        }
+        Ok(object(members))
+    }
+
+    /// Builds the full session checkpoint: engine + policy sections from
+    /// `geoplace_dcsim::checkpoint`, plus a `serve` section holding the
+    /// event source's state (pending external batch / trace cursor) and
+    /// the external-id watermark.
+    fn build_checkpoint(&self) -> Result<Checkpoint, String> {
+        let mut ck =
+            checkpoint_with_policy(&self.stepper, &*self.policy).map_err(|e| e.to_string())?;
+        let mut w = SnapWriter::new();
+        w.write_str(self.source.name());
+        match &self.source {
+            Source::Synthetic(_) => {}
+            Source::External(source) => source.save_state(&mut w),
+            Source::Trace(source) => source.save_state(&mut w),
+        }
+        w.write_u32(self.next_external_id);
+        ck.add_section("serve", w.into_bytes());
+        Ok(ck)
+    }
+
+    fn write_checkpoint(&self, path: &Path) -> Result<(), String> {
+        let ck = self.build_checkpoint()?;
+        geoplace_dcsim::checkpoint::write_file(&ck, path).map_err(|e| e.to_string())
+    }
+
+    fn checkpoint(&mut self, request: &Value) -> Result<Value, String> {
+        let path = require_str(request, "path")?;
+        let ck = self.build_checkpoint()?;
+        let bytes = ck.encode().len();
+        geoplace_dcsim::checkpoint::write_file(&ck, Path::new(&path)).map_err(|e| e.to_string())?;
+        Ok(object(vec![
+            ("ok", Value::Bool(true)),
+            ("path", path.into()),
+            ("slot", ck.slot.into()),
+            ("state_hash", hex64(ck.state_hash).into()),
+            ("bytes", bytes.into()),
+        ]))
+    }
+
+    /// Replaces the running session with the snapshot at `path`. Every
+    /// section is validated into *fresh* state first (a rebuilt world, a
+    /// fresh policy, a staged copy of the source), and the session is
+    /// only swapped once all of them restored cleanly — so a truncated or
+    /// corrupted snapshot returns a structured error naming the bad
+    /// section and leaves the running session exactly as it was.
+    fn restore(&mut self, request: &Value) -> Result<Value, String> {
+        let path = require_str(request, "path")?;
+        let ck =
+            geoplace_dcsim::checkpoint::read_file(Path::new(&path)).map_err(|e| e.to_string())?;
+        // Stage the serve section: source identity, source state, watermark.
+        let mut r = ck.section("serve").map_err(|e| e.to_string())?;
+        let stored_source = r.read_str().map_err(|e| e.to_string())?;
+        if stored_source != self.source.name() {
+            return Err(format!(
+                "checkpoint was taken under source {stored_source:?}, \
+                 not this session's {:?}",
+                self.source.name()
+            ));
+        }
+        let staged_source = match &self.source {
+            Source::Synthetic(_) => Source::Synthetic(SyntheticSource),
+            Source::External(source) => {
+                let mut staged = source.clone();
+                staged.restore_state(&mut r).map_err(|e| e.to_string())?;
+                Source::External(staged)
+            }
+            Source::Trace(source) => {
+                let mut staged = source.clone();
+                staged.restore_state(&mut r).map_err(|e| e.to_string())?;
+                Source::Trace(staged)
+            }
+        };
+        let next_external_id = r.read_u32().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())?;
+        // Stage engine + policy into a freshly built world.
+        let scenario = Scenario::build(&self.config).map_err(|e| e.to_string())?;
+        let mut stepper = SlotStepper::new(scenario);
+        let mut policy = make_policy(&self.config, self.kind);
+        restore_with_policy(&mut stepper, &mut *policy, &ck).map_err(|e| e.to_string())?;
+        // Everything validated — commit.
+        self.stepper = stepper;
+        self.policy = policy;
+        self.source = staged_source;
+        self.next_external_id = next_external_id;
+        Ok(object(vec![
+            ("ok", Value::Bool(true)),
+            ("path", path.into()),
+            ("slot", self.stepper.current_slot().0.into()),
+            ("completed_slots", self.stepper.completed_slots().into()),
+            ("state_hash", hex64(self.stepper.state_hash()).into()),
         ]))
     }
 
@@ -236,6 +375,7 @@ impl Session {
             ("active_vms", fleet_size.into()),
             ("policy", self.policy.name().into()),
             ("source", self.source.name().into()),
+            ("state_hash", hex64(self.stepper.state_hash()).into()),
             (
                 "external",
                 matches!(self.source, Source::External(_)).into(),
@@ -403,6 +543,26 @@ impl Session {
             ("pending_traffic", source.pending().traffic.len().into()),
         ]))
     }
+}
+
+/// Builds the selected policy fresh over a configuration — used both at
+/// session construction and to stage a `restore` target.
+fn make_policy(config: &ScenarioConfig, kind: PolicyKind) -> Box<dyn GlobalPolicy> {
+    crate::scenario::policy_for(config, kind)
+}
+
+/// A u64 state hash as the protocol's 16-digit hex string — JSON numbers
+/// are f64 and cannot carry 64 bits faithfully.
+fn hex64(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+fn require_str(request: &Value, key: &str) -> Result<String, String> {
+    request
+        .get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field {key:?}"))
 }
 
 fn require_f64(request: &Value, key: &str) -> Result<f64, String> {
@@ -592,6 +752,132 @@ mod tests {
         .contains("--external"));
         let advanced = ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
         assert_eq!(advanced.get("arrived").and_then(Value::as_u64), Some(1));
+        Ok(())
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_to_the_reference_digest() -> Result<(), String> {
+        let config = tiny();
+        let path = std::env::temp_dir().join("geoplace_serve_ckpt_test.gpck");
+        let mut session = Session::new(&config, PolicyKind::Proposed, false)?;
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+        let saved = ok(&session.handle_line(&format!(
+            r#"{{"cmd":"checkpoint","path":{:?}}}"#,
+            path.display().to_string()
+        )))?;
+        assert_eq!(saved.get("slot").and_then(Value::as_u64), Some(1));
+        let saved_hash = saved
+            .get("state_hash")
+            .and_then(Value::as_str)
+            .ok_or("no state_hash in checkpoint response")?
+            .to_owned();
+        // A *fresh* session restores the file and finishes the horizon.
+        let mut resumed = Session::new(&config, PolicyKind::Proposed, false)?;
+        let restored = ok(&resumed.handle_line(&format!(
+            r#"{{"cmd":"restore","path":{:?}}}"#,
+            path.display().to_string()
+        )))?;
+        assert_eq!(restored.get("slot").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            restored.get("state_hash").and_then(Value::as_str),
+            Some(saved_hash.as_str()),
+            "restore must land on the checkpointed state hash"
+        );
+        for _ in 1..config.horizon_slots {
+            ok(&resumed.handle_line(r#"{"cmd":"advance"}"#))?;
+            ok(&resumed.handle_line(r#"{"cmd":"decide"}"#))?;
+        }
+        assert_eq!(
+            resumed.digest(),
+            run_policy(&config, PolicyKind::Proposed).digest(),
+            "resumed session must reproduce the uninterrupted digest"
+        );
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    }
+
+    #[test]
+    fn mid_slot_checkpoint_is_a_structured_error() -> Result<(), String> {
+        let mut session = Session::new(&tiny(), PolicyKind::NetAware, false)?;
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        let message =
+            err(&session.handle_line(r#"{"cmd":"checkpoint","path":"/tmp/unused.gpck"}"#))?;
+        assert!(message.contains("mid-slot"), "{message}");
+        // Session still drivable.
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+        Ok(())
+    }
+
+    #[test]
+    fn bad_restores_leave_the_session_untouched() -> Result<(), String> {
+        let config = tiny();
+        let dir = std::env::temp_dir();
+        let good = dir.join("geoplace_serve_good.gpck");
+        let truncated = dir.join("geoplace_serve_truncated.gpck");
+        let bumped = dir.join("geoplace_serve_bumped.gpck");
+        let mut session = Session::new(&config, PolicyKind::Proposed, false)?;
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+        ok(&session.handle_line(&format!(
+            r#"{{"cmd":"checkpoint","path":{:?}}}"#,
+            good.display().to_string()
+        )))?;
+        let bytes = std::fs::read(&good).map_err(|e| e.to_string())?;
+        std::fs::write(&truncated, &bytes[..bytes.len() - 7]).map_err(|e| e.to_string())?;
+        let mut wrong = bytes.clone();
+        wrong[4] = 0xFF; // format-version byte
+        std::fs::write(&bumped, &wrong).map_err(|e| e.to_string())?;
+
+        let hash_before = session.stepper().state_hash();
+        let message = err(&session.handle_line(&format!(
+            r#"{{"cmd":"restore","path":{:?}}}"#,
+            truncated.display().to_string()
+        )))?;
+        assert!(message.contains("snapshot"), "{message}");
+        let message = err(&session.handle_line(&format!(
+            r#"{{"cmd":"restore","path":{:?}}}"#,
+            bumped.display().to_string()
+        )))?;
+        assert!(message.contains("version"), "{message}");
+        let message =
+            err(&session.handle_line(r#"{"cmd":"restore","path":"/no/such/file.gpck"}"#))?;
+        assert!(message.contains("/no/such/file.gpck"), "{message}");
+        // The failed restores changed nothing and the session drives on.
+        assert_eq!(session.stepper().state_hash(), hash_before);
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+        for path in [&good, &truncated, &bumped] {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn auto_checkpointing_drops_files_at_the_cadence() -> Result<(), String> {
+        let mut config = tiny();
+        config.horizon_slots = 4;
+        let dir = std::env::temp_dir().join("geoplace_serve_auto_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut session = Session::new(&config, PolicyKind::EnerAware, false)?
+            .with_checkpointing(2, dir.clone())?;
+        assert!(Session::new(&config, PolicyKind::EnerAware, false)?
+            .with_checkpointing(0, dir.clone())
+            .is_err());
+        let mut checkpoint_lines = 0;
+        for _ in 0..config.horizon_slots {
+            ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+            let decided = ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+            if decided.get("checkpoint").is_some() {
+                checkpoint_lines += 1;
+            }
+        }
+        assert_eq!(
+            checkpoint_lines, 1,
+            "slot 2 only; the final slot is not saved"
+        );
+        assert!(dir.join("ckpt_slot00002.gpck").exists());
+        let _ = std::fs::remove_dir_all(&dir);
         Ok(())
     }
 

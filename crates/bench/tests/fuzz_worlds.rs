@@ -23,14 +23,18 @@
 //! every fuzzed report) — see README § Fuzzing. CI runs this file as a
 //! dedicated capped step with `FUZZ_WORLDS_QUICK=1`.
 
-use geoplace_bench::scenario::{run_policy, PolicyKind};
+use geoplace_bench::scenario::{policy_for, run_policy, PolicyKind};
+use geoplace_dcsim::checkpoint::{checkpoint_with_policy, restore_with_policy};
 use geoplace_dcsim::config::{IncrementalConfig, ScenarioConfig};
+use geoplace_dcsim::engine::{Scenario, Simulator};
 use geoplace_dcsim::events::{effective_servers, EngineEvent, EventKind};
 use geoplace_dcsim::metrics::SimulationReport;
+use geoplace_types::snap::Checkpoint;
 use geoplace_types::time::TimeSlot;
 use geoplace_types::Parallelism;
 use geoplace_workload::arrivals::ScriptedArrival;
 use geoplace_workload::fleet::VmFleet;
+use geoplace_workload::source::SyntheticSource;
 use geoplace_workload::trace::TraceKind;
 use proptest::prelude::*;
 
@@ -255,6 +259,93 @@ proptest! {
                     threads
                 );
             }
+        }
+    }
+
+    /// Checkpoint/resume is invisible: freezing a fuzzed world at a
+    /// proptest-chosen slot boundary, round-tripping the snapshot
+    /// through the codec, and resuming into fresh process state
+    /// reproduces the uninterrupted run's digest AND its per-slot state
+    /// hashes bit-for-bit. The timeline carries one event of every
+    /// [`EventKind`] and the world runs in both engine modes.
+    #[test]
+    fn fuzzed_checkpoints_resume_bit_identically(
+        seed in 0u64..1000,
+        initial_groups in 4u32..12,
+        groups_per_slot in 0.5f64..2.5,
+        horizon in 3u32..6,
+        ck_pick in 1u32..100,
+        events in proptest::collection::vec(event_strategy(), 6),
+    ) {
+        // Force full kind coverage: event i carries kind i, so every
+        // case exercises derates, spikes, outages, partitions and
+        // cascades across the checkpoint boundary.
+        let events: Vec<RawEvent> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &((_, dc, fleet_wide), rest))| ((i as u8, dc, fleet_wide), rest))
+            .collect();
+        let ck_slot = 1 + ck_pick % (horizon - 1);
+        for mode in [IncrementalConfig::Off, IncrementalConfig::Auto] {
+            let mut config =
+                fuzzed_config(seed, initial_groups, groups_per_slot, horizon, &events, &[]);
+            config.incremental = mode;
+            prop_assert!(config.validate().is_ok(), "fuzzed config invalid: {:?}", config.validate());
+
+            // Uninterrupted reference, recording every slot's state hash.
+            let mut stepper = Simulator::new(Scenario::build(&config).unwrap()).into_stepper();
+            let mut policy = policy_for(&config, PolicyKind::Proposed);
+            let mut source = SyntheticSource;
+            let mut reference_hashes = Vec::new();
+            while !stepper.is_done() {
+                stepper.advance_world(&mut source).unwrap();
+                let d = policy.decide(&stepper.observe());
+                reference_hashes.push(stepper.apply(d).unwrap().state_hash);
+            }
+            let reference = stepper.into_report(policy.name());
+
+            // Interrupted run: freeze at ck_slot, codec round-trip,
+            // restore into entirely fresh state, resume to the horizon.
+            let mut stepper = Simulator::new(Scenario::build(&config).unwrap()).into_stepper();
+            let mut policy = policy_for(&config, PolicyKind::Proposed);
+            for _ in 0..ck_slot {
+                stepper.advance_world(&mut source).unwrap();
+                let d = policy.decide(&stepper.observe());
+                stepper.apply(d).unwrap();
+            }
+            let ck = checkpoint_with_policy(&stepper, &*policy).unwrap();
+            let ck = Checkpoint::decode(&ck.encode()).unwrap();
+            prop_assert_eq!(
+                ck.state_hash,
+                reference_hashes[ck_slot as usize - 1],
+                "checkpoint hash at slot {} diverged from the uninterrupted run ({:?})",
+                ck_slot,
+                mode
+            );
+            let mut resumed = Simulator::new(Scenario::build(&config).unwrap()).into_stepper();
+            let mut fresh = policy_for(&config, PolicyKind::Proposed);
+            restore_with_policy(&mut resumed, &mut *fresh, &ck).unwrap();
+            let mut resumed_hashes = Vec::new();
+            while !resumed.is_done() {
+                resumed.advance_world(&mut source).unwrap();
+                let d = fresh.decide(&resumed.observe());
+                resumed_hashes.push(resumed.apply(d).unwrap().state_hash);
+            }
+            prop_assert_eq!(
+                &resumed_hashes,
+                &reference_hashes[ck_slot as usize..],
+                "per-slot state hashes diverged after resuming at slot {} ({:?})",
+                ck_slot,
+                mode
+            );
+            let report = resumed.into_report(fresh.name());
+            prop_assert_eq!(
+                report.digest(),
+                reference.digest(),
+                "resumed digest diverged at checkpoint slot {} ({:?})",
+                ck_slot,
+                mode
+            );
         }
     }
 

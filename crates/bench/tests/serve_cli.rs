@@ -109,6 +109,133 @@ fn trace_and_external_are_mutually_exclusive() {
 }
 
 #[test]
+fn a_malformed_checkpoint_every_exits_2_naming_the_flag() {
+    let dir = scratch("ckpt_malformed_every");
+    let (code, _, stderr) = run(
+        &[
+            "--bench",
+            "--slots",
+            "2",
+            "--checkpoint-every",
+            "banana",
+            "--checkpoint-dir",
+            dir.to_str().expect("utf-8 path"),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("--checkpoint-every"),
+        "stderr must name the flag: {stderr}"
+    );
+
+    let (code, _, stderr) = run(
+        &[
+            "--bench",
+            "--slots",
+            "2",
+            "--checkpoint-every",
+            "0",
+            "--checkpoint-dir",
+            dir.to_str().expect("utf-8 path"),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("--checkpoint-every") && stderr.contains("at least 1"),
+        "stderr must reject the zero interval: {stderr}"
+    );
+}
+
+#[test]
+fn a_lone_checkpoint_flag_exits_2_naming_its_partner() {
+    let (code, _, stderr) = run(&["--bench", "--slots", "2", "--checkpoint-every", "2"], "");
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("--checkpoint-dir"), "stderr: {stderr}");
+
+    let (code, _, stderr) = run(
+        &["--bench", "--slots", "2", "--checkpoint-dir", "/tmp/x"],
+        "",
+    );
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("--checkpoint-every"), "stderr: {stderr}");
+}
+
+#[test]
+fn an_unwritable_checkpoint_dir_exits_2_naming_it() {
+    let (code, _, stderr) = run(
+        &[
+            "--bench",
+            "--slots",
+            "2",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint-dir",
+            "/proc/definitely/not/writable",
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("/proc/definitely/not/writable"),
+        "stderr must name the directory: {stderr}"
+    );
+}
+
+/// The full CLI checkpoint loop: a session with `--checkpoint-every`
+/// drops a snapshot and reports its path in-band; a second process
+/// restores that file and picks up at the saved slot; a restore aimed
+/// at a missing file is a structured error that leaves the second
+/// session running (exit 0 via clean shutdown).
+#[test]
+fn auto_checkpoints_restore_across_processes() {
+    let dir = scratch("ckpt_cli_roundtrip");
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let (code, stdout, stderr) = run(
+        &[
+            "--bench",
+            "--seed",
+            "42",
+            "--slots",
+            "4",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-dir",
+            dir.to_str().expect("utf-8 path"),
+        ],
+        "{\"cmd\":\"advance\"}\n{\"cmd\":\"decide\"}\n\
+         {\"cmd\":\"advance\"}\n{\"cmd\":\"decide\"}\n{\"cmd\":\"shutdown\"}\n",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let ckpt = dir.join("ckpt_slot00002.gpck");
+    assert!(ckpt.exists(), "stdout: {stdout}");
+    assert!(
+        stdout.contains("ckpt_slot00002.gpck"),
+        "the decide response must report the written path: {stdout}"
+    );
+
+    let restore = format!(
+        "{{\"cmd\":\"restore\",\"path\":\"/definitely/not/here.gpck\"}}\n\
+         {{\"cmd\":\"restore\",\"path\":\"{}\"}}\n{{\"cmd\":\"shutdown\"}}\n",
+        ckpt.display()
+    );
+    let (code, stdout, stderr) = run(&["--bench", "--seed", "42", "--slots", "4"], &restore);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "stdout: {stdout}");
+    assert!(
+        lines[0].contains("\"ok\":false") && lines[0].contains("/definitely/not/here.gpck"),
+        "a missing snapshot must be a structured error naming the path: {stdout}"
+    );
+    assert!(
+        lines[1].contains("\"ok\":true") && lines[1].contains("\"slot\":2"),
+        "the restore must land on the saved slot: {stdout}"
+    );
+    assert!(lines[2].contains("\"ok\":true"), "stdout: {stdout}");
+}
+
+#[test]
 fn a_valid_trace_serves_a_session_to_completion() {
     let path = scratch("valid_trace.csv");
     std::fs::write(

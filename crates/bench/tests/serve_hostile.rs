@@ -193,6 +193,63 @@ fn evacuation_survives_external_churn_and_bad_targets() -> Result<(), String> {
     Ok(())
 }
 
+/// A `restore` pointed at garbage bytes: pure noise fails the magic
+/// check, magic-prefixed noise fails deeper in the header — both come
+/// back as structured errors naming the section and byte offset, and
+/// the session drives on to the exact uninterrupted digest.
+#[test]
+fn garbage_snapshot_bytes_never_kill_the_session() -> Result<(), String> {
+    let config = tiny();
+    let expected = run_policy(&config, PolicyKind::Proposed).digest();
+    let mut session = Session::new(&config, PolicyKind::Proposed, false)?;
+
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    // Deterministic xorshift noise — hostile-input tests must not pull
+    // OS entropy any more than the engine may.
+    let mut word = 0x9E37_79B9_7F4A_7C15u64;
+    let mut noise = Vec::with_capacity(4096);
+    for _ in 0..4096 {
+        word ^= word << 13;
+        word ^= word >> 7;
+        word ^= word << 17;
+        noise.push(word as u8);
+    }
+    let pure_noise = dir.join("garbage_noise.gpck");
+    std::fs::write(&pure_noise, &noise).map_err(|e| e.to_string())?;
+    // The same noise behind a valid magic: gets past the first check
+    // and must still die on a named header field, not a panic.
+    let mut magicked = b"GPCK".to_vec();
+    magicked.extend_from_slice(&noise);
+    let magic_noise = dir.join("garbage_magic.gpck");
+    std::fs::write(&magic_noise, &magicked).map_err(|e| e.to_string())?;
+
+    for path in [&pure_noise, &magic_noise] {
+        let line = format!(r#"{{"cmd":"restore","path":"{}"}}"#, path.display());
+        let message = err(&session.handle_line(&line))?;
+        assert!(
+            message.contains("snapshot section"),
+            "restore error must name the bad section and offset: {message}"
+        );
+    }
+    let _ = std::fs::remove_file(&pure_noise);
+    let _ = std::fs::remove_file(&magic_noise);
+
+    for _ in 0..config.horizon_slots {
+        ok(&session.handle_line(r#"{"cmd":"advance"}"#))?;
+        ok(&session.handle_line(r#"{"cmd":"decide"}"#))?;
+    }
+    let response = session.handle_line(r#"{"cmd":"shutdown"}"#);
+    assert!(response.shutdown);
+    let digest = ok(&response)?
+        .get("digest")
+        .and_then(Value::as_str)
+        .ok_or("no digest in shutdown response")?
+        .to_owned();
+    assert_eq!(digest, expected, "garbage restores perturbed the run");
+    Ok(())
+}
+
 #[test]
 fn hostile_interleaving_leaves_the_digest_untouched() -> Result<(), String> {
     let config = tiny();

@@ -235,6 +235,20 @@ impl ForceLayout {
         self.positions.get(&vm).copied()
     }
 
+    /// All warm-start positions in VM-id order — the layout's only state
+    /// that must survive a checkpoint (the scratch buffers are rebuilt by
+    /// the next update, and `scatter` is a pure function of the seed).
+    pub fn positions(&self) -> impl Iterator<Item = (VmId, Point)> + '_ {
+        self.positions.iter().map(|(&vm, &p)| (vm, p))
+    }
+
+    /// Replaces the warm-start positions wholesale (checkpoint restore).
+    /// The next [`ForceLayout::update`] prunes departures and scatters
+    /// arrivals against its arena as usual.
+    pub fn set_positions(&mut self, positions: BTreeMap<VmId, Point>) {
+        self.positions = positions;
+    }
+
     /// Runs the attraction/repulsion iteration for the arena's VM set and
     /// returns their final positions (aligned with the arena indices; the
     /// slice borrows the layout's scratch and is valid until the next

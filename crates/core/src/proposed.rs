@@ -23,8 +23,9 @@ use crate::migrate::{revise_migrations, VmPlacementInput};
 use geoplace_dcsim::decision::PlacementDecision;
 use geoplace_dcsim::policy::GlobalPolicy;
 use geoplace_dcsim::snapshot::SystemSnapshot;
+use geoplace_types::snap::{SnapReader, SnapWriter};
 use geoplace_types::units::Joules;
-use geoplace_types::{DcId, Exec, Parallelism};
+use geoplace_types::{DcId, Error, Exec, Parallelism, Result, VmId};
 use geoplace_workload::cpucorr::{CorrelationMetric, CpuCorrelationMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -294,6 +295,78 @@ impl GlobalPolicy for ProposedPolicy {
         }
         decision
     }
+
+    /// Serializes the warm-start state `decide` carries across slots: the
+    /// migration-check RNG, the previous k-means centroids, and the force
+    /// layout's VM positions. `loads`/`inputs` are per-decide scratch and
+    /// the Pearson matrix is a pure cache — both are rebuilt, not saved.
+    fn save_state(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+        match &self.prev_centroids {
+            None => w.write_bool(false),
+            Some(centroids) => {
+                w.write_bool(true);
+                w.write_u32(centroids.len() as u32);
+                for c in centroids {
+                    w.write_f64(c.x);
+                    w.write_f64(c.y);
+                }
+            }
+        }
+        let count = self.layout.positions().count();
+        w.write_u32(count as u32);
+        for (vm, p) in self.layout.positions() {
+            w.write_u32(vm.0);
+            w.write_f64(p.x);
+            w.write_f64(p.y);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<()> {
+        let state = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
+        let prev_centroids = if r.read_bool()? {
+            let count = r.read_u32()? as usize;
+            let mut centroids = Vec::with_capacity(count);
+            for _ in 0..count {
+                centroids.push(Point {
+                    x: r.read_f64()?,
+                    y: r.read_f64()?,
+                });
+            }
+            Some(centroids)
+        } else {
+            None
+        };
+        let count = r.read_u32()? as usize;
+        let mut positions = std::collections::BTreeMap::new();
+        let mut last: Option<u32> = None;
+        for _ in 0..count {
+            let at = r.offset();
+            let vm = r.read_u32()?;
+            if last.is_some_and(|prev| prev >= vm) {
+                return Err(Error::snapshot(
+                    "policy",
+                    at,
+                    format!(
+                        "layout position ids must be strictly increasing, got {vm} after {last:?}"
+                    ),
+                ));
+            }
+            last = Some(vm);
+            let x = r.read_f64()?;
+            let y = r.read_f64()?;
+            positions.insert(VmId(vm), Point { x, y });
+        }
+        self.rng = StdRng::from_state(state);
+        self.prev_centroids = prev_centroids;
+        self.layout.set_positions(positions);
+        // The Pearson matrix is recomputed from the next observation
+        // (fill-overwrite — bit-identical to the uninterrupted cache).
+        self.pearson = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +509,54 @@ mod tests {
             dc_of[&VmId(1)],
             "heavily communicating pair should land in the same DC"
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_for_proposed() {
+        // The full warm-start surface (layout positions, centroids, RNG)
+        // round-trips through the codec: resuming at slot 3 reproduces
+        // the uninterrupted 6-slot digest, under both repulsion metrics —
+        // Pearson exercises the rebuild-on-restore path of the matrix
+        // cache (`pearson` restores as None and is recomputed in place).
+        use geoplace_dcsim::checkpoint::{checkpoint_with_policy, restore_with_policy};
+        use geoplace_dcsim::config::ScenarioConfig;
+        use geoplace_dcsim::engine::{Scenario, Simulator};
+        use geoplace_types::snap::Checkpoint;
+        use geoplace_workload::source::SyntheticSource;
+        for metric in [
+            CorrelationMetric::PeakCoincidence,
+            CorrelationMetric::Pearson,
+        ] {
+            let mut config = ScenarioConfig::scaled(9);
+            config.horizon_slots = 6;
+            let policy_config = ProposedConfig {
+                repulsion_metric: metric,
+                ..ProposedConfig::default()
+            };
+            let reference = Simulator::new(Scenario::build(&config).unwrap())
+                .run(&mut ProposedPolicy::new(policy_config));
+            let mut stepper = Simulator::new(Scenario::build(&config).unwrap()).into_stepper();
+            let mut policy = ProposedPolicy::new(policy_config);
+            let mut source = SyntheticSource;
+            for _ in 0..3 {
+                stepper.advance_world(&mut source).unwrap();
+                let d = policy.decide(&stepper.observe());
+                stepper.apply(d).unwrap();
+            }
+            let ck = checkpoint_with_policy(&stepper, &policy).unwrap();
+            let ck = Checkpoint::decode(&ck.encode()).unwrap();
+            let mut resumed = Simulator::new(Scenario::build(&config).unwrap()).into_stepper();
+            let mut fresh = ProposedPolicy::new(policy_config);
+            restore_with_policy(&mut resumed, &mut fresh, &ck).unwrap();
+            while !resumed.is_done() {
+                resumed.advance_world(&mut source).unwrap();
+                let d = fresh.decide(&resumed.observe());
+                resumed.apply(d).unwrap();
+            }
+            let report = resumed.into_report(fresh.name());
+            assert_eq!(report.digest(), reference.digest(), "{metric:?}");
+            assert_eq!(report, reference, "{metric:?}");
+        }
     }
 
     #[test]

@@ -143,6 +143,15 @@ impl Simulator {
         self
     }
 
+    /// Decomposes the simulator into its [`SlotStepper`], ready to be
+    /// pumped by hand — the entry point for drivers that need more than
+    /// the batch loop: checkpointing runs
+    /// ([`crate::checkpoint::run_with_checkpoints`]), restore-then-resume,
+    /// or online sessions.
+    pub fn into_stepper(self) -> SlotStepper {
+        SlotStepper::from_parts(self.scenario, self.rng, self.green)
+    }
+
     /// Runs the whole horizon under `policy` and returns the report.
     ///
     /// A thin batch loop over the [`SlotStepper`] lifecycle with the

@@ -11,6 +11,8 @@
 //! * [`engine`] — the hourly-slot / 5 s-tick simulation loop;
 //! * [`stepper`] — the explicit slot lifecycle (`advance_world` →
 //!   `observe` → `apply`) the engine loop and online drivers both pump;
+//! * [`checkpoint`] — versioned checkpoint/resume: policy-inclusive
+//!   snapshots, `.gpck` file I/O, and the checkpoint-every-N batch loop;
 //! * [`metrics`] — reports, totals, histograms (raw data of Figs. 1–6);
 //! * [`testkit`] — shared pathological policy stubs for engine-level
 //!   test suites.
@@ -50,6 +52,7 @@
 //! # Ok::<(), geoplace_types::Error>(())
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod dc;
 pub mod decision;

@@ -2,6 +2,8 @@
 
 use crate::decision::PlacementDecision;
 use crate::snapshot::SystemSnapshot;
+use geoplace_types::snap::{SnapReader, SnapWriter};
+use geoplace_types::Result;
 
 /// A global VM-placement policy, invoked once per hourly slot.
 ///
@@ -16,6 +18,27 @@ pub trait GlobalPolicy {
 
     /// Decides the placement for the upcoming slot.
     fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision;
+
+    /// Appends the policy's warm-start state to a checkpoint's `policy`
+    /// section. Stateless policies (the baselines) write nothing — the
+    /// default. Stateful policies must save whatever `decide` carries
+    /// across slots (RNG, warm-start caches), so a restored policy
+    /// decides bit-identically to the uninterrupted one.
+    fn save_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores the state written by [`GlobalPolicy::save_state`] onto a
+    /// freshly constructed policy of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`geoplace_types::Error::Snapshot`] on a malformed
+    /// payload. The default (stateless) implementation reads nothing.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<()> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Blanket impl so `&mut P` works wherever `impl GlobalPolicy` is needed.
@@ -26,5 +49,13 @@ impl<P: GlobalPolicy + ?Sized> GlobalPolicy for &mut P {
 
     fn decide(&mut self, snapshot: &SystemSnapshot<'_>) -> PlacementDecision {
         (**self).decide(snapshot)
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        (**self).save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<()> {
+        (**self).restore_state(r)
     }
 }

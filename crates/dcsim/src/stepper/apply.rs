@@ -271,7 +271,12 @@ impl SlotStepper {
         self.assignment = new_dc;
         self.report.push_hour(record);
         self.finish_slot();
-        Ok(SlotMetrics { slot, record })
+        let state_hash = self.state_hash();
+        Ok(SlotMetrics {
+            slot,
+            record,
+            state_hash,
+        })
     }
 
     /// Aggregates the fleet's pairwise volumes into a DC-level traffic

@@ -39,6 +39,7 @@
 mod advance;
 mod apply;
 mod observe;
+mod persist;
 
 pub(crate) use apply::effective_tariff;
 
@@ -67,6 +68,12 @@ pub struct SlotMetrics {
     pub slot: TimeSlot,
     /// The full hourly accounting row, exactly as pushed into the report.
     pub record: HourlyRecord,
+    /// FNV-1a hash of the *live engine state* at the boundary after this
+    /// slot (see [`SlotStepper::state_hash`]) — not of the report. A run
+    /// resumed from a checkpoint must reproduce the uninterrupted run's
+    /// hash at every subsequent slot, which proves slot-by-slot state
+    /// convergence rather than just end-of-run digest equality.
+    pub state_hash: u64,
 }
 
 /// Where the stepper is in the slot lifecycle.

@@ -135,6 +135,19 @@ impl Battery {
     pub fn soc_fraction(&self) -> f64 {
         self.soc / self.capacity
     }
+
+    /// Overwrites the state of charge — the battery's only mutable state —
+    /// from a checkpoint. The value is clamped to `[reserve floor,
+    /// capacity]`, the same envelope `charge`/`discharge` enforce, so a
+    /// corrupt snapshot cannot teleport the battery outside physics.
+    pub fn restore_state_of_charge(&mut self, soc: Joules) {
+        let floor = self.reserve_floor();
+        if soc.0.is_finite() {
+            self.soc = Joules(soc.0.clamp(floor.0, self.capacity.0));
+        } else {
+            self.soc = floor;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,69 @@ impl WcmaForecaster {
     }
 }
 
+impl geoplace_types::snap::Snapshot for WcmaForecaster {
+    /// Saves the observation history. Rows are stored by exact `f64` bit
+    /// pattern so the NaN gap markers round-trip unchanged.
+    fn save_state(&self, w: &mut geoplace_types::snap::SnapWriter) {
+        w.write_u32(self.history.len() as u32);
+        for day in &self.history {
+            for &v in day {
+                w.write_f64(v);
+            }
+        }
+        for &v in &self.today {
+            w.write_f64(v);
+        }
+        w.write_u64(self.full_days as u64);
+        w.write_u32(self.cursor as u32);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut geoplace_types::snap::SnapReader<'_>,
+    ) -> geoplace_types::Result<()> {
+        let at = r.offset();
+        let days = r.read_u32()? as usize;
+        if days > self.days {
+            return Err(geoplace_types::Error::snapshot(
+                "dcs",
+                at,
+                format!(
+                    "forecaster history of {days} days exceeds the configured window of {}",
+                    self.days
+                ),
+            ));
+        }
+        let mut history = Vec::with_capacity(days);
+        for _ in 0..days {
+            let mut day = vec![0.0f64; SLOTS_PER_DAY];
+            for v in &mut day {
+                *v = r.read_f64()?;
+            }
+            history.push(day);
+        }
+        let mut today = vec![0.0f64; SLOTS_PER_DAY];
+        for v in &mut today {
+            *v = r.read_f64()?;
+        }
+        let full_days = r.read_u64()? as usize;
+        let at = r.offset();
+        let cursor = r.read_u32()? as usize;
+        if cursor >= SLOTS_PER_DAY {
+            return Err(geoplace_types::Error::snapshot(
+                "dcs",
+                at,
+                format!("forecaster cursor {cursor} is past the {SLOTS_PER_DAY}-slot day"),
+            ));
+        }
+        self.history = history;
+        self.today = today;
+        self.full_days = full_days;
+        self.cursor = cursor;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

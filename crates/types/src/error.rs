@@ -46,6 +46,18 @@ pub enum Error {
         /// Description of the failing computation.
         context: String,
     },
+    /// A checkpoint snapshot failed to decode. Every snapshot error names
+    /// the section being read and the byte offset where decoding stopped,
+    /// so a corrupt file can be diagnosed from the message alone.
+    Snapshot {
+        /// Section being decoded (`"header"` for the container framing).
+        section: String,
+        /// Byte offset into the section (or the whole file for the
+        /// header) where the reader gave up.
+        offset: usize,
+        /// What went wrong at that offset.
+        reason: String,
+    },
 }
 
 impl Error {
@@ -60,6 +72,15 @@ impl Error {
     pub fn unknown_entity(entity: impl fmt::Display) -> Self {
         Error::UnknownEntity {
             entity: entity.to_string(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::Snapshot`].
+    pub fn snapshot(section: impl Into<String>, offset: usize, reason: impl Into<String>) -> Self {
+        Error::Snapshot {
+            section: section.into(),
+            offset,
+            reason: reason.into(),
         }
     }
 }
@@ -78,6 +99,11 @@ impl fmt::Display for Error {
                 "capacity exceeded on {resource}: requested {requested}, available {available}"
             ),
             Error::Numerical { context } => write!(f, "numerical failure: {context}"),
+            Error::Snapshot {
+                section,
+                offset,
+                reason,
+            } => write!(f, "snapshot section {section:?} at byte {offset}: {reason}"),
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod arena;
 pub mod error;
 pub mod exec;
 pub mod ids;
+pub mod snap;
 pub mod time;
 pub mod units;
 

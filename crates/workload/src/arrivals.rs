@@ -540,6 +540,68 @@ impl ArrivalProcess {
         &self.config
     }
 
+    /// Appends the process's mutable position — RNG stream, id/group
+    /// watermarks and the per-burst concurrency ledgers — to a checkpoint
+    /// section. The samplers are pure functions of the config and are the
+    /// rebuild's job.
+    pub fn save_state(&self, w: &mut geoplace_types::snap::SnapWriter) {
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+        w.write_u32(self.next_vm);
+        w.write_u32(self.next_group);
+        w.write_u32(self.burst_departures.len() as u32);
+        for ledger in &self.burst_departures {
+            w.write_u32(ledger.len() as u32);
+            for &departure in ledger {
+                w.write_u32(departure);
+            }
+        }
+    }
+
+    /// Restores the mutable position saved by
+    /// [`ArrivalProcess::save_state`] onto a process rebuilt from the
+    /// same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`geoplace_types::Error::Snapshot`] on truncation or when
+    /// the burst-ledger count disagrees with the configuration.
+    pub fn restore_state(&mut self, r: &mut geoplace_types::snap::SnapReader<'_>) -> Result<()> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.read_u64()?;
+        }
+        let next_vm = r.read_u32()?;
+        let next_group = r.read_u32()?;
+        let at = r.offset();
+        let bursts = r.read_u32()? as usize;
+        if bursts != self.config.bursts.len() {
+            return Err(geoplace_types::Error::snapshot(
+                "arrivals",
+                at,
+                format!(
+                    "snapshot has {bursts} burst ledgers, config declares {}",
+                    self.config.bursts.len()
+                ),
+            ));
+        }
+        let mut burst_departures = Vec::with_capacity(bursts);
+        for _ in 0..bursts {
+            let len = r.read_u32()? as usize;
+            let mut ledger = Vec::with_capacity(len);
+            for _ in 0..len {
+                ledger.push(r.read_u32()?);
+            }
+            burst_departures.push(ledger);
+        }
+        self.rng = StdRng::from_state(state);
+        self.next_vm = next_vm;
+        self.next_group = next_group;
+        self.burst_departures = burst_departures;
+        Ok(())
+    }
+
     fn fresh_group(&mut self) -> GroupId {
         let id = GroupId(self.next_group);
         self.next_group += 1;

@@ -309,6 +309,51 @@ impl DataCorrelation {
         matrix
     }
 
+    /// Appends every pair (rates *and* the drift anchor, which no public
+    /// accessor exposes) to a checkpoint section.
+    pub fn save_state(&self, w: &mut geoplace_types::snap::SnapWriter) {
+        w.write_u32(self.pairs.len() as u32);
+        for (&(a, b), traffic) in &self.pairs {
+            w.write_u32(a.0);
+            w.write_u32(b.0);
+            w.write_f64(traffic.lo_to_hi);
+            w.write_f64(traffic.hi_to_lo);
+            w.write_f64(traffic.anchor);
+        }
+    }
+
+    /// Replaces the pair map with checkpointed state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`geoplace_types::Error::Snapshot`] on truncation or a
+    /// non-canonical (not strictly `lower < higher`) key.
+    pub fn restore_state(
+        &mut self,
+        r: &mut geoplace_types::snap::SnapReader<'_>,
+    ) -> Result<(), geoplace_types::Error> {
+        let count = r.read_u32()?;
+        self.pairs.clear();
+        for _ in 0..count {
+            let at = r.offset();
+            let a = VmId(r.read_u32()?);
+            let b = VmId(r.read_u32()?);
+            let traffic = PairTraffic {
+                lo_to_hi: r.read_f64()?,
+                hi_to_lo: r.read_f64()?,
+                anchor: r.read_f64()?,
+            };
+            if a >= b || self.pairs.insert((a, b), traffic).is_some() {
+                return Err(geoplace_types::Error::snapshot(
+                    "traffic",
+                    at,
+                    format!("pair ({a}, {b}) is not canonical or duplicated"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn sample_pair<R: Rng + ?Sized>(&self, mean_mb: f64, rng: &mut R) -> PairTraffic {
         let (var_lo, var_hi) = self.config.variance_range;
         let direction = |rng: &mut R| {

@@ -439,11 +439,149 @@ impl VmFleet {
         self.vms.len()
     }
 
+    /// FNV-1a hash of the fleet's full serialized position (the same
+    /// bytes `Snapshot::save_state` emits) — one ingredient of the
+    /// engine's per-slot state hash. O(history + pairs).
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut w = geoplace_types::snap::SnapWriter::new();
+        geoplace_types::snap::Snapshot::save_state(self, &mut w);
+        let mut h = geoplace_types::snap::Fnv64::new();
+        h.write_bytes(&w.into_bytes());
+        h.finish()
+    }
+
     fn register(&mut self, vm: VmSpec) {
         let id = vm.id();
         self.by_id.insert(id, self.vms.len());
         self.active.push(id);
         self.vms.push(vm);
+    }
+}
+
+impl geoplace_types::snap::Snapshot for VmFleet {
+    /// Saves the full fleet position: every VM ever admitted (in
+    /// admission order — `advance_external`'s stale-id rejection and
+    /// `fresh_vm_id` both range over the full history, so departed VMs
+    /// must survive a restore too), the active set, the fleet RNG, the
+    /// arrival-process position and the pairwise traffic state. Traces
+    /// are stored as `(params, seed)` and regenerated on restore.
+    fn save_state(&self, w: &mut geoplace_types::snap::SnapWriter) {
+        w.write_u32(self.current_slot.0);
+        for word in self.rng.state() {
+            w.write_u64(word);
+        }
+        w.write_u32(self.vms.len() as u32);
+        for vm in &self.vms {
+            w.write_u32(vm.id().0);
+            w.write_u32(vm.group().0);
+            w.write_f64(vm.memory().0);
+            w.write_u32(vm.arrival().0);
+            w.write_u32(vm.lifetime_slots());
+            let params = vm.trace().params();
+            w.write_u8(match params.kind {
+                TraceKind::WebServing => 0,
+                TraceKind::Batch => 1,
+                TraceKind::Hpc => 2,
+            });
+            w.write_f64(params.base);
+            w.write_f64(params.amplitude);
+            w.write_f64(params.phase_hours);
+            w.write_f64(params.noise_sigma);
+            w.write_f64(params.burst_duty);
+            w.write_f64(params.burst_level);
+            w.write_u64(vm.trace().seed());
+        }
+        w.write_u32(self.active.len() as u32);
+        for vm in &self.active {
+            w.write_u32(vm.0);
+        }
+        self.arrivals.save_state(w);
+        self.data.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut geoplace_types::snap::SnapReader<'_>) -> Result<()> {
+        let current_slot = TimeSlot(r.read_u32()?);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.read_u64()?;
+        }
+        let vm_count = r.read_u32()? as usize;
+        let mut vms = Vec::with_capacity(vm_count);
+        let mut by_id = HashMap::with_capacity(vm_count);
+        for _ in 0..vm_count {
+            let at = r.offset();
+            let id = VmId(r.read_u32()?);
+            let group = GroupId(r.read_u32()?);
+            let memory = Gigabytes(r.read_f64()?);
+            let arrival = TimeSlot(r.read_u32()?);
+            let lifetime_slots = r.read_u32()?;
+            let kind = match r.read_u8()? {
+                0 => TraceKind::WebServing,
+                1 => TraceKind::Batch,
+                2 => TraceKind::Hpc,
+                other => {
+                    return Err(Error::snapshot(
+                        "fleet",
+                        at,
+                        format!("VM {id} has unknown trace kind tag {other}"),
+                    ))
+                }
+            };
+            let params = TraceParams {
+                kind,
+                base: r.read_f64()?,
+                amplitude: r.read_f64()?,
+                phase_hours: r.read_f64()?,
+                noise_sigma: r.read_f64()?,
+                burst_duty: r.read_f64()?,
+                burst_level: r.read_f64()?,
+            };
+            let seed = r.read_u64()?;
+            if by_id.insert(id, vms.len()).is_some() {
+                return Err(Error::snapshot(
+                    "fleet",
+                    at,
+                    format!("VM {id} appears twice in the fleet history"),
+                ));
+            }
+            vms.push(VmSpec::new(
+                id,
+                group,
+                memory,
+                arrival,
+                lifetime_slots,
+                VmTrace::new(params, seed),
+            ));
+        }
+        let active_count = r.read_u32()? as usize;
+        let mut active = Vec::with_capacity(active_count);
+        for _ in 0..active_count {
+            let at = r.offset();
+            let id = VmId(r.read_u32()?);
+            if !by_id.contains_key(&id) {
+                return Err(Error::snapshot(
+                    "fleet",
+                    at,
+                    format!("active VM {id} is not in the fleet history"),
+                ));
+            }
+            if active.last().is_some_and(|&prev| prev >= id) {
+                return Err(Error::snapshot(
+                    "fleet",
+                    at,
+                    format!("active set is not strictly sorted at VM {id}"),
+                ));
+            }
+            active.push(id);
+        }
+        self.arrivals.restore_state(r)?;
+        self.data.restore_state(r)?;
+        self.current_slot = current_slot;
+        self.rng = StdRng::from_state(state);
+        self.vms = vms;
+        self.by_id = by_id;
+        self.active = active;
+        Ok(())
     }
 }
 

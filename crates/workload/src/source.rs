@@ -10,6 +10,7 @@
 //! ([`ExternalDeltaSource`]).
 
 use crate::fleet::{ExternalArrival, ExternalPair, ExternalSlotEvents, FleetDelta, VmFleet};
+use crate::trace::TraceKind;
 use crate::tracefile::TraceRow;
 use geoplace_types::time::TimeSlot;
 use geoplace_types::{Result, VmId};
@@ -85,6 +86,78 @@ impl DeltaSource for ExternalDeltaSource {
     }
 }
 
+impl geoplace_types::snap::Snapshot for ExternalDeltaSource {
+    /// Saves the queued-but-not-yet-applied event batch, so a restored
+    /// session sees exactly the events the saved one had pending.
+    fn save_state(&self, w: &mut geoplace_types::snap::SnapWriter) {
+        w.write_u32(self.pending.arrivals.len() as u32);
+        for arrival in &self.pending.arrivals {
+            w.write_u32(arrival.id.0);
+            w.write_f64(arrival.memory_gb);
+            w.write_u32(arrival.lifetime_slots);
+            w.write_u8(match arrival.kind {
+                TraceKind::WebServing => 0,
+                TraceKind::Batch => 1,
+                TraceKind::Hpc => 2,
+            });
+            w.write_u64(arrival.trace_seed);
+        }
+        w.write_u32(self.pending.departures.len() as u32);
+        for vm in &self.pending.departures {
+            w.write_u32(vm.0);
+        }
+        w.write_u32(self.pending.traffic.len() as u32);
+        for pair in &self.pending.traffic {
+            w.write_u32(pair.a.0);
+            w.write_u32(pair.b.0);
+            w.write_f64(pair.a_to_b_mb);
+            w.write_f64(pair.b_to_a_mb);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut geoplace_types::snap::SnapReader<'_>) -> Result<()> {
+        let mut pending = ExternalSlotEvents::default();
+        for _ in 0..r.read_u32()? {
+            let at = r.offset();
+            let id = VmId(r.read_u32()?);
+            let memory_gb = r.read_f64()?;
+            let lifetime_slots = r.read_u32()?;
+            let kind = match r.read_u8()? {
+                0 => TraceKind::WebServing,
+                1 => TraceKind::Batch,
+                2 => TraceKind::Hpc,
+                other => {
+                    return Err(geoplace_types::Error::snapshot(
+                        "source",
+                        at,
+                        format!("pending arrival {id} has unknown trace kind tag {other}"),
+                    ))
+                }
+            };
+            pending.arrivals.push(ExternalArrival {
+                id,
+                memory_gb,
+                lifetime_slots,
+                kind,
+                trace_seed: r.read_u64()?,
+            });
+        }
+        for _ in 0..r.read_u32()? {
+            pending.departures.push(VmId(r.read_u32()?));
+        }
+        for _ in 0..r.read_u32()? {
+            pending.traffic.push(ExternalPair {
+                a: VmId(r.read_u32()?),
+                b: VmId(r.read_u32()?),
+                a_to_b_mb: r.read_f64()?,
+                b_to_a_mb: r.read_f64()?,
+            });
+        }
+        self.pending = pending;
+        Ok(())
+    }
+}
+
 /// A trace replayer: feeds the rows of a parsed trace file (see
 /// [`crate::tracefile`]) into the fleet slot by slot, exactly as an
 /// external orchestrator would. Trace-local VM ids are mapped to fresh
@@ -125,6 +198,43 @@ impl TraceSource {
     /// The engine id a trace-local VM id was mapped to at arrival.
     pub fn engine_id(&self, trace_vm: u32) -> Option<VmId> {
         self.ids.get(&trace_vm).copied()
+    }
+}
+
+impl geoplace_types::snap::Snapshot for TraceSource {
+    /// Saves the replay cursor and the trace-id → engine-id map; the rows
+    /// themselves come back from re-parsing the trace file on restore.
+    fn save_state(&self, w: &mut geoplace_types::snap::SnapWriter) {
+        w.write_u32(self.cursor as u32);
+        w.write_u32(self.ids.len() as u32);
+        for (&trace_vm, &engine_id) in &self.ids {
+            w.write_u32(trace_vm);
+            w.write_u32(engine_id.0);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut geoplace_types::snap::SnapReader<'_>) -> Result<()> {
+        let at = r.offset();
+        let cursor = r.read_u32()? as usize;
+        if cursor > self.rows.len() {
+            return Err(geoplace_types::Error::snapshot(
+                "source",
+                at,
+                format!(
+                    "trace cursor {cursor} is past the {} parsed rows",
+                    self.rows.len()
+                ),
+            ));
+        }
+        let mut ids = BTreeMap::new();
+        for _ in 0..r.read_u32()? {
+            let trace_vm = r.read_u32()?;
+            let engine_id = VmId(r.read_u32()?);
+            ids.insert(trace_vm, engine_id);
+        }
+        self.cursor = cursor;
+        self.ids = ids;
+        Ok(())
     }
 }
 

@@ -163,6 +163,13 @@ impl VmTrace {
         &self.params
     }
 
+    /// The trace seed. `VmTrace::new(*trace.params(), trace.seed())`
+    /// reconstructs this trace exactly — what checkpointing relies on to
+    /// avoid serializing any samples.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// CPU utilization in `[MIN_UTILIZATION, 1]` at the given tick.
     pub fn utilization_at(&self, tick: Tick) -> f64 {
         let slot = tick.slot();

@@ -120,6 +120,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceRow>, String> {
 /// Returns `<path>: <reason>` for unreadable files and
 /// `<path>: line N: ...` for malformed content.
 pub fn load_trace(path: &str) -> Result<Vec<TraceRow>, String> {
+    // audit:allow(D3): trace ingest is an input boundary like checkpoint load — the file's bytes are parsed strictly and never touch simulation state until validated
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse_trace(&text).map_err(|e| format!("{path}: {e}"))
 }

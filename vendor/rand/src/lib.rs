@@ -165,6 +165,28 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring with
+        /// [`StdRng::from_state`] resumes the exact stream position.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ (the stream
+        /// would be constant zero); it never occurs in practice because
+        /// SplitMix64 seeding cannot produce it, so it is mapped to the
+        /// seed-0 generator to keep restored streams well-defined.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                Self::seed_from_u64(0)
+            } else {
+                StdRng { s }
+            }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut sm = state;
